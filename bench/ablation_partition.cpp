@@ -1,0 +1,46 @@
+// Open-problem study (paper, section 4): partitioning disabled regions into
+// several orthogonal convex polygons. Compares the one-polygon-per-region
+// model against the greedy gap partitioner and, for small regions, the
+// exhaustive optimum.
+#include <iostream>
+
+#include "analysis/partition_study.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ocp;
+  const bench::Options opts = bench::parse_options(argc, argv);
+
+  std::cout << "Open problem (section 4): multi-polygon covers on a "
+            << opts.n << "x" << opts.n << " mesh, " << opts.trials
+            << " trials per point, seed " << opts.seed << "\n\n";
+
+  analysis::PartitionStudyConfig config;
+  config.n = opts.n;
+  config.fault_counts = bench::sweep(opts);
+  config.trials = opts.trials;
+  config.seed = opts.seed;
+  const auto rows = analysis::run_partition_study(config);
+  bench::emit(opts, "ablation_partition_uniform",
+              analysis::partition_study_table(rows));
+
+  // Clustered faults produce the large, irregular regions where multi-
+  // polygon covers actually pay off.
+  config.clustered = true;
+  const auto clustered_rows = analysis::run_partition_study(config);
+  bench::emit(opts, "ablation_partition_clustered",
+              analysis::partition_study_table(clustered_rows));
+
+  std::cout
+      << "Columns: healthy nodes sacrificed per machine under the as-is "
+         "disabled regions, the Separated-rule greedy, the Touching-rule "
+         "greedy, and the exhaustive Touching optimum (*greedy fallback "
+         "above the per-region fault limit).\n"
+      << "Expected shape: under the Separated rule the disabled regions are "
+         "already optimal (the labeling performs every separated split "
+         "itself); allowing touching polygons — the reading under which the "
+         "paper's Figures 1(c)/(d) remark applies — splits a quarter of the "
+         "clustered regions further and removes nearly all remaining "
+         "healthy nodes (optimal <= touching <= separated <= DR).\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: what the router must avoid — raw faults (no labeling, arbitrary
+// shapes), rectangular faulty blocks (the classic model), or this paper's
+// orthogonal convex disabled regions. Measures the price of each model:
+// sacrificed nonfaulty nodes, delivery rate and path stretch under
+// boundary-following fault-tolerant routing.
+#include <iostream>
+
+#include "analysis/ablation.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ocp;
+  bench::Options opts = bench::parse_options(argc, argv);
+  // Routing all-pairs is costlier than labeling; default to a smaller
+  // machine unless the user overrides.
+  if (opts.n == 100) opts.n = 32;
+
+  std::cout << "Ablation: routing against raw faults vs faulty blocks vs "
+               "disabled regions on a "
+            << opts.n << "x" << opts.n << " mesh\n\n";
+
+  analysis::RoutingAblationConfig config;
+  config.n = opts.n;
+  for (std::int32_t f = 0; f <= opts.fmax; f += 2 * opts.fstep) {
+    if (f > 0) config.fault_counts.push_back(f);
+  }
+  config.trials = opts.quick ? 5 : 15;
+  config.pairs = opts.quick ? 100 : 400;
+  config.seed = opts.seed;
+  const auto rows = analysis::run_routing_ablation(config);
+  bench::emit(opts, "ablation_regions",
+              analysis::routing_ablation_table(rows));
+
+  std::cout
+      << "Expected shape: disabled-regions sacrifice no more nonfaulty "
+         "nodes than faulty-blocks (often far fewer) while both deliver "
+         "100%; raw faults sacrifice nothing but give the router concave "
+         "obstacles (backtracking, occasional failures).\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Minimal command-line handling shared by the reproduction harnesses.
+//
+// Every figure/table binary accepts:
+//   --n <int>        machine side length (default: the paper's 100)
+//   --trials <int>   Monte-Carlo trials per sweep point
+//   --fstep <int>    fault-count step of the sweep (paper sweeps 0..100)
+//   --fmax <int>     largest fault count
+//   --seed <u64>     RNG seed
+//   --csv <prefix>   also write each printed table to <prefix><name>.csv
+//   --quick          shrink trials for smoke runs
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/table.hpp"
+
+namespace ocp::bench {
+
+struct Options {
+  std::int32_t n = 100;
+  std::size_t trials = 200;
+  std::int32_t fstep = 5;
+  std::int32_t fmax = 100;
+  std::uint64_t seed = 20010423;
+  std::optional<std::string> csv_prefix;
+  bool quick = false;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  const auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << flag << " requires a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--n") {
+      opts.n = std::atoi(need_value(i, "--n"));
+    } else if (arg == "--trials") {
+      opts.trials = static_cast<std::size_t>(
+          std::atoll(need_value(i, "--trials")));
+    } else if (arg == "--fstep") {
+      opts.fstep = std::atoi(need_value(i, "--fstep"));
+    } else if (arg == "--fmax") {
+      opts.fmax = std::atoi(need_value(i, "--fmax"));
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(
+          std::atoll(need_value(i, "--seed")));
+    } else if (arg == "--csv") {
+      opts.csv_prefix = need_value(i, "--csv");
+    } else if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "flags: --n N --trials T --fstep S --fmax F --seed X "
+                   "--csv PREFIX --quick\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  if (opts.quick) {
+    opts.trials = std::min<std::size_t>(opts.trials, 20);
+    opts.fstep = std::max(opts.fstep, 20);
+  }
+  return opts;
+}
+
+/// Prints a titled table and optionally writes it as CSV.
+inline void emit(const Options& opts, const std::string& name,
+                 const stats::Table& table) {
+  std::cout << "== " << name << " ==\n";
+  table.print(std::cout);
+  std::cout << "\n";
+  if (opts.csv_prefix) {
+    const std::string path = *opts.csv_prefix + name + ".csv";
+    if (!table.write_csv(path)) {
+      std::cerr << "failed to write " << path << "\n";
+    } else {
+      std::cout << "(csv written to " << path << ")\n\n";
+    }
+  }
+}
+
+inline std::vector<std::int32_t> sweep(const Options& opts) {
+  std::vector<std::int32_t> out;
+  for (std::int32_t f = 0; f <= opts.fmax; f += opts.fstep) out.push_back(f);
+  return out;
+}
+
+}  // namespace ocp::bench

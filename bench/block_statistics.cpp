@@ -1,0 +1,30 @@
+// Structural statistics of faulty blocks and disabled regions vs fault
+// density — the mechanism behind Figure 5 (c)/(d)'s high enabled ratio
+// (random faults make small blocks; small blocks re-enable easily).
+#include <iostream>
+
+#include "analysis/block_stats.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ocp;
+  const bench::Options opts = bench::parse_options(argc, argv);
+
+  std::cout << "Faulty-block structure on a " << opts.n << "x" << opts.n
+            << " mesh (Definition 2b), " << opts.trials
+            << " trials per point\n\n";
+
+  analysis::BlockStatsConfig config;
+  config.n = opts.n;
+  config.fault_counts = bench::sweep(opts);
+  config.trials = opts.trials;
+  config.seed = opts.seed;
+  const auto rows = analysis::run_block_stats(config);
+  bench::emit(opts, "block_statistics", analysis::block_stats_table(rows));
+
+  std::cout << "Expected shape: at the paper's densities (f <= 1% of nodes) "
+               "blocks are overwhelmingly singletons, mean block diameter "
+               "stays near zero, and disabled regions track block sizes — "
+               "the reason phase two re-enables nearly everything.\n";
+  return 0;
+}

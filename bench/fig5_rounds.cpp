@@ -1,0 +1,49 @@
+// Figure 5 (a)/(b): average number of rounds to form faulty blocks and then
+// disabled regions, versus the number of random faults f, on the paper's
+// 100x100 mesh — swept under both safe/unsafe definitions (the two columns
+// of Figure 5).
+#include <iostream>
+
+#include "analysis/fig5.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ocp;
+  const bench::Options opts = bench::parse_options(argc, argv);
+
+  std::cout << "Reproduction of Wu (IPPS 2001), Figure 5 (a)/(b): labeling "
+               "rounds on a "
+            << opts.n << "x" << opts.n << " mesh, " << opts.trials
+            << " trials per point, seed " << opts.seed << "\n\n";
+
+  for (auto def :
+       {labeling::SafeUnsafeDef::Def2a, labeling::SafeUnsafeDef::Def2b}) {
+    analysis::Fig5Config config;
+    config.n = opts.n;
+    config.definition = def;
+    config.fault_counts = bench::sweep(opts);
+    config.trials = opts.trials;
+    config.seed = opts.seed;
+    const auto rows = analysis::run_fig5(config);
+
+    stats::Table table({"f", "rounds(FB)  [fig 5a/b top series]",
+                        "rounds(DR)  [bottom series]", "max d(B)"});
+    for (const auto& row : rows) {
+      table.add_row({std::to_string(row.f),
+                     stats::format_mean_ci(row.rounds_blocks.mean(),
+                                           row.rounds_blocks.ci95(), 3),
+                     stats::format_mean_ci(row.rounds_regions.mean(),
+                                           row.rounds_regions.ci95(), 3),
+                     stats::format_double(row.max_block_diameter.mean(), 2)});
+    }
+    bench::emit(opts,
+                std::string("fig5_rounds_") + labeling::to_string(def),
+                table);
+  }
+
+  std::cout << "Expected shape (paper section 5): both series stay far below "
+               "the mesh diameter (2(n-1) = "
+            << 2 * (opts.n - 1)
+            << "), grow slowly with f, and rounds(DR) <= rounds(FB).\n";
+  return 0;
+}

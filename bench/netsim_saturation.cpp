@@ -1,0 +1,87 @@
+// Latency vs offered load under continuous injection: the classic network
+// evaluation, run over the rectangle model vs the orthogonal convex polygon
+// model. The paper's region refinement frees healthy nodes; this harness
+// shows what that does to the network's load response.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "netsim/traffic_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ocp;
+  bench::Options opts = bench::parse_options(argc, argv);
+  if (opts.n == 100) opts.n = 24;
+
+  const mesh::Mesh2D m = mesh::Mesh2D::square(opts.n);
+  stats::Rng rng(opts.seed);
+  const auto faults = fault::clustered(m, 3, 8, rng);
+  const auto labeled = labeling::run_pipeline(
+      faults, {.engine = labeling::Engine::Reference});
+
+  std::cout << "Wormhole saturation sweep on a " << m.describe() << " with "
+            << faults.size() << " clustered faults; ring routing, 2 virtual "
+            << "channels, 4-flit worms\n\n";
+
+  struct Model {
+    const char* name;
+    grid::CellSet blocked;
+  };
+  const Model models[] = {
+      {"faulty-blocks", labeling::unsafe_cells(labeled.safety)},
+      {"disabled-regions", labeling::disabled_cells(labeled.activation)},
+  };
+
+  const double rates[] = {0.001, 0.002, 0.004, 0.008, 0.016};
+  struct Scheme {
+    const char* name;
+    netsim::VcScheme scheme;
+    std::uint8_t vcs;
+  };
+  const Scheme schemes[] = {
+      {"2vc-escape", netsim::VcScheme::PhaseEscape, 2},
+      {"4vc-class", netsim::VcScheme::MessageClass, 4},
+  };
+
+  stats::Table table({"model", "vc scheme", "offered (flits/node/cyc)",
+                      "accepted", "mean latency", "p99 latency", "delivered",
+                      "offered#", "deadlock"});
+  for (const auto& model : models) {
+    const routing::FaultRingRouter router(m, model.blocked);
+    for (const auto& scheme : schemes) {
+      for (double rate : rates) {
+        netsim::TrafficSimConfig config;
+        config.injection_rate = rate;
+        config.packet_flits = 4;
+        config.warm_cycles = opts.quick ? 256 : 1024;
+        config.num_vcs = scheme.vcs;
+        config.vc_scheme = scheme.scheme;
+        config.seed = opts.seed + 3;
+        const auto r =
+            netsim::run_traffic_sim(m, model.blocked, router, config);
+        table.add_row(
+            {model.name, scheme.name, stats::format_double(rate * 4, 4),
+             stats::format_double(r.accepted_flits_per_node_cycle, 4),
+             stats::format_double(r.latency.mean(), 1),
+             stats::format_double(r.latency_hist.p99(), 0),
+             std::to_string(r.delivered_packets),
+             std::to_string(r.offered_packets),
+             r.deadlocked ? "yes" : "no"});
+      }
+    }
+  }
+  bench::emit(opts, "netsim_saturation", table);
+
+  std::cout
+      << "Expected shape: accepted throughput tracks offered load until "
+         "contention bites and latency grows with load. The naive 2-VC "
+         "escape scheme deadlocks once loaded (cross-packet cycles on the "
+         "shared escape channel); Boppana-Chalasani message-class "
+         "separation (4 VCs) pushes the deadlock-free range higher — full "
+         "immunity additionally needs their exact ring-traversal rules, "
+         "which our generic wall-follower approximates but does not "
+         "replicate (deep over-saturation can still cycle within a "
+         "class).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Microbenchmarks of the rectilinear geometry kernels: convexity testing,
+// convex closure and boundary tracing, across region sizes.
+#include <benchmark/benchmark.h>
+
+#include "fault/shapes.hpp"
+#include "geometry/boundary.hpp"
+#include "geometry/convexity.hpp"
+#include "geometry/staircase.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace ocp;
+
+geom::Region random_scatter(std::int32_t extent, std::size_t points,
+                            std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<mesh::Coord> cells;
+  cells.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    cells.push_back(
+        {static_cast<std::int32_t>(rng.uniform_int(0, extent - 1)),
+         static_cast<std::int32_t>(rng.uniform_int(0, extent - 1))});
+  }
+  return geom::Region(std::move(cells));
+}
+
+void BM_IsOrthogonalConvex(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const geom::Region r = fault::make_plus_shape({side, side}, side - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::is_orthogonal_convex(r));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(r.size()));
+}
+BENCHMARK(BM_IsOrthogonalConvex)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ConvexClosureScatter(benchmark::State& state) {
+  const auto extent = static_cast<std::int32_t>(state.range(0));
+  const geom::Region seed = random_scatter(extent, 12, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::rectilinear_convex_closure(seed));
+  }
+}
+BENCHMARK(BM_ConvexClosureScatter)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ConvexClosureConcave(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const geom::Region u = fault::make_u_shape({0, 0}, side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::rectilinear_convex_closure(u));
+  }
+}
+BENCHMARK(BM_ConvexClosureConcave)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_IsOrthogonalConvexPolygonFast(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const geom::Region r = fault::make_plus_shape({side, side}, side - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::is_orthogonal_convex_polygon_fast(r));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(r.size()));
+}
+BENCHMARK(BM_IsOrthogonalConvexPolygonFast)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CornerNodes(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const geom::Region r = fault::make_l_shape({0, 0}, side, side / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::corner_nodes(r));
+  }
+}
+BENCHMARK(BM_CornerNodes)->Arg(8)->Arg(64);
+
+void BM_TraceOuterRing(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  const geom::Region r = fault::make_plus_shape({side, side}, side - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::trace_outer_ring(r));
+  }
+}
+BENCHMARK(BM_TraceOuterRing)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RegionDiameter(benchmark::State& state) {
+  const geom::Region r =
+      random_scatter(static_cast<std::int32_t>(state.range(0)), 4000, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.diameter());
+  }
+}
+BENCHMARK(BM_RegionDiameter)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

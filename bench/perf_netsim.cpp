@@ -1,0 +1,71 @@
+// Microbenchmarks of the wormhole simulator: cycle throughput under light
+// and saturated loads, and the cost of one full traffic-sim run.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "netsim/traffic_sim.hpp"
+
+namespace {
+
+using namespace ocp;
+
+void BM_WormholeBatch(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto packets = static_cast<std::size_t>(state.range(1));
+  const mesh::Mesh2D m = mesh::Mesh2D::square(n);
+  const grid::CellSet blocked(m);
+  const routing::XYRouter router(m, blocked);
+
+  // Pre-route the batch once; the benchmark measures the simulator.
+  std::vector<netsim::PacketSpec> specs;
+  stats::Rng rng(7);
+  while (specs.size() < packets) {
+    const auto src = m.coord(static_cast<std::size_t>(
+        rng.uniform_int(0, m.node_count() - 1)));
+    const auto dst = m.coord(static_cast<std::size_t>(
+        rng.uniform_int(0, m.node_count() - 1)));
+    if (src == dst) continue;
+    specs.push_back(netsim::make_packet(router.route(src, dst), 1, 6,
+                                        rng.uniform_int(0, 64)));
+  }
+
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    netsim::WormholeSim sim(m, {.num_vcs = 1, .vc_buffer_flits = 2});
+    for (const auto& spec : specs) sim.submit(spec);
+    const auto result = sim.run();
+    cycles += result.cycles;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(cycles);
+  state.SetLabel("items = simulated cycles");
+}
+BENCHMARK(BM_WormholeBatch)
+    ->Args({16, 32})
+    ->Args({16, 256})
+    ->Args({32, 256})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrafficSimEndToEnd(benchmark::State& state) {
+  const mesh::Mesh2D m = mesh::Mesh2D::square(24);
+  stats::Rng rng(3);
+  const auto faults = fault::clustered(m, 3, 8, rng);
+  const auto labeled = labeling::run_pipeline(
+      faults, {.engine = labeling::Engine::Reference});
+  const auto blocked = labeling::disabled_cells(labeled.activation);
+  const routing::FaultRingRouter router(m, blocked);
+  netsim::TrafficSimConfig config;
+  config.injection_rate = 0.004;
+  config.warm_cycles = 256;
+  config.num_vcs = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        netsim::run_traffic_sim(m, blocked, router, config));
+  }
+}
+BENCHMARK(BM_TrafficSimEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

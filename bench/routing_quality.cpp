@@ -1,0 +1,87 @@
+// Router comparison over labeled fault regions: deterministic e-cube with
+// ring detours, greedy minimal-adaptive, and oracle-guided minimal routing
+// (the Wu [9] discipline), plus plain XY as the non-fault-tolerant baseline.
+// Headline metric: how often each router delivers over a shortest path.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "routing/adaptive_router.hpp"
+#include "routing/minimal_router.hpp"
+#include "routing/traffic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ocp;
+  bench::Options opts = bench::parse_options(argc, argv);
+  if (opts.n == 100) opts.n = 32;
+  const std::size_t trials = opts.quick ? 5 : 15;
+  const std::size_t pairs = opts.quick ? 100 : 400;
+
+  std::cout << "Router quality over disabled regions on a " << opts.n << "x"
+            << opts.n << " mesh, " << trials << " trials x " << pairs
+            << " pairs per point\n\n";
+
+  const mesh::Mesh2D m = mesh::Mesh2D::square(opts.n);
+  stats::Table table({"f", "router", "delivery %", "minimal %", "stretch",
+                      "detour hops"});
+
+  for (std::int32_t f = 2 * opts.fstep; f <= opts.fmax; f += 2 * opts.fstep) {
+    struct Agg {
+      const char* name;
+      stats::Summary delivery, minimal, stretch, detour;
+    };
+    Agg aggs[] = {{"xy", {}, {}, {}, {}},
+                  {"ring", {}, {}, {}, {}},
+                  {"adaptive", {}, {}, {}, {}},
+                  {"minimal", {}, {}, {}, {}}};
+
+    stats::Rng seeder(opts.seed + static_cast<std::uint64_t>(f));
+    for (std::size_t t = 0; t < trials; ++t) {
+      stats::Rng rng(seeder.fork_seed());
+      const auto faults = fault::uniform_random(
+          m, static_cast<std::size_t>(f), rng);
+      labeling::PipelineOptions lopts;
+      lopts.engine = labeling::Engine::Reference;
+      const auto labeled = labeling::run_pipeline(faults, lopts);
+      const auto blocked = labeling::disabled_cells(labeled.activation);
+
+      const routing::XYRouter xy(m, blocked);
+      const routing::FaultRingRouter ring(m, blocked);
+      const routing::AdaptiveRouter adaptive(m, blocked);
+      const routing::MinimalRouter minimal(m, blocked,
+                                           routing::Fallback::Ring);
+      const routing::Router* routers[] = {&xy, &ring, &adaptive, &minimal};
+      for (std::size_t ri = 0; ri < 4; ++ri) {
+        stats::Rng traffic_rng(rng.seed() * 13 + ri);
+        const auto stats = routing::run_uniform_traffic(*routers[ri], blocked,
+                                                        pairs, traffic_rng);
+        aggs[ri].delivery.add(100.0 * stats.delivery_rate());
+        aggs[ri].minimal.add(100.0 * stats.minimal_rate());
+        if (!stats.stretch.empty()) {
+          aggs[ri].stretch.add(stats.stretch.mean());
+          aggs[ri].detour.add(stats.detour_hops.mean());
+        }
+      }
+    }
+    for (const auto& agg : aggs) {
+      table.add_row({std::to_string(f), agg.name,
+                     stats::format_double(agg.delivery.mean(), 2),
+                     stats::format_double(agg.minimal.mean(), 2),
+                     agg.stretch.empty()
+                         ? "n/a"
+                         : stats::format_double(agg.stretch.mean(), 3),
+                     agg.detour.empty()
+                         ? "n/a"
+                         : stats::format_double(agg.detour.mean(), 3)});
+    }
+  }
+  bench::emit(opts, "routing_quality", table);
+
+  std::cout << "Expected shape: xy delivers < 100% (no fault tolerance); "
+               "ring/adaptive/minimal all deliver 100%; minimal achieves "
+               "the highest minimal %, adaptive close behind, ring lowest; "
+               "stretch orders the other way.\n";
+  return 0;
+}

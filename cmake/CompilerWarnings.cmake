@@ -1,0 +1,22 @@
+# Interface target carrying the project-wide warning set.
+add_library(ocp_warnings INTERFACE)
+
+target_compile_options(ocp_warnings INTERFACE
+  -Wall
+  -Wextra
+  -Wpedantic
+  -Wshadow
+  -Wconversion
+  -Wsign-conversion
+  -Wnon-virtual-dtor
+  -Wold-style-cast
+  -Wcast-align
+  -Wunused
+  -Woverloaded-virtual
+  -Wnull-dereference
+  -Wdouble-promotion
+  -Wimplicit-fallthrough)
+
+if(OCP_WERROR)
+  target_compile_options(ocp_warnings INTERFACE -Werror)
+endif()

@@ -1,0 +1,237 @@
+// ocp_cli — command-line front end for the library.
+//
+//   ocp_cli generate --n 32 --faults 20 [--seed S] [--model uniform|clustered|bernoulli]
+//       emit a fault trace on stdout
+//   ocp_cli label [trace-file]
+//       read a trace (stdin when no file), run the pipeline, render the
+//       labeling and print block/region summaries
+//   ocp_cli route <sx> <sy> <dx> <dy> [trace-file] [--router ring|adaptive|minimal|xy]
+//       label, then route one packet across the machine
+//   ocp_cli stats [trace-file]
+//       one-trace summary table (rounds, blocks, regions, ratios)
+//   ocp_cli partition [trace-file]
+//       multi-polygon covers per disabled region (open problem, section 4)
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "analysis/render.hpp"
+#include "analysis/svg.hpp"
+#include "core/partition.hpp"
+#include "core/pipeline.hpp"
+#include "stats/table.hpp"
+#include "fault/generators.hpp"
+#include "fault/trace.hpp"
+#include "routing/adaptive_router.hpp"
+#include "routing/minimal_router.hpp"
+
+namespace {
+
+using namespace ocp;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  ocp_cli generate --n N --faults F [--seed S] [--model M] [--torus]\n"
+         "  ocp_cli label [trace-file] [--svg out.svg]\n"
+         "  ocp_cli route SX SY DX DY [trace-file] [--router R]\n"
+         "  ocp_cli stats [trace-file]\n"
+         "  ocp_cli partition [trace-file]\n";
+  return 2;
+}
+
+grid::CellSet read_input(const char* path) {
+  if (path == nullptr) return fault::read_trace(std::cin);
+  return fault::load_trace(path);
+}
+
+int cmd_generate(int argc, char** argv) {
+  std::int32_t n = 32;
+  std::size_t faults = 20;
+  std::uint64_t seed = 1;
+  std::string model = "uniform";
+  bool torus = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--n" && i + 1 < argc) n = std::atoi(argv[++i]);
+    else if (arg == "--faults" && i + 1 < argc)
+      faults = static_cast<std::size_t>(std::atoll(argv[++i]));
+    else if (arg == "--seed" && i + 1 < argc)
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (arg == "--model" && i + 1 < argc) model = argv[++i];
+    else if (arg == "--torus") torus = true;
+    else return usage();
+  }
+  const mesh::Mesh2D m = mesh::Mesh2D::square(
+      n, torus ? mesh::Topology::Torus : mesh::Topology::Mesh);
+  stats::Rng rng(seed);
+  grid::CellSet set(m);
+  if (model == "uniform") {
+    set = fault::uniform_random(m, faults, rng);
+  } else if (model == "clustered") {
+    set = fault::clustered(m, std::max<std::size_t>(1, faults / 8), 8, rng);
+  } else if (model == "bernoulli") {
+    set = fault::bernoulli(
+        m, static_cast<double>(faults) / static_cast<double>(m.node_count()),
+        rng);
+  } else {
+    std::cerr << "unknown model: " << model << "\n";
+    return 2;
+  }
+  std::cout << "# generated: model=" << model << " seed=" << seed << "\n";
+  fault::write_trace(std::cout, set);
+  return 0;
+}
+
+int cmd_label(int argc, char** argv) {
+  const char* file = nullptr;
+  const char* svg_path = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--svg") == 0 && i + 1 < argc) {
+      svg_path = argv[++i];
+    } else {
+      file = argv[i];
+    }
+  }
+  const auto faults = read_input(file);
+  const auto result = labeling::run_pipeline(faults);
+  if (svg_path != nullptr) {
+    std::ofstream out(svg_path);
+    out << analysis::render_labeling_svg(faults, result);
+    std::cout << "(svg written to " << svg_path << ")\n";
+  }
+  std::cout << faults.topology().describe() << ", " << faults.size()
+            << " faults\n\n"
+            << analysis::render_labeling(faults, result) << "\n";
+  std::cout << "phase 1: " << result.safety_stats.rounds_to_quiesce
+            << " rounds -> " << result.blocks.size() << " faulty block(s)\n";
+  std::cout << "phase 2: " << result.activation_stats.rounds_to_quiesce
+            << " rounds -> " << result.regions.size()
+            << " disabled region(s)\n";
+  std::cout << "healthy nodes re-enabled: " << result.enabled_total() << "/"
+            << result.unsafe_nonfaulty_total() << "\n";
+  return 0;
+}
+
+int cmd_route(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const mesh::Coord src{std::atoi(argv[0]), std::atoi(argv[1])};
+  const mesh::Coord dst{std::atoi(argv[2]), std::atoi(argv[3])};
+  const char* file = nullptr;
+  std::string router_name = "ring";
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--router") == 0 && i + 1 < argc) {
+      router_name = argv[++i];
+    } else {
+      file = argv[i];
+    }
+  }
+  const auto faults = read_input(file);
+  const auto result = labeling::run_pipeline(faults);
+  const auto blocked = labeling::disabled_cells(result.activation);
+  const mesh::Mesh2D& m = faults.topology();
+
+  std::unique_ptr<routing::Router> router;
+  if (router_name == "ring") {
+    router = std::make_unique<routing::FaultRingRouter>(m, blocked);
+  } else if (router_name == "adaptive") {
+    router = std::make_unique<routing::AdaptiveRouter>(m, blocked);
+  } else if (router_name == "minimal") {
+    router = std::make_unique<routing::MinimalRouter>(m, blocked);
+  } else if (router_name == "xy") {
+    router = std::make_unique<routing::XYRouter>(m, blocked);
+  } else {
+    std::cerr << "unknown router: " << router_name << "\n";
+    return 2;
+  }
+
+  const auto route = router->route(src, dst);
+  std::cout << router->name() << " " << mesh::to_string(src) << " -> "
+            << mesh::to_string(dst) << ": "
+            << routing::to_string(route.status);
+  if (route.delivered()) {
+    std::cout << ", " << route.hops() << " hops ("
+              << route.detour_hops() << " detour, minimal "
+              << m.distance(src, dst) << ")";
+  }
+  std::cout << "\n";
+  for (mesh::Coord c : route.path) std::cout << "  " << mesh::to_string(c) << "\n";
+  return route.delivered() ? 0 : 1;
+}
+
+int cmd_stats(int argc, char** argv) {
+  const auto faults = read_input(argc > 0 ? argv[0] : nullptr);
+  const auto result = labeling::run_pipeline(faults);
+
+  stats::Table table({"metric", "value"});
+  table.add_row({"machine", faults.topology().describe()});
+  table.add_row({"faults", std::to_string(faults.size())});
+  table.add_row({"phase-1 rounds",
+                 std::to_string(result.safety_stats.rounds_to_quiesce)});
+  table.add_row({"phase-2 rounds",
+                 std::to_string(result.activation_stats.rounds_to_quiesce)});
+  table.add_row({"faulty blocks", std::to_string(result.blocks.size())});
+  table.add_row({"disabled regions", std::to_string(result.regions.size())});
+  table.add_row({"unsafe nonfaulty",
+                 std::to_string(result.unsafe_nonfaulty_total())});
+  table.add_row({"re-enabled", std::to_string(result.enabled_total())});
+  table.add_row({"still disabled",
+                 std::to_string(result.disabled_nonfaulty_total())});
+  std::size_t max_diam = 0;
+  std::size_t max_size = 0;
+  for (const auto& block : result.blocks) {
+    max_diam = std::max(max_diam,
+                        static_cast<std::size_t>(block.region().diameter()));
+    max_size = std::max(max_size, block.size());
+  }
+  table.add_row({"max block size", std::to_string(max_size)});
+  table.add_row({"max d(B)", std::to_string(max_diam)});
+  table.add_row(
+      {"event msgs/node",
+       stats::format_double(
+           static_cast<double>(
+               result.safety_stats.messages_event_driven +
+               result.activation_stats.messages_event_driven) /
+               static_cast<double>(faults.topology().node_count()),
+           2)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_partition(int argc, char** argv) {
+  const auto faults = read_input(argc > 0 ? argv[0] : nullptr);
+  const auto result = labeling::run_pipeline(faults);
+  std::cout << result.regions.size() << " disabled region(s)\n";
+  for (std::size_t i = 0; i < result.regions.size(); ++i) {
+    const auto& region = result.regions[i];
+    std::vector<mesh::Coord> fcells;
+    const auto frame = region.region().cells();
+    for (std::size_t j = 0; j < frame.size(); ++j) {
+      if (faults.contains(region.component.mesh_cells[j])) {
+        fcells.push_back(frame[j]);
+      }
+    }
+    const geom::Region region_faults(std::move(fcells));
+    const auto touching = labeling::greedy_cut_cover(region_faults);
+    std::cout << "region " << i << ": " << region.fault_count << " faults, "
+              << region.disabled_nonfaulty_count
+              << " healthy disabled; touching-rule cover: "
+              << touching.polygon_count() << " polygon(s), "
+              << touching.nonfaulty_cells << " healthy\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
+  if (cmd == "label") return cmd_label(argc - 2, argv + 2);
+  if (cmd == "route") return cmd_route(argc - 2, argv + 2);
+  if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
+  if (cmd == "partition") return cmd_partition(argc - 2, argv + 2);
+  return usage();
+}

@@ -1,0 +1,109 @@
+// Routing demo: the payoff of convex fault regions. Routes a packet across
+// a faulty mesh under three obstacle models (raw faults, rectangular faulty
+// blocks, orthogonal convex disabled regions) and draws each path.
+//
+//   $ ./routing_demo [seed]
+#include <cstdlib>
+#include <iostream>
+#include <unordered_map>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "routing/router.hpp"
+#include "routing/traffic.hpp"
+
+namespace {
+
+using namespace ocp;
+
+std::string render_route(const mesh::Mesh2D& m, const grid::CellSet& blocked,
+                         const routing::Route& route, mesh::Coord src,
+                         mesh::Coord dst) {
+  std::unordered_map<mesh::Coord, char> overlay;
+  for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+    overlay[route.path[i]] = route.phase[i] == 0 ? 'o' : '*';
+  }
+  overlay[src] = 'S';
+  overlay[dst] = 'D';
+
+  std::string out;
+  for (std::int32_t y = m.height() - 1; y >= 0; --y) {
+    for (std::int32_t x = 0; x < m.width(); ++x) {
+      const mesh::Coord c{x, y};
+      if (auto it = overlay.find(c); it != overlay.end()) {
+        out += it->second;
+      } else {
+        out += blocked.contains(c) ? '#' : '.';
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 7;
+
+  const mesh::Mesh2D machine = mesh::Mesh2D::square(20);
+  stats::Rng rng(seed);
+  // Clustered faults (e.g. a failing board) make the model differences
+  // visible: the rectangle model swallows whole bounding boxes while the
+  // orthogonal convex polygons hug the actual fault shapes.
+  const grid::CellSet faults = fault::clustered(machine, 2, 9, rng);
+  const auto result = labeling::run_pipeline(faults);
+
+  const mesh::Coord src{0, 10};
+  const mesh::Coord dst{19, 10};
+
+  struct Model {
+    const char* name;
+    grid::CellSet blocked;
+  };
+  const Model models[] = {
+      {"raw faults (no labeling)", faults},
+      {"faulty blocks (rectangle model)",
+       labeling::unsafe_cells(result.safety)},
+      {"disabled regions (orthogonal convex polygons)",
+       labeling::disabled_cells(result.activation)},
+  };
+
+  std::cout << "Routing " << mesh::to_string(src) << " -> "
+            << mesh::to_string(dst) << " on a " << machine.describe()
+            << " with " << faults.size() << " faults (seed " << seed
+            << ")\n";
+  std::cout << "Legend: S source, D destination, o e-cube hop, * detour hop, "
+               "# blocked\n\n";
+
+  for (const auto& model : models) {
+    std::cout << "--- " << model.name << ": " << model.blocked.size()
+              << " blocked nodes ("
+              << model.blocked.size() - faults.size()
+              << " healthy sacrificed) ---\n";
+    if (model.blocked.contains(src) || model.blocked.contains(dst)) {
+      std::cout << "endpoint swallowed by this model; skipping\n\n";
+      continue;
+    }
+    const routing::FaultRingRouter router(machine, model.blocked);
+    const routing::Route route = router.route(src, dst);
+    std::cout << render_route(machine, model.blocked, route, src, dst);
+    std::cout << "status " << routing::to_string(route.status) << ", "
+              << route.hops() << " hops (" << route.detour_hops()
+              << " detour), minimal " << machine.distance(src, dst)
+              << "\n\n";
+  }
+
+  // Aggregate view: delivery and stretch over random traffic per model.
+  for (const auto& model : models) {
+    const routing::FaultRingRouter router(machine, model.blocked);
+    stats::Rng traffic_rng(seed * 31 + 1);
+    const auto t =
+        routing::run_uniform_traffic(router, model.blocked, 2000, traffic_rng);
+    std::cout << model.name << ": delivery "
+              << 100.0 * t.delivery_rate() << "%, mean stretch "
+              << (t.stretch.empty() ? 0.0 : t.stretch.mean()) << " hops\n";
+  }
+  return 0;
+}

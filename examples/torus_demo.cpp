@@ -1,0 +1,45 @@
+// Torus demo: wraparound labeling. The same fault pattern is labeled on an
+// open mesh and on a torus; faults placed across the seams merge into one
+// block only on the torus, and the torus needs no ghost boundary.
+//
+//   $ ./torus_demo
+#include <iostream>
+
+#include "analysis/render.hpp"
+#include "core/pipeline.hpp"
+
+int main() {
+  using namespace ocp;
+
+  constexpr std::int32_t kSide = 12;
+  // A diagonal fault pair straddling the x-seam and a plain interior pair.
+  const std::initializer_list<mesh::Coord> pattern = {
+      {11, 5}, {0, 6},  // seam-straddling diagonal
+      {5, 2},  {6, 3},  // interior diagonal
+  };
+
+  for (auto topology : {mesh::Topology::Mesh, mesh::Topology::Torus}) {
+    const mesh::Mesh2D machine(kSide, kSide, topology);
+    const grid::CellSet faults(machine, pattern);
+    const auto result = labeling::run_pipeline(faults);
+
+    std::cout << "=== " << machine.describe() << " ===\n";
+    std::cout << analysis::render_labeling(faults, result);
+    std::cout << result.blocks.size() << " faulty block(s):\n";
+    for (const auto& block : result.blocks) {
+      std::cout << "  " << block.size() << " nodes, rectangle: "
+                << std::boolalpha << block.region().is_rectangle()
+                << ", frame bbox "
+                << mesh::to_string(block.region().bounding_box().lo) << ".."
+                << mesh::to_string(block.region().bounding_box().hi) << "\n";
+    }
+    std::cout << result.enabled_total() << "/"
+              << result.unsafe_nonfaulty_total()
+              << " healthy nodes re-enabled\n\n";
+  }
+
+  std::cout << "On the mesh the seam faults are isolated singletons; on the "
+               "torus they are diagonal neighbors, form one 2x2 block across "
+               "the seam, and its two healthy cells are re-enabled.\n";
+  return 0;
+}

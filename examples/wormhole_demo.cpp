@@ -1,0 +1,104 @@
+// Wormhole demo: watch worms traverse a faulty machine. Shows the classic
+// turn-cycle deadlock on one virtual channel, then fault-tolerant traffic
+// draining over the labeled convex regions with an escape channel.
+//
+//   $ ./wormhole_demo
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "netsim/wormhole.hpp"
+#include "routing/router.hpp"
+
+namespace {
+
+using namespace ocp;
+
+void turn_cycle_act() {
+  std::cout << "--- Act 1: the canonical turn-cycle deadlock ---\n"
+            << "Four 32-flit worms route around a square, each turning the "
+               "same way.\n";
+  const mesh::Mesh2D m(10, 10);
+  const mesh::Coord corners[] = {{2, 2}, {6, 2}, {6, 6}, {2, 6}};
+  const auto leg = [](mesh::Coord from, mesh::Coord to) {
+    std::vector<mesh::Coord> cells{from};
+    mesh::Coord cur = from;
+    while (cur != to) {
+      if (cur.x != to.x) cur.x += to.x > cur.x ? 1 : -1;
+      else cur.y += to.y > cur.y ? 1 : -1;
+      cells.push_back(cur);
+    }
+    return cells;
+  };
+  for (int vcs = 1; vcs <= 2; ++vcs) {
+    netsim::WormholeSim sim(m, {.num_vcs = static_cast<std::uint8_t>(vcs),
+                                .vc_buffer_flits = 1,
+                                .deadlock_threshold = 64});
+    for (int w = 0; w < 4; ++w) {
+      auto path = leg(corners[w], corners[(w + 1) % 4]);
+      const auto second = leg(corners[(w + 1) % 4], corners[(w + 2) % 4]);
+      path.insert(path.end(), second.begin() + 1, second.end());
+      netsim::PacketSpec spec;
+      spec.path = std::move(path);
+      spec.vcs.assign(spec.path.size() - 1, 0);
+      if (vcs == 2) {
+        for (std::size_t h = spec.vcs.size() / 2; h < spec.vcs.size(); ++h) {
+          spec.vcs[h] = 1;
+        }
+      }
+      spec.length_flits = 32;
+      sim.submit(std::move(spec));
+    }
+    const auto result = sim.run();
+    std::cout << "  " << vcs << " virtual channel(s): "
+              << (result.deadlocked ? "DEADLOCK after " : "all drained in ")
+              << result.cycles << " cycles, " << result.delivered
+              << "/4 delivered\n";
+  }
+  std::cout << "\n";
+}
+
+void labeled_traffic_act() {
+  std::cout << "--- Act 2: traffic across a labeled faulty machine ---\n";
+  const mesh::Mesh2D m(24, 24);
+  stats::Rng rng(5);
+  const auto faults = fault::clustered(m, 3, 8, rng);
+  const auto labeled = labeling::run_pipeline(faults);
+  const auto blocked = labeling::disabled_cells(labeled.activation);
+  std::cout << "machine " << m.describe() << ", " << faults.size()
+            << " faults in " << labeled.regions.size()
+            << " orthogonal convex region(s); "
+            << blocked.size() - faults.size()
+            << " healthy nodes disabled\n";
+
+  const routing::FaultRingRouter router(m, blocked);
+  netsim::WormholeSim sim(m, {.num_vcs = 2, .vc_buffer_flits = 2});
+  std::size_t submitted = 0;
+  for (int i = 0; submitted < 100 && i < 2000; ++i) {
+    const auto src = m.coord(static_cast<std::size_t>(
+        rng.uniform_int(0, m.node_count() - 1)));
+    const auto dst = m.coord(static_cast<std::size_t>(
+        rng.uniform_int(0, m.node_count() - 1)));
+    if (src == dst || blocked.contains(src) || blocked.contains(dst)) {
+      continue;
+    }
+    const auto route = router.route(src, dst);
+    if (!route.delivered()) continue;
+    sim.submit(netsim::make_packet(route, 2, 8, rng.uniform_int(0, 100)));
+    ++submitted;
+  }
+  const auto result = sim.run();
+  std::cout << submitted << " worms, 8 flits each, detours on the escape "
+            << "channel:\n  " << result.delivered << " delivered in "
+            << result.cycles << " cycles, mean latency "
+            << result.latency.mean() << " cycles, deadlock: "
+            << (result.deadlocked ? "yes" : "no") << "\n";
+}
+
+}  // namespace
+
+int main() {
+  turn_cycle_act();
+  labeled_traffic_act();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation experiments for the design choices DESIGN.md calls out:
+// Definition 2a vs 2b, and rectangle model vs orthogonal convex polygons as
+// the unit a router must avoid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "mesh/mesh2d.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace ocp::analysis {
+
+/// ---- Definition ablation (Def 2a vs Def 2b) -------------------------------
+
+struct DefinitionAblationConfig {
+  std::int32_t n = 100;
+  mesh::Topology topology = mesh::Topology::Mesh;
+  std::vector<std::int32_t> fault_counts;
+  std::size_t trials = 100;
+  std::uint64_t seed = 7;
+};
+
+struct DefinitionAblationRow {
+  std::int32_t f = 0;
+  /// Nonfaulty nodes swallowed into faulty blocks, per definition.
+  stats::Summary unsafe_nonfaulty_2a;
+  stats::Summary unsafe_nonfaulty_2b;
+  /// Nonfaulty nodes still disabled after phase two, per definition.
+  stats::Summary disabled_nonfaulty_2a;
+  stats::Summary disabled_nonfaulty_2b;
+  /// Block counts, per definition.
+  stats::Summary blocks_2a;
+  stats::Summary blocks_2b;
+};
+
+[[nodiscard]] std::vector<DefinitionAblationRow> run_definition_ablation(
+    const DefinitionAblationConfig& config);
+[[nodiscard]] stats::Table definition_ablation_table(
+    const std::vector<DefinitionAblationRow>& rows);
+
+/// ---- Region-model routing ablation ----------------------------------------
+
+/// Which cells a router must treat as impassable.
+enum class BlockModel : std::uint8_t {
+  /// Only the faulty nodes themselves (no labeling; regions can be any
+  /// shape, including concave).
+  RawFaults = 0,
+  /// The rectangular faulty blocks (the classic model).
+  FaultyBlocks = 1,
+  /// The orthogonal convex disabled regions (this paper's model).
+  DisabledRegions = 2,
+};
+
+[[nodiscard]] const char* to_string(BlockModel m) noexcept;
+
+struct RoutingAblationConfig {
+  std::int32_t n = 32;
+  std::vector<std::int32_t> fault_counts;
+  std::size_t trials = 20;
+  /// Routed source/destination pairs per trial and model.
+  std::size_t pairs = 400;
+  labeling::SafeUnsafeDef definition = labeling::SafeUnsafeDef::Def2b;
+  std::uint64_t seed = 11;
+};
+
+struct RoutingAblationRow {
+  std::int32_t f = 0;
+  BlockModel model = BlockModel::RawFaults;
+  /// Nonfaulty nodes the model takes away from the application.
+  stats::Summary sacrificed_nonfaulty;
+  stats::Summary delivery_rate;  // percent
+  stats::Summary stretch;        // delivered packets, hops over minimal
+  stats::Summary detour_hops;
+};
+
+[[nodiscard]] std::vector<RoutingAblationRow> run_routing_ablation(
+    const RoutingAblationConfig& config);
+[[nodiscard]] stats::Table routing_ablation_table(
+    const std::vector<RoutingAblationRow>& rows);
+
+}  // namespace ocp::analysis

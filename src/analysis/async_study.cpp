@@ -1,0 +1,61 @@
+#include "analysis/async_study.hpp"
+
+#include "core/safety_protocol.hpp"
+#include "fault/generators.hpp"
+#include "simkernel/async_runner.hpp"
+#include "simkernel/sync_runner.hpp"
+
+namespace ocp::analysis {
+
+std::vector<AsyncStudyRow> run_async_study(const AsyncStudyConfig& config) {
+  const mesh::Mesh2D machine = mesh::Mesh2D::square(config.n);
+  std::vector<AsyncStudyRow> rows(config.fault_counts.size());
+
+  for (std::size_t fi = 0; fi < config.fault_counts.size(); ++fi) {
+    AsyncStudyRow& row = rows[fi];
+    row.f = config.fault_counts[fi];
+    stats::Rng seeder(config.seed + 0x10 * static_cast<std::uint64_t>(fi));
+
+    for (std::size_t t = 0; t < config.trials; ++t) {
+      stats::Rng rng(seeder.fork_seed());
+      const auto faults = fault::uniform_random(
+          machine, static_cast<std::size_t>(row.f), rng);
+      const labeling::SafetyProtocol proto(faults,
+                                           labeling::SafeUnsafeDef::Def2b);
+
+      const auto sync = sim::run_sync(machine, proto);
+      stats::Rng sched(rng.fork_seed());
+      const auto async = sim::run_async(machine, proto, sched);
+
+      row.sync_rounds.add(sync.stats.rounds_to_quiesce);
+      row.async_sweeps.add(async.stats.sweeps);
+      const auto per_node = static_cast<double>(machine.node_count());
+      row.msgs_broadcast_per_node.add(
+          static_cast<double>(sync.stats.messages_broadcast) / per_node);
+      row.msgs_event_per_node.add(
+          static_cast<double>(sync.stats.messages_event_driven) / per_node);
+      row.fixpoint_match_pct.add(sync.states == async.states ? 100.0 : 0.0);
+    }
+  }
+  return rows;
+}
+
+stats::Table async_study_table(const std::vector<AsyncStudyRow>& rows) {
+  stats::Table table({"f", "sync rounds", "async sweeps",
+                      "msgs/node (broadcast)", "msgs/node (event)",
+                      "fixpoint match %"});
+  for (const auto& r : rows) {
+    table.add_row({
+        std::to_string(r.f),
+        stats::format_mean_ci(r.sync_rounds.mean(), r.sync_rounds.ci95(), 2),
+        stats::format_mean_ci(r.async_sweeps.mean(), r.async_sweeps.ci95(),
+                              2),
+        stats::format_double(r.msgs_broadcast_per_node.mean(), 2),
+        stats::format_double(r.msgs_event_per_node.mean(), 2),
+        stats::format_double(r.fixpoint_match_pct.mean(), 1),
+    });
+  }
+  return table;
+}
+
+}  // namespace ocp::analysis

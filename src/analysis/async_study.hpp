@@ -1,0 +1,43 @@
+// Synchrony ablation: the paper assumes lock-step rounds "to simplify the
+// discussion". This study quantifies what asynchrony costs/saves — sweeps
+// until quiescence under randomized schedules vs synchronous rounds — and
+// compares the two message-cost models of the synchronous kernel
+// (broadcast-every-round vs announce-on-change).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh2d.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace ocp::analysis {
+
+struct AsyncStudyConfig {
+  std::int32_t n = 100;
+  std::vector<std::int32_t> fault_counts;
+  std::size_t trials = 50;
+  std::uint64_t seed = 97;
+};
+
+struct AsyncStudyRow {
+  std::int32_t f = 0;
+  /// Phase-one convergence: synchronous rounds vs asynchronous sweeps.
+  stats::Summary sync_rounds;
+  stats::Summary async_sweeps;
+  /// Messages per node: broadcast model vs event-driven model (both phases).
+  stats::Summary msgs_broadcast_per_node;
+  stats::Summary msgs_event_per_node;
+  /// Sanity counter: fraction (%) of trials whose async fixpoint equaled
+  /// the synchronous one (must be 100).
+  stats::Summary fixpoint_match_pct;
+};
+
+[[nodiscard]] std::vector<AsyncStudyRow> run_async_study(
+    const AsyncStudyConfig& config);
+
+[[nodiscard]] stats::Table async_study_table(
+    const std::vector<AsyncStudyRow>& rows);
+
+}  // namespace ocp::analysis

@@ -1,0 +1,44 @@
+// Structural statistics of faulty blocks and disabled regions: size and
+// diameter distributions across fault densities. Backs the paper's
+// section-5 explanation that "a random distribution tends to generate a set
+// of small faulty blocks and nonfaulty nodes in small blocks are easy to be
+// enabled".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh2d.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace ocp::analysis {
+
+struct BlockStatsConfig {
+  std::int32_t n = 100;
+  std::vector<std::int32_t> fault_counts;
+  std::size_t trials = 100;
+  std::uint64_t seed = 17;
+};
+
+struct BlockStatsRow {
+  std::int32_t f = 0;
+  stats::Summary block_size;
+  stats::Summary block_diameter;
+  stats::Summary region_size;
+  /// Fraction (%) of blocks that are singletons (one faulty node).
+  stats::Summary singleton_pct;
+  /// Fraction (%) of blocks containing more than one fault.
+  stats::Summary multi_fault_pct;
+  /// Block-size distribution pooled over trials (buckets of 1, up to 32).
+  stats::Histogram size_hist{0.5, 32.5, 32};
+};
+
+[[nodiscard]] std::vector<BlockStatsRow> run_block_stats(
+    const BlockStatsConfig& config);
+
+[[nodiscard]] stats::Table block_stats_table(
+    const std::vector<BlockStatsRow>& rows);
+
+}  // namespace ocp::analysis

@@ -1,0 +1,65 @@
+// The paper's simulation study (section 5, Figure 5).
+//
+// For an n x n machine and each fault count f, sample f uniform random
+// faults, run both labeling phases with the distributed engine, and record
+//  * the number of rounds to form the faulty blocks (Fig 5 a/b), and to
+//    form the disabled regions afterwards,
+//  * the percentage of enabled nodes among unsafe-but-nonfaulty nodes of
+//    each reducible faulty block (Fig 5 c/d),
+// averaged over `trials` independent fault patterns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "mesh/mesh2d.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace ocp::analysis {
+
+struct Fig5Config {
+  std::int32_t n = 100;
+  mesh::Topology topology = mesh::Topology::Mesh;
+  labeling::SafeUnsafeDef definition = labeling::SafeUnsafeDef::Def2b;
+  /// Fault counts to sweep (the paper uses 0..100 on a 100x100 mesh).
+  std::vector<std::int32_t> fault_counts;
+  std::size_t trials = 200;
+  std::uint64_t seed = 20010423;  // IPPS 2001 :-)
+
+  /// The paper's sweep: f = 0, step, 2*step, ..., 100.
+  [[nodiscard]] static std::vector<std::int32_t> default_fault_counts(
+      std::int32_t step = 5, std::int32_t max_f = 100);
+};
+
+/// Aggregates for one fault count.
+struct Fig5Row {
+  std::int32_t f = 0;
+  /// Rounds to quiesce, phase one (faulty blocks) / phase two (disabled
+  /// regions), one sample per trial — the paper's "maximum number of rounds
+  /// needed to determine" each region family.
+  stats::Summary rounds_blocks;
+  stats::Summary rounds_regions;
+  /// Per-block enabled percentage among unsafe-but-nonfaulty nodes, averaged
+  /// within each trial over blocks that have at least one such node
+  /// (Fig 5 c/d). One sample per trial that has any reducible block.
+  stats::Summary enabled_ratio_per_block;
+  /// Pooled percentage: total enabled / total unsafe-nonfaulty per trial.
+  stats::Summary enabled_ratio_pooled;
+  /// Structural context: block/region counts and the largest block diameter.
+  stats::Summary block_count;
+  stats::Summary region_count;
+  stats::Summary max_block_diameter;
+  /// Messages per node under the event-driven refinement (both phases).
+  stats::Summary messages_per_node;
+};
+
+/// Runs the sweep. Deterministic for a fixed config (per-trial seeds are
+/// derived from config.seed).
+[[nodiscard]] std::vector<Fig5Row> run_fig5(const Fig5Config& config);
+
+/// Renders rows as the printable table the bench binary emits.
+[[nodiscard]] stats::Table fig5_table(const std::vector<Fig5Row>& rows);
+
+}  // namespace ocp::analysis

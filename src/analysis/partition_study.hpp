@@ -1,0 +1,51 @@
+// Study of the paper's open problem: how much does partitioning disabled
+// regions into several orthogonal convex polygons improve on the one-region
+// cover, and how close does the greedy heuristic get to the exhaustive
+// optimum?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh2d.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace ocp::analysis {
+
+struct PartitionStudyConfig {
+  std::int32_t n = 100;
+  std::vector<std::int32_t> fault_counts;
+  std::size_t trials = 100;
+  /// Exhaustive search only for regions with at most this many faults.
+  std::size_t exhaustive_limit = 9;
+  /// When true, faults arrive in random-walk clusters of `cluster_size`
+  /// (fault_counts then counts clusters x cluster_size approximately);
+  /// clustered faults produce the large irregular regions where
+  /// partitioning actually pays off.
+  bool clustered = false;
+  std::size_t cluster_size = 8;
+  std::uint64_t seed = 31;
+};
+
+struct PartitionStudyRow {
+  std::int32_t f = 0;
+  /// Nonfaulty cells per machine under each cover strategy.
+  stats::Summary nonfaulty_regions;     // disabled regions as-is
+  stats::Summary nonfaulty_separated;   // greedy gap cover (Separated rule)
+  stats::Summary nonfaulty_touching;    // greedy cut cover (Touching rule)
+  stats::Summary nonfaulty_optimal;     // exhaustive Touching where feasible
+  /// Polygons per machine for the region model and the touching cover.
+  stats::Summary polygons_regions;
+  stats::Summary polygons_touching;
+  /// Fraction (%) of regions the Touching rule managed to split further.
+  stats::Summary regions_split_pct;
+};
+
+[[nodiscard]] std::vector<PartitionStudyRow> run_partition_study(
+    const PartitionStudyConfig& config);
+
+[[nodiscard]] stats::Table partition_study_table(
+    const std::vector<PartitionStudyRow>& rows);
+
+}  // namespace ocp::analysis

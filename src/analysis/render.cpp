@@ -1,0 +1,51 @@
+#include "analysis/render.hpp"
+
+namespace ocp::analysis {
+
+std::string render_labeling(const grid::CellSet& faults,
+                            const labeling::PipelineResult& result) {
+  const mesh::Mesh2D& m = faults.topology();
+  std::string out;
+  out.reserve(static_cast<std::size_t>(m.node_count()) +
+              static_cast<std::size_t>(m.height()));
+  for (std::int32_t y = m.height() - 1; y >= 0; --y) {
+    for (std::int32_t x = 0; x < m.width(); ++x) {
+      const mesh::Coord c{x, y};
+      char glyph = '.';
+      if (faults.contains(c)) {
+        glyph = 'X';
+      } else if (result.activation[c] == labeling::Activation::Disabled) {
+        glyph = 'd';
+      } else if (result.safety[c] == labeling::Safety::Unsafe) {
+        glyph = 'e';
+      }
+      out += glyph;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_safety(const grid::CellSet& faults,
+                          const grid::NodeGrid<labeling::Safety>& safety) {
+  const mesh::Mesh2D& m = faults.topology();
+  std::string out;
+  out.reserve(static_cast<std::size_t>(m.node_count()) +
+              static_cast<std::size_t>(m.height()));
+  for (std::int32_t y = m.height() - 1; y >= 0; --y) {
+    for (std::int32_t x = 0; x < m.width(); ++x) {
+      const mesh::Coord c{x, y};
+      char glyph = '.';
+      if (faults.contains(c)) {
+        glyph = 'X';
+      } else if (safety[c] == labeling::Safety::Unsafe) {
+        glyph = 'u';
+      }
+      out += glyph;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ocp::analysis

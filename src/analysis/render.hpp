@@ -1,0 +1,22 @@
+// ASCII rendering of labeled machines, for examples and debugging.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "grid/cell_set.hpp"
+
+namespace ocp::analysis {
+
+/// One character per node, top row = highest y:
+///   'X' faulty, 'd' nonfaulty but disabled, 'e' unsafe but enabled
+///   (the nodes phase two won back), '.' safe.
+[[nodiscard]] std::string render_labeling(
+    const grid::CellSet& faults, const labeling::PipelineResult& result);
+
+/// Renders only the safety labeling: 'X' faulty, 'u' unsafe nonfaulty,
+/// '.' safe.
+[[nodiscard]] std::string render_safety(const grid::CellSet& faults,
+                                        const grid::NodeGrid<labeling::Safety>& safety);
+
+}  // namespace ocp::analysis

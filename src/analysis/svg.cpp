@@ -1,0 +1,101 @@
+#include "analysis/svg.hpp"
+
+#include <sstream>
+
+namespace ocp::analysis {
+
+namespace {
+
+/// Pixel center of a cell (y flipped: row 0 at the bottom).
+struct PixelMapper {
+  const mesh::Mesh2D& m;
+  int cell;
+
+  [[nodiscard]] int x(mesh::Coord c) const { return c.x * cell; }
+  [[nodiscard]] int y(mesh::Coord c) const {
+    return (m.height() - 1 - c.y) * cell;
+  }
+  [[nodiscard]] double cx(mesh::Coord c) const { return x(c) + cell / 2.0; }
+  [[nodiscard]] double cy(mesh::Coord c) const { return y(c) + cell / 2.0; }
+};
+
+void open_svg(std::ostringstream& os, const mesh::Mesh2D& m,
+              const SvgStyle& style) {
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << m.width() * style.cell_px << "\" height=\""
+     << m.height() * style.cell_px << "\" viewBox=\"0 0 "
+     << m.width() * style.cell_px << " " << m.height() * style.cell_px
+     << "\">\n";
+}
+
+void emit_cells(std::ostringstream& os, const grid::CellSet& faults,
+                const labeling::PipelineResult& result,
+                const SvgStyle& style) {
+  const mesh::Mesh2D& m = faults.topology();
+  const PixelMapper px{m, style.cell_px};
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count());
+       ++i) {
+    const mesh::Coord c = m.coord(i);
+    const std::string* fill = &style.safe;
+    if (faults.contains(c)) {
+      fill = &style.faulty;
+    } else if (result.activation[c] == labeling::Activation::Disabled) {
+      fill = &style.disabled_nonfaulty;
+    } else if (result.safety[c] == labeling::Safety::Unsafe) {
+      fill = &style.enabled_unsafe;
+    }
+    os << "  <rect x=\"" << px.x(c) << "\" y=\"" << px.y(c) << "\" width=\""
+       << style.cell_px << "\" height=\"" << style.cell_px << "\" fill=\""
+       << *fill << "\" stroke=\"" << style.grid_line
+       << "\" stroke-width=\"1\"/>\n";
+  }
+}
+
+}  // namespace
+
+std::string render_labeling_svg(const grid::CellSet& faults,
+                                const labeling::PipelineResult& result,
+                                const SvgStyle& style) {
+  std::ostringstream os;
+  open_svg(os, faults.topology(), style);
+  emit_cells(os, faults, result, style);
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string render_route_svg(const grid::CellSet& faults,
+                             const labeling::PipelineResult& result,
+                             const routing::Route& route,
+                             const SvgStyle& style) {
+  std::ostringstream os;
+  const mesh::Mesh2D& m = faults.topology();
+  const PixelMapper px{m, style.cell_px};
+  open_svg(os, m, style);
+  emit_cells(os, faults, result, style);
+
+  // Hop segments, colored by phase. Seam-crossing torus hops are skipped
+  // (they would smear across the whole image).
+  for (std::size_t h = 0; h + 1 < route.path.size(); ++h) {
+    const mesh::Coord a = route.path[h];
+    const mesh::Coord b = route.path[h + 1];
+    if (mesh::manhattan(a, b) != 1) continue;  // wrap hop
+    const std::string& color =
+        route.phase[h] == 0 ? style.route : style.detour;
+    os << "  <line x1=\"" << px.cx(a) << "\" y1=\"" << px.cy(a)
+       << "\" x2=\"" << px.cx(b) << "\" y2=\"" << px.cy(b) << "\" stroke=\""
+       << color << "\" stroke-width=\"" << style.cell_px / 4.0
+       << "\" stroke-linecap=\"round\"/>\n";
+  }
+  if (!route.path.empty()) {
+    os << "  <circle cx=\"" << px.cx(route.path.front()) << "\" cy=\""
+       << px.cy(route.path.front()) << "\" r=\"" << style.cell_px / 3.0
+       << "\" fill=\"" << style.route << "\"/>\n";
+    os << "  <circle cx=\"" << px.cx(route.path.back()) << "\" cy=\""
+       << px.cy(route.path.back()) << "\" r=\"" << style.cell_px / 3.0
+       << "\" fill=\"" << style.detour << "\"/>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace ocp::analysis

@@ -1,0 +1,37 @@
+// SVG rendering of labeled machines and routes — publication-quality
+// companions to the ASCII renders.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "routing/router.hpp"
+
+namespace ocp::analysis {
+
+/// Appearance knobs for the SVG renders.
+struct SvgStyle {
+  int cell_px = 16;
+  std::string faulty = "#1f2430";            // near-black
+  std::string disabled_nonfaulty = "#c65b4e";  // red: sacrificed
+  std::string enabled_unsafe = "#68a357";      // green: won back
+  std::string safe = "#e9e4da";                // background
+  std::string grid_line = "#ffffff";
+  std::string route = "#2b6cb0";
+  std::string detour = "#b7791f";
+};
+
+/// One rect per node, colored by its final status (faulty / still disabled
+/// / re-enabled / safe). y is flipped so row 0 is at the bottom, matching
+/// the coordinate convention.
+[[nodiscard]] std::string render_labeling_svg(
+    const grid::CellSet& faults, const labeling::PipelineResult& result,
+    const SvgStyle& style = {});
+
+/// The labeling plus one route drawn as a polyline (dimension-order hops in
+/// the route color, detour hops in the detour color).
+[[nodiscard]] std::string render_route_svg(
+    const grid::CellSet& faults, const labeling::PipelineResult& result,
+    const routing::Route& route, const SvgStyle& style = {});
+
+}  // namespace ocp::analysis

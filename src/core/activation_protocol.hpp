@@ -1,0 +1,90 @@
+// Phase two: distributed enabled/disabled labeling (Definition 3, Wu's rule).
+//
+//   all unsafe nodes are initialized to disabled;
+//   all safe nodes are initialized to enabled;
+//   repeat
+//     doall (1) nonfaulty but unsafe node u exchanges its status with its
+//               neighbors;
+//           (2) change u's status to enabled if it has two or more enabled
+//               neighbors
+//     odall
+//   until there is no status change
+//
+// The transition is monotone (disabled -> enabled only) and starts from the
+// all-disabled side, which resolves the double-status ambiguity of a
+// recursive definition (paper, Figure 2): a nonfaulty pocket that could
+// consistently be either all-enabled or all-disabled stays disabled unless
+// actual enabled support reaches it from outside the block.
+#pragma once
+
+#include "core/status.hpp"
+#include "grid/cell_set.hpp"
+#include "grid/node_grid.hpp"
+#include "simkernel/protocol.hpp"
+
+namespace ocp::labeling {
+
+/// Node-local protocol for the simkernel runners. Consumes the phase-one
+/// safety labeling (by const reference; it must outlive the run).
+class ActivationProtocol {
+ public:
+  struct State {
+    Health health = Health::Nonfaulty;
+    Safety safety = Safety::Safe;
+    Activation activation = Activation::Enabled;
+
+    friend constexpr bool operator==(const State&, const State&) = default;
+  };
+  using Message = Activation;
+
+  ActivationProtocol(const grid::CellSet& faults,
+                     const grid::NodeGrid<Safety>& safety)
+      : faults_(&faults), safety_(&safety) {}
+
+  [[nodiscard]] State init(mesh::Coord c) const {
+    State s;
+    s.health = faults_->contains(c) ? Health::Faulty : Health::Nonfaulty;
+    s.safety = (*safety_)[c];
+    // Faulty -> disabled; safe -> enabled; unsafe nonfaulty starts disabled
+    // and may be activated by the update rule.
+    s.activation = s.safety == Safety::Unsafe ? Activation::Disabled
+                                              : Activation::Enabled;
+    return s;
+  }
+
+  [[nodiscard]] Message announce(const State& s) const noexcept {
+    return s.activation;
+  }
+
+  /// Ghost nodes are safe and hence enabled (they are excluded from routing
+  /// elsewhere; for labeling they only provide boundary support).
+  [[nodiscard]] Message ghost_message() const noexcept {
+    return Activation::Enabled;
+  }
+
+  /// Only nonfaulty-but-unsafe nodes run the update rule.
+  [[nodiscard]] bool participates(const State& s) const noexcept {
+    return s.health == Health::Nonfaulty && s.safety == Safety::Unsafe;
+  }
+
+  [[nodiscard]] bool update(State& s, const sim::Inbox<Message>& inbox) const {
+    if (s.activation == Activation::Enabled) return false;  // monotone
+    int enabled_neighbors = 0;
+    for (mesh::Dir d : mesh::kAllDirs) {
+      if (inbox[d] == Activation::Enabled) ++enabled_neighbors;
+    }
+    if (enabled_neighbors >= 2) {
+      s.activation = Activation::Enabled;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const grid::CellSet* faults_;          // non-owning
+  const grid::NodeGrid<Safety>* safety_;  // non-owning
+};
+
+static_assert(sim::SyncProtocol<ActivationProtocol>);
+
+}  // namespace ocp::labeling

@@ -1,0 +1,91 @@
+#include "core/maintenance.hpp"
+
+#include <queue>
+
+#include "core/reference.hpp"
+
+namespace ocp::labeling {
+
+namespace {
+
+Safety safety_at(const grid::NodeGrid<Safety>& g, mesh::Coord c) {
+  const mesh::Mesh2D& m = g.topology();
+  if (m.contains(c)) return g[c];
+  if (m.is_torus()) return g[m.wrap(c)];
+  return Safety::Safe;  // ghost
+}
+
+}  // namespace
+
+MaintainedLabeling::MaintainedLabeling(grid::CellSet faults,
+                                       SafeUnsafeDef def)
+    : def_(def),
+      faults_(std::move(faults)),
+      safety_(reference_safety(faults_, def)),
+      activation_(reference_activation(faults_, safety_)) {
+  refresh_regions();
+}
+
+std::size_t MaintainedLabeling::add_fault(mesh::Coord node) {
+  const mesh::Mesh2D& m = faults_.topology();
+  if (!m.contains(node) || faults_.contains(node)) return 0;
+  faults_.insert(node);
+
+  // Incremental phase one: the rule is monotone in the fault set, so
+  // resuming the worklist from the new unsafe node reaches the fixpoint of
+  // the enlarged instance. This mirrors what the distributed system does —
+  // only the neighborhood of the new fault exchanges messages.
+  std::size_t changed = 0;
+  std::queue<mesh::Coord> worklist;
+  if (safety_[node] != Safety::Unsafe) {
+    safety_[node] = Safety::Unsafe;
+    ++changed;
+  }
+  worklist.push(node);
+
+  const auto rule_fires = [&](mesh::Coord c) {
+    if (def_ == SafeUnsafeDef::Def2a) {
+      int unsafe_neighbors = 0;
+      for (mesh::Dir d : mesh::kAllDirs) {
+        if (safety_at(safety_, c.step(d)) == Safety::Unsafe) {
+          ++unsafe_neighbors;
+        }
+      }
+      return unsafe_neighbors >= 2;
+    }
+    const bool ux =
+        safety_at(safety_, c.step(mesh::Dir::East)) == Safety::Unsafe ||
+        safety_at(safety_, c.step(mesh::Dir::West)) == Safety::Unsafe;
+    const bool uy =
+        safety_at(safety_, c.step(mesh::Dir::North)) == Safety::Unsafe ||
+        safety_at(safety_, c.step(mesh::Dir::South)) == Safety::Unsafe;
+    return ux && uy;
+  };
+
+  while (!worklist.empty()) {
+    const mesh::Coord u = worklist.front();
+    worklist.pop();
+    for (const mesh::Link& l : m.neighbors(u)) {
+      if (safety_[l.to] == Safety::Unsafe || faults_.contains(l.to)) continue;
+      if (rule_fires(l.to)) {
+        safety_[l.to] = Safety::Unsafe;
+        ++changed;
+        worklist.push(l.to);
+      }
+    }
+  }
+
+  // Phase two is not monotone in the fault set: re-derive it from the new
+  // safety labeling. (The reference solver is O(N); a distributed system
+  // would rerun Definition 3 inside the affected blocks only.)
+  activation_ = reference_activation(faults_, safety_);
+  refresh_regions();
+  return changed;
+}
+
+void MaintainedLabeling::refresh_regions() {
+  blocks_ = extract_faulty_blocks(faults_, safety_);
+  regions_ = extract_disabled_regions(faults_, activation_, blocks_);
+}
+
+}  // namespace ocp::labeling

@@ -1,0 +1,59 @@
+// Online maintenance of the fault model (paper, section 1: faulty blocks
+// "can be easily established and maintained through message exchanges among
+// neighboring nodes").
+//
+// When a node fails at runtime, the labeling does not have to be recomputed
+// from scratch: the safe/unsafe rule is monotone in the fault set, so the
+// new fixpoint is reached by resuming the worklist from the new fault — the
+// distributed system would do exactly this with a handful of local message
+// exchanges. The enabled/disabled labeling is *not* monotone in the fault
+// set (a new fault can strip the support that activated a neighbor, and a
+// node once enabled must be re-validated), so phase two is re-derived for
+// the affected part of the machine.
+#pragma once
+
+#include "core/pipeline.hpp"
+
+namespace ocp::labeling {
+
+/// A labeled machine that absorbs fault events incrementally.
+class MaintainedLabeling {
+ public:
+  /// Labels the initial fault set.
+  explicit MaintainedLabeling(grid::CellSet faults,
+                              SafeUnsafeDef def = SafeUnsafeDef::Def2b);
+
+  /// Marks `node` faulty and restores both labelings and the region lists.
+  /// No-op when the node is already faulty. Returns the number of nodes
+  /// whose safety status changed (0 when the new fault was already unsafe
+  /// and triggered nothing).
+  std::size_t add_fault(mesh::Coord node);
+
+  [[nodiscard]] const grid::CellSet& faults() const noexcept {
+    return faults_;
+  }
+  [[nodiscard]] const grid::NodeGrid<Safety>& safety() const noexcept {
+    return safety_;
+  }
+  [[nodiscard]] const grid::NodeGrid<Activation>& activation() const noexcept {
+    return activation_;
+  }
+  [[nodiscard]] const std::vector<FaultyBlock>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] const std::vector<DisabledRegion>& regions() const noexcept {
+    return regions_;
+  }
+
+ private:
+  void refresh_regions();
+
+  SafeUnsafeDef def_;
+  grid::CellSet faults_;
+  grid::NodeGrid<Safety> safety_;
+  grid::NodeGrid<Activation> activation_;
+  std::vector<FaultyBlock> blocks_;
+  std::vector<DisabledRegion> regions_;
+};
+
+}  // namespace ocp::labeling

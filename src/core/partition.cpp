@@ -1,0 +1,333 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <unordered_map>
+
+#include "geometry/convexity.hpp"
+
+namespace ocp::labeling {
+
+namespace {
+
+/// Minimum Chebyshev distance between two cell sets; < 2 means 8-adjacent
+/// or overlapping, 0 means overlapping only when cells coincide.
+std::int32_t chebyshev_distance(const geom::Region& a, const geom::Region& b) {
+  std::int32_t best = std::numeric_limits<std::int32_t>::max();
+  for (mesh::Coord u : a.cells()) {
+    for (mesh::Coord v : b.cells()) {
+      best = std::min(best, std::max(std::abs(u.x - v.x),
+                                     std::abs(u.y - v.y)));
+    }
+  }
+  return best;
+}
+
+bool overlaps(const geom::Region& a, const geom::Region& b) {
+  const geom::Region& small = a.size() <= b.size() ? a : b;
+  const geom::Region& large = a.size() <= b.size() ? b : a;
+  return std::any_of(small.cells().begin(), small.cells().end(),
+                     [&](mesh::Coord c) { return large.contains(c); });
+}
+
+/// Pairwise arrangement constraint of a cover rule.
+bool pair_ok(const geom::Region& a, const geom::Region& b, CoverRule rule) {
+  if (rule == CoverRule::Separated) return chebyshev_distance(a, b) >= 2;
+  return !overlaps(a, b);
+}
+
+/// Splits a region into its 8-connected components. Components of an
+/// orthogonal convex set are orthogonal convex (a row/column run cannot
+/// span two components) and pairwise non-8-adjacent by maximality.
+std::vector<geom::Region> eight_connected_components(const geom::Region& r) {
+  std::vector<geom::Region> out;
+  std::vector<std::uint8_t> assigned(r.size(), 0);
+  const auto cells = r.cells();
+  for (std::size_t seed = 0; seed < cells.size(); ++seed) {
+    if (assigned[seed]) continue;
+    std::vector<mesh::Coord> component;
+    std::vector<std::size_t> frontier{seed};
+    assigned[seed] = 1;
+    while (!frontier.empty()) {
+      const std::size_t i = frontier.back();
+      frontier.pop_back();
+      component.push_back(cells[i]);
+      for (std::size_t j = 0; j < cells.size(); ++j) {
+        if (assigned[j]) continue;
+        if (std::max(std::abs(cells[i].x - cells[j].x),
+                     std::abs(cells[i].y - cells[j].y)) <= 1) {
+          assigned[j] = 1;
+          frontier.push_back(j);
+        }
+      }
+    }
+    out.emplace_back(std::move(component));
+  }
+  return out;
+}
+
+/// Fault subset selected by a bitmask over the faults' row-major order.
+geom::Region subset(const geom::Region& faults, std::uint64_t mask) {
+  std::vector<mesh::Coord> cells;
+  const auto all = faults.cells();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (mask & (std::uint64_t{1} << i)) cells.push_back(all[i]);
+  }
+  return geom::Region(std::move(cells));
+}
+
+}  // namespace
+
+const char* to_string(CoverRule rule) noexcept {
+  return rule == CoverRule::Separated ? "separated" : "touching";
+}
+
+bool is_valid_cover(const geom::Region& faults,
+                    const std::vector<geom::Region>& polygons,
+                    CoverRule rule) {
+  for (mesh::Coord f : faults.cells()) {
+    const bool covered =
+        std::any_of(polygons.begin(), polygons.end(),
+                    [&](const geom::Region& p) { return p.contains(f); });
+    if (!covered) return false;
+  }
+  for (const geom::Region& p : polygons) {
+    if (!geom::is_orthogonal_convex_polygon(p, geom::Connectivity::Eight)) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < polygons.size(); ++i) {
+    for (std::size_t j = i + 1; j < polygons.size(); ++j) {
+      if (!pair_ok(polygons[i], polygons[j], rule)) return false;
+    }
+  }
+  return true;
+}
+
+PolygonCover closure_cover(const geom::Region& faults) {
+  PolygonCover cover;
+  if (faults.empty()) return cover;
+  std::size_t cells = 0;
+  for (auto& component : eight_connected_components(
+           geom::rectilinear_convex_closure(faults))) {
+    cells += component.size();
+    cover.polygons.push_back(std::move(component));
+  }
+  cover.nonfaulty_cells = cells - faults.size();
+  return cover;
+}
+
+PolygonCover optimal_cover_exhaustive(const geom::Region& faults,
+                                      CoverRule rule,
+                                      std::size_t max_faults) {
+  const std::size_t f = faults.size();
+  if (f == 0) return {};
+  if (f > max_faults || f > 20) {
+    return rule == CoverRule::Separated ? greedy_gap_cover(faults)
+                                        : greedy_cut_cover(faults);
+  }
+
+  // Memoized closure per fault subset.
+  std::unordered_map<std::uint64_t, geom::Region> closures;
+  const auto closure_of = [&](std::uint64_t mask) -> const geom::Region& {
+    auto it = closures.find(mask);
+    if (it == closures.end()) {
+      it = closures
+               .emplace(mask,
+                        geom::rectilinear_convex_closure(subset(faults, mask)))
+               .first;
+    }
+    return it->second;
+  };
+
+  PolygonCover best = closure_cover(faults);
+
+  // Enumerate set partitions with restricted-growth strings: fault i joins
+  // one of the groups used so far or opens a new one.
+  std::vector<std::uint64_t> groups;  // bitmask per group
+  const auto recurse = [&](auto&& self, std::size_t i) -> void {
+    if (i == f) {
+      std::vector<geom::Region> polys;
+      std::size_t cells = 0;
+      polys.reserve(groups.size());
+      for (std::uint64_t mask : groups) {
+        const geom::Region& closure = closure_of(mask);
+        // A part whose closure splits into several pieces is covered by an
+        // equivalent finer partition that this enumeration also visits.
+        if (!closure.is_connected(geom::Connectivity::Eight)) return;
+        polys.push_back(closure);
+        cells += polys.back().size();
+      }
+      const std::size_t nonfaulty = cells - f;
+      if (nonfaulty >= best.nonfaulty_cells) return;  // not an improvement
+      for (std::size_t a = 0; a < polys.size(); ++a) {
+        for (std::size_t b = a + 1; b < polys.size(); ++b) {
+          if (!pair_ok(polys[a], polys[b], rule)) return;
+        }
+      }
+      best.polygons = std::move(polys);
+      best.nonfaulty_cells = nonfaulty;
+      return;
+    }
+    const std::uint64_t bit = std::uint64_t{1} << i;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      groups[g] |= bit;
+      self(self, i + 1);
+      groups[g] &= ~bit;
+    }
+    groups.push_back(bit);
+    self(self, i + 1);
+    groups.pop_back();
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+namespace {
+
+/// Splits `faults` at the first empty line (column or row strictly inside
+/// the bounding box with no fault on it). Returns true and fills lo/hi when
+/// a split exists.
+bool split_at_empty_line(const geom::Region& faults, geom::Region& lo,
+                         geom::Region& hi) {
+  if (faults.size() < 2) return false;
+  const geom::Rect box = faults.bounding_box();
+
+  for (std::int32_t x = box.lo.x + 1; x < box.hi.x; ++x) {
+    const bool occupied = std::any_of(
+        faults.cells().begin(), faults.cells().end(),
+        [&](mesh::Coord c) { return c.x == x; });
+    if (!occupied) {
+      std::vector<mesh::Coord> left;
+      std::vector<mesh::Coord> right;
+      for (mesh::Coord c : faults.cells()) {
+        (c.x < x ? left : right).push_back(c);
+      }
+      lo = geom::Region(std::move(left));
+      hi = geom::Region(std::move(right));
+      return true;
+    }
+  }
+  for (std::int32_t y = box.lo.y + 1; y < box.hi.y; ++y) {
+    const bool occupied = std::any_of(
+        faults.cells().begin(), faults.cells().end(),
+        [&](mesh::Coord c) { return c.y == y; });
+    if (!occupied) {
+      std::vector<mesh::Coord> below;
+      std::vector<mesh::Coord> above;
+      for (mesh::Coord c : faults.cells()) {
+        (c.y < y ? below : above).push_back(c);
+      }
+      lo = geom::Region(std::move(below));
+      hi = geom::Region(std::move(above));
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Closure size of a fault set (0 for empty).
+std::size_t closure_cells(const geom::Region& faults) {
+  if (faults.empty()) return 0;
+  return geom::rectilinear_convex_closure(faults).size();
+}
+
+/// Best axis-aligned cut of `faults` (between adjacent columns or rows)
+/// measured by total closure size of the two halves. Returns true when some
+/// cut strictly beats the uncut closure.
+bool best_cut(const geom::Region& faults, geom::Region& lo, geom::Region& hi) {
+  if (faults.size() < 2) return false;
+  const geom::Rect box = faults.bounding_box();
+  const std::size_t whole = closure_cells(faults);
+  std::size_t best = whole;
+  bool found = false;
+
+  const auto consider = [&](auto splitter) {
+    std::vector<mesh::Coord> a;
+    std::vector<mesh::Coord> b;
+    for (mesh::Coord c : faults.cells()) {
+      (splitter(c) ? a : b).push_back(c);
+    }
+    if (a.empty() || b.empty()) return;
+    geom::Region ra(std::move(a));
+    geom::Region rb(std::move(b));
+    const std::size_t total = closure_cells(ra) + closure_cells(rb);
+    if (total < best) {
+      best = total;
+      lo = std::move(ra);
+      hi = std::move(rb);
+      found = true;
+    }
+  };
+
+  for (std::int32_t x = box.lo.x; x < box.hi.x; ++x) {
+    consider([x](mesh::Coord c) { return c.x <= x; });
+  }
+  for (std::int32_t y = box.lo.y; y < box.hi.y; ++y) {
+    consider([y](mesh::Coord c) { return c.y <= y; });
+  }
+  return found;
+}
+
+}  // namespace
+
+PolygonCover greedy_gap_cover(const geom::Region& faults) {
+  PolygonCover cover;
+  if (faults.empty()) return cover;
+
+  // Work queue of fault clusters still to be placed. A cluster split along
+  // an empty line yields sub-closures at least Chebyshev 2 apart, so every
+  // split is valid under the Separated rule and strictly removes the
+  // closure cells on the split line.
+  std::vector<geom::Region> pending{faults};
+  std::size_t cells = 0;
+  while (!pending.empty()) {
+    geom::Region part = std::move(pending.back());
+    pending.pop_back();
+    geom::Region lo;
+    geom::Region hi;
+    if (split_at_empty_line(part, lo, hi)) {
+      pending.push_back(std::move(lo));
+      pending.push_back(std::move(hi));
+      continue;
+    }
+    for (auto& component : eight_connected_components(
+             geom::rectilinear_convex_closure(part))) {
+      cells += component.size();
+      cover.polygons.push_back(std::move(component));
+    }
+  }
+  cover.nonfaulty_cells = cells - faults.size();
+  return cover;
+}
+
+PolygonCover greedy_cut_cover(const geom::Region& faults) {
+  PolygonCover cover;
+  if (faults.empty()) return cover;
+
+  // Cut halves live in disjoint half-planes, so their closures are
+  // disjoint — valid under the Touching rule by construction.
+  std::vector<geom::Region> pending{faults};
+  std::size_t cells = 0;
+  while (!pending.empty()) {
+    geom::Region part = std::move(pending.back());
+    pending.pop_back();
+    geom::Region lo;
+    geom::Region hi;
+    if (best_cut(part, lo, hi)) {
+      pending.push_back(std::move(lo));
+      pending.push_back(std::move(hi));
+      continue;
+    }
+    for (auto& component : eight_connected_components(
+             geom::rectilinear_convex_closure(part))) {
+      cells += component.size();
+      cover.polygons.push_back(std::move(component));
+    }
+  }
+  cover.nonfaulty_cells = cells - faults.size();
+  return cover;
+}
+
+}  // namespace ocp::labeling

@@ -1,0 +1,86 @@
+// The paper's open problem (section 4): "For a given faulty block, find a
+// set of orthogonal convex polygons that covers all the faults in the block
+// and contains a minimum number of nonfaulty nodes." The optimal version is
+// conjectured NP-complete [Chen, private communication in the paper]; the
+// paper notes that disabled regions like Figures 1 (c)/(d) can sometimes be
+// partitioned further, removing more nonfaulty nodes.
+//
+// Two notions of a valid multi-polygon cover are supported:
+//
+//  * `CoverRule::Separated` — polygons pairwise non-8-adjacent (Chebyshev
+//    distance >= 2). Each polygon then behaves as an independent fault
+//    region under the labeling and routing rules. Under this rule the
+//    disabled regions produced by the pipeline are already optimal in
+//    practice: the labeling itself performs every separated split.
+//  * `CoverRule::Touching` — polygons merely pairwise disjoint; adjacent
+//    polygons are allowed. This is the reading under which the paper's
+//    "a disabled region can be further partitioned" remark applies: a
+//    zig-zag region can be cut into touching convex pieces that drop all
+//    of its healthy nodes. A router must then treat touching pieces with
+//    region-aware turn rules (Chalasani-Boppana style).
+//
+// Solvers: an exhaustive optimum for small fault sets (set-partition
+// enumeration, Bell-number growth) and greedy heuristics for arbitrary
+// sizes (gap splitting for Separated, best-cut recursion for Touching).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/region.hpp"
+
+namespace ocp::labeling {
+
+/// Which polygon arrangements count as a valid cover.
+enum class CoverRule : std::uint8_t { Separated = 0, Touching = 1 };
+
+[[nodiscard]] const char* to_string(CoverRule rule) noexcept;
+
+/// A cover of a fault set by orthogonal convex polygons.
+struct PolygonCover {
+  std::vector<geom::Region> polygons;
+  /// Total cells across all polygons minus the fault count: the healthy
+  /// nodes the cover sacrifices.
+  std::size_t nonfaulty_cells = 0;
+
+  [[nodiscard]] std::size_t polygon_count() const noexcept {
+    return polygons.size();
+  }
+};
+
+/// True when `polygons` is a valid cover of `faults` under `rule`: every
+/// fault inside some polygon, every polygon a connected (8-conn) orthogonal
+/// convex region, and polygons pairwise separated (Separated) or at least
+/// disjoint (Touching).
+[[nodiscard]] bool is_valid_cover(const geom::Region& faults,
+                                  const std::vector<geom::Region>& polygons,
+                                  CoverRule rule = CoverRule::Separated);
+
+/// The baseline cover: the rectilinear convex closure of the fault set,
+/// split into its 8-connected components. For the faults of one disabled
+/// region the closure is a single polygon (Theorem 2); for scattered fault
+/// sets each component is still orthogonal convex and components are
+/// pairwise non-8-adjacent, so the result is valid under both rules.
+[[nodiscard]] PolygonCover closure_cover(const geom::Region& faults);
+
+/// Exhaustive optimum over all set partitions of the fault cells under
+/// `rule`. Each part is covered by its rectilinear convex closure (the
+/// minimal choice for a fixed part). Cost grows with the Bell number of
+/// |faults|; callers should keep |faults| <= ~10. Larger inputs fall back
+/// to the greedy solver for the same rule.
+[[nodiscard]] PolygonCover optimal_cover_exhaustive(
+    const geom::Region& faults, CoverRule rule = CoverRule::Separated,
+    std::size_t max_faults = 10);
+
+/// Greedy splitter for `CoverRule::Separated`: recursively split fault
+/// clusters along empty rows/columns of their bounding boxes (such splits
+/// are always valid and always remove at least one healthy cell).
+[[nodiscard]] PolygonCover greedy_gap_cover(const geom::Region& faults);
+
+/// Greedy splitter for `CoverRule::Touching`: recursively apply the
+/// axis-aligned cut (between two adjacent rows or columns) that most
+/// reduces the total closure size; stop when no cut helps. Touching pieces
+/// are allowed, so this can cut zig-zag chains the Separated rule cannot.
+[[nodiscard]] PolygonCover greedy_cut_cover(const geom::Region& faults);
+
+}  // namespace ocp::labeling

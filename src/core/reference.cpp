@@ -1,0 +1,122 @@
+#include "core/reference.hpp"
+
+#include <queue>
+
+namespace ocp::labeling {
+
+namespace {
+
+/// Safety of a (possibly out-of-mesh) coordinate: ghost nodes and torus
+/// wraparound are resolved here so the rule code reads like the definitions.
+Safety safety_at(const grid::NodeGrid<Safety>& g, mesh::Coord c) {
+  const mesh::Mesh2D& m = g.topology();
+  if (m.contains(c)) return g[c];
+  if (m.is_torus()) return g[m.wrap(c)];
+  return Safety::Safe;  // ghost
+}
+
+Activation activation_at(const grid::NodeGrid<Activation>& g, mesh::Coord c) {
+  const mesh::Mesh2D& m = g.topology();
+  if (m.contains(c)) return g[c];
+  if (m.is_torus()) return g[m.wrap(c)];
+  return Activation::Enabled;  // ghost
+}
+
+}  // namespace
+
+grid::NodeGrid<Safety> reference_safety(const grid::CellSet& faults,
+                                        SafeUnsafeDef def) {
+  const mesh::Mesh2D& m = faults.topology();
+  grid::NodeGrid<Safety> safety(m, Safety::Safe);
+  std::queue<mesh::Coord> worklist;
+
+  faults.for_each([&](mesh::Coord c) {
+    safety[c] = Safety::Unsafe;
+    worklist.push(c);
+  });
+
+  const auto rule_fires = [&](mesh::Coord c) {
+    if (def == SafeUnsafeDef::Def2a) {
+      int unsafe_neighbors = 0;
+      for (mesh::Dir d : mesh::kAllDirs) {
+        if (safety_at(safety, c.step(d)) == Safety::Unsafe) {
+          ++unsafe_neighbors;
+        }
+      }
+      return unsafe_neighbors >= 2;
+    }
+    const bool ux =
+        safety_at(safety, c.step(mesh::Dir::East)) == Safety::Unsafe ||
+        safety_at(safety, c.step(mesh::Dir::West)) == Safety::Unsafe;
+    const bool uy =
+        safety_at(safety, c.step(mesh::Dir::North)) == Safety::Unsafe ||
+        safety_at(safety, c.step(mesh::Dir::South)) == Safety::Unsafe;
+    return ux && uy;
+  };
+
+  // Chaotic iteration of a monotone rule: revisit the neighbors of every
+  // node that turned unsafe until no rule application fires.
+  while (!worklist.empty()) {
+    const mesh::Coord u = worklist.front();
+    worklist.pop();
+    for (const mesh::Link& l : m.neighbors(u)) {
+      if (safety[l.to] == Safety::Unsafe || faults.contains(l.to)) continue;
+      if (rule_fires(l.to)) {
+        safety[l.to] = Safety::Unsafe;
+        worklist.push(l.to);
+      }
+    }
+  }
+  return safety;
+}
+
+grid::NodeGrid<Activation> reference_activation(
+    const grid::CellSet& faults, const grid::NodeGrid<Safety>& safety) {
+  const mesh::Mesh2D& m = faults.topology();
+  grid::NodeGrid<Activation> act(m, Activation::Enabled);
+  std::queue<mesh::Coord> worklist;
+
+  // Initialization: unsafe -> disabled (faulty nodes are unsafe and stay
+  // disabled forever); safe -> enabled.
+  for (std::size_t i = 0; i < act.size(); ++i) {
+    if (safety.at_index(i) == Safety::Unsafe) {
+      act.at_index(i) = Activation::Disabled;
+    }
+  }
+
+  const auto can_enable = [&](mesh::Coord c) {
+    if (faults.contains(c)) return false;
+    if (safety[c] == Safety::Safe) return false;       // already enabled
+    if (act[c] == Activation::Enabled) return false;   // monotone
+    int enabled_neighbors = 0;
+    for (mesh::Dir d : mesh::kAllDirs) {
+      if (activation_at(act, c.step(d)) == Activation::Enabled) {
+        ++enabled_neighbors;
+      }
+    }
+    return enabled_neighbors >= 2;
+  };
+
+  // Seed: every disabled nonfaulty node adjacent to the enabled sea may fire
+  // immediately.
+  for (std::size_t i = 0; i < act.size(); ++i) {
+    const mesh::Coord c = m.coord(i);
+    if (can_enable(c)) {
+      act[c] = Activation::Enabled;
+      worklist.push(c);
+    }
+  }
+  while (!worklist.empty()) {
+    const mesh::Coord u = worklist.front();
+    worklist.pop();
+    for (const mesh::Link& l : m.neighbors(u)) {
+      if (can_enable(l.to)) {
+        act[l.to] = Activation::Enabled;
+        worklist.push(l.to);
+      }
+    }
+  }
+  return act;
+}
+
+}  // namespace ocp::labeling

@@ -1,0 +1,24 @@
+// Sequential reference implementations of the two labeling fixpoints.
+//
+// These compute the same labelings as the distributed protocols via a
+// centralized worklist, in O(N) per phase. They exist to cross-validate the
+// simkernel runners (tests assert equality on random instances) and as the
+// fast path for large Monte-Carlo sweeps that only need the final labels,
+// not round counts.
+#pragma once
+
+#include "core/status.hpp"
+#include "grid/cell_set.hpp"
+#include "grid/node_grid.hpp"
+
+namespace ocp::labeling {
+
+/// Safe/unsafe fixpoint of Definition 2a or 2b for the given fault set.
+[[nodiscard]] grid::NodeGrid<Safety> reference_safety(
+    const grid::CellSet& faults, SafeUnsafeDef def);
+
+/// Enabled/disabled fixpoint of Definition 3 on top of a safety labeling.
+[[nodiscard]] grid::NodeGrid<Activation> reference_activation(
+    const grid::CellSet& faults, const grid::NodeGrid<Safety>& safety);
+
+}  // namespace ocp::labeling

@@ -1,0 +1,88 @@
+#include "core/regions.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ocp::labeling {
+
+grid::CellSet unsafe_cells(const grid::NodeGrid<Safety>& safety) {
+  const mesh::Mesh2D& m = safety.topology();
+  grid::CellSet out(m);
+  for (std::size_t i = 0; i < safety.size(); ++i) {
+    if (safety.at_index(i) == Safety::Unsafe) out.insert(m.coord(i));
+  }
+  return out;
+}
+
+grid::CellSet disabled_cells(const grid::NodeGrid<Activation>& activation) {
+  const mesh::Mesh2D& m = activation.topology();
+  grid::CellSet out(m);
+  for (std::size_t i = 0; i < activation.size(); ++i) {
+    if (activation.at_index(i) == Activation::Disabled) {
+      out.insert(m.coord(i));
+    }
+  }
+  return out;
+}
+
+std::vector<FaultyBlock> extract_faulty_blocks(
+    const grid::CellSet& faults, const grid::NodeGrid<Safety>& safety) {
+  std::vector<FaultyBlock> out;
+  for (auto& comp :
+       grid::connected_components(unsafe_cells(safety),
+                                  grid::Connectivity::Four)) {
+    FaultyBlock block;
+    for (mesh::Coord cell : comp.mesh_cells) {
+      if (faults.contains(cell)) {
+        ++block.fault_count;
+      } else {
+        ++block.unsafe_nonfaulty_count;
+      }
+    }
+    block.component = std::move(comp);
+    out.push_back(std::move(block));
+  }
+  return out;
+}
+
+std::vector<DisabledRegion> extract_disabled_regions(
+    const grid::CellSet& faults, const grid::NodeGrid<Activation>& activation,
+    const std::vector<FaultyBlock>& blocks) {
+  const mesh::Mesh2D& m = activation.topology();
+
+  // Parent lookup: block id per unsafe cell.
+  grid::NodeGrid<std::int32_t> block_id(m, -1);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (mesh::Coord cell : blocks[b].component.mesh_cells) {
+      block_id[cell] = static_cast<std::int32_t>(b);
+    }
+  }
+
+  std::vector<DisabledRegion> out;
+  for (auto& comp : grid::connected_components(disabled_cells(activation),
+                                               grid::Connectivity::Eight)) {
+    DisabledRegion region;
+    const std::int32_t parent = block_id[comp.mesh_cells.front()];
+    if (parent < 0) {
+      // Disabled cells are unsafe by construction; a missing parent means
+      // the safety and activation grids do not belong together.
+      throw std::invalid_argument(
+          "extract_disabled_regions: disabled cell outside any faulty block");
+    }
+    region.parent_block = static_cast<std::size_t>(parent);
+    for (mesh::Coord cell : comp.mesh_cells) {
+      assert(block_id[cell] == parent &&
+             "a disabled region never spans two faulty blocks");
+      if (faults.contains(cell)) {
+        ++region.fault_count;
+      } else {
+        ++region.disabled_nonfaulty_count;
+      }
+    }
+    region.component = std::move(comp);
+    out.push_back(std::move(region));
+  }
+  return out;
+}
+
+}  // namespace ocp::labeling

@@ -1,0 +1,68 @@
+// Extraction of faulty blocks and disabled regions from labelings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.hpp"
+#include "grid/cell_set.hpp"
+#include "grid/connectivity.hpp"
+#include "grid/node_grid.hpp"
+
+namespace ocp::labeling {
+
+/// A faulty block: a maximal 4-connected set of unsafe nodes (paper,
+/// section 3). Under Definitions 2a/2b every faulty block is a rectangle.
+struct FaultyBlock {
+  grid::Component component;
+  /// Number of faulty cells in the block.
+  std::size_t fault_count = 0;
+  /// Number of unsafe-but-nonfaulty cells in the block (the nodes the
+  /// rectangle model sacrifices; phase two tries to win them back).
+  std::size_t unsafe_nonfaulty_count = 0;
+
+  [[nodiscard]] const geom::Region& region() const noexcept {
+    return component.region;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return component.region.size();
+  }
+};
+
+/// A disabled region: a maximal 8-connected set of disabled nodes left after
+/// phase two. Theorem 1: each is an orthogonal convex polygon.
+struct DisabledRegion {
+  grid::Component component;
+  /// Index into the faulty-block vector of the block this region descends
+  /// from (every disabled node is unsafe, so the parent is unique).
+  std::size_t parent_block = 0;
+  std::size_t fault_count = 0;
+  /// Nonfaulty nodes still sacrificed by the refined model.
+  std::size_t disabled_nonfaulty_count = 0;
+
+  [[nodiscard]] const geom::Region& region() const noexcept {
+    return component.region;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return component.region.size();
+  }
+};
+
+/// Groups unsafe nodes into faulty blocks and annotates fault content.
+[[nodiscard]] std::vector<FaultyBlock> extract_faulty_blocks(
+    const grid::CellSet& faults, const grid::NodeGrid<Safety>& safety);
+
+/// Groups disabled nodes into disabled regions, annotates fault content and
+/// resolves each region's parent faulty block.
+[[nodiscard]] std::vector<DisabledRegion> extract_disabled_regions(
+    const grid::CellSet& faults, const grid::NodeGrid<Activation>& activation,
+    const std::vector<FaultyBlock>& blocks);
+
+/// The set of unsafe cells of a safety labeling (faulty and nonfaulty).
+[[nodiscard]] grid::CellSet unsafe_cells(const grid::NodeGrid<Safety>& safety);
+
+/// The set of disabled cells of an activation labeling.
+[[nodiscard]] grid::CellSet disabled_cells(
+    const grid::NodeGrid<Activation>& activation);
+
+}  // namespace ocp::labeling

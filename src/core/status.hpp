@@ -1,0 +1,43 @@
+// The three orthogonal node classifications of Wu, IPPS 2001, section 3:
+// faulty/nonfaulty, safe/unsafe, enabled/disabled.
+#pragma once
+
+#include <cstdint>
+
+namespace ocp::labeling {
+
+/// Physical node health. Faulty nodes cease to work; link faults are treated
+/// as node faults (paper, section 2).
+enum class Health : std::uint8_t { Nonfaulty = 0, Faulty = 1 };
+
+/// Phase-one classification. Unsafe nodes are those that cause routing
+/// difficulties; connected unsafe nodes form rectangular faulty blocks.
+enum class Safety : std::uint8_t { Safe = 0, Unsafe = 1 };
+
+/// Phase-two classification. Only enabled nodes participate in routing;
+/// connected disabled nodes form the orthogonal convex disabled regions.
+enum class Activation : std::uint8_t { Enabled = 0, Disabled = 1 };
+
+/// Which safe/unsafe rule phase one applies.
+///
+/// * `Def2a` (Definition 2a): a nonfaulty node is unsafe if it has two or
+///   more unsafe neighbors (Boura-Das / Su-Shin style blocks).
+/// * `Def2b` (Definition 2b): a nonfaulty node is unsafe if it has an unsafe
+///   neighbor in *both* dimensions (the enhanced rule; fewer nonfaulty nodes
+///   are swallowed). The paper's algorithm listing uses this rule.
+enum class SafeUnsafeDef : std::uint8_t { Def2a = 0, Def2b = 1 };
+
+[[nodiscard]] constexpr const char* to_string(Health h) noexcept {
+  return h == Health::Faulty ? "faulty" : "nonfaulty";
+}
+[[nodiscard]] constexpr const char* to_string(Safety s) noexcept {
+  return s == Safety::Unsafe ? "unsafe" : "safe";
+}
+[[nodiscard]] constexpr const char* to_string(Activation a) noexcept {
+  return a == Activation::Disabled ? "disabled" : "enabled";
+}
+[[nodiscard]] constexpr const char* to_string(SafeUnsafeDef d) noexcept {
+  return d == SafeUnsafeDef::Def2a ? "Def2a" : "Def2b";
+}
+
+}  // namespace ocp::labeling

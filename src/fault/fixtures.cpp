@@ -1,0 +1,56 @@
+#include "fault/fixtures.hpp"
+
+#include "fault/shapes.hpp"
+
+namespace ocp::fault {
+
+Fixture worked_example() {
+  const mesh::Mesh2D m(6, 6);
+  grid::CellSet faults(m, {{1, 3}, {2, 1}, {3, 2}});
+  return {"worked-example",
+          "Section 3: three faults forming one 3x3 faulty block that phase "
+          "two splits into the disabled regions {(1,3)} and {(2,1),(3,2)}",
+          std::move(faults)};
+}
+
+Fixture figure1() {
+  const mesh::Mesh2D m(8, 8);
+  grid::CellSet faults(m, {{2, 2}, {3, 2}, {2, 4}, {3, 4}});
+  return {"figure1",
+          "Two 2x1 fault clusters one row apart: one 2x3 block under "
+          "Definition 2a, two 2x1 blocks under Definition 2b",
+          std::move(faults)};
+}
+
+Fixture figure2a() {
+  const mesh::Mesh2D m(9, 9);
+  // 4x4 block footprint at (2,2)..(5,5); the upper-right 2x2 stays healthy.
+  grid::CellSet faults(m);
+  const geom::Region footprint = make_rectangle({2, 2}, 4, 4);
+  for (mesh::Coord c : footprint.cells()) {
+    if (c.x >= 4 && c.y >= 4) continue;
+    faults.insert(c);
+  }
+  return {"figure2a",
+          "4x4 block, healthy upper-right 2x2 pocket: the pocket is fully "
+          "enabled from its outside corner",
+          std::move(faults)};
+}
+
+Fixture figure2b() {
+  const mesh::Mesh2D m(10, 9);
+  // 5x4 block footprint at (2,2)..(6,5); a 1x2 healthy pocket at the top
+  // center column x = 4, y in {4, 5}.
+  grid::CellSet faults(m);
+  const geom::Region footprint = make_rectangle({2, 2}, 5, 4);
+  for (mesh::Coord c : footprint.cells()) {
+    if (c.x == 4 && c.y >= 4) continue;
+    faults.insert(c);
+  }
+  return {"figure2b",
+          "5x4 block, healthy 1x2 pocket at the top center: the pocket has "
+          "only single-link contact with the outside and stays disabled",
+          std::move(faults)};
+}
+
+}  // namespace ocp::fault

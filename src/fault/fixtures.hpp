@@ -1,0 +1,44 @@
+// Pinned fault configurations reconstructing the paper's worked examples
+// (section 3 and Figures 1-3). The published figures are partially lost to
+// OCR, so each fixture is built to exhibit exactly the property the text
+// ascribes to its figure; the expected outcomes are asserted in
+// tests/core/paper_examples_test.cpp.
+#pragma once
+
+#include <string>
+
+#include "grid/cell_set.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace ocp::fault {
+
+/// A named machine + fault pattern.
+struct Fixture {
+  std::string name;
+  std::string description;
+  grid::CellSet faults;
+};
+
+/// Section 3 worked example: faults (1,3), (2,1), (3,2) on a small mesh.
+/// Expected: Definition 2b yields the single faulty block {1,2,3}x{1,2,3};
+/// Definition 3 enables every nonfaulty node of the block, splitting it into
+/// the disabled regions {(1,3)} and {(2,1),(3,2)} (8-connected grouping).
+[[nodiscard]] Fixture worked_example();
+
+/// Figure 1 style: two 2x1 fault clusters one row apart. Definition 2a
+/// bridges them into one 2x3 faulty block; Definition 2b keeps two 2x1
+/// blocks at distance 2.
+[[nodiscard]] Fixture figure1();
+
+/// Figure 2 (a): a 4x4 faulty block whose upper-right 2x2 sub-block is
+/// nonfaulty. The enabled/disabled rule activates the whole pocket from the
+/// corner inward.
+[[nodiscard]] Fixture figure2a();
+
+/// Figure 2 (b): a 5x4 faulty block with a 1x2 nonfaulty pocket at the upper
+/// center. The pocket touches the outside with only one link per node, so
+/// under Definition 3 it stays entirely disabled (the configuration whose
+/// recursive formulation would have double status).
+[[nodiscard]] Fixture figure2b();
+
+}  // namespace ocp::fault

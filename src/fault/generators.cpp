@@ -1,0 +1,52 @@
+#include "fault/generators.hpp"
+
+#include <cassert>
+
+namespace ocp::fault {
+
+grid::CellSet uniform_random(const mesh::Mesh2D& m, std::size_t f,
+                             stats::Rng& rng) {
+  assert(f <= static_cast<std::size_t>(m.node_count()));
+  grid::CellSet out(m);
+  for (std::size_t i : rng.sample_without_replacement(
+           static_cast<std::size_t>(m.node_count()), f)) {
+    out.insert(m.coord(i));
+  }
+  return out;
+}
+
+grid::CellSet bernoulli(const mesh::Mesh2D& m, double p, stats::Rng& rng) {
+  grid::CellSet out(m);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count()); ++i) {
+    if (rng.bernoulli(p)) out.insert(m.coord(i));
+  }
+  return out;
+}
+
+grid::CellSet clustered(const mesh::Mesh2D& m, std::size_t clusters,
+                        std::size_t per_cluster, stats::Rng& rng) {
+  grid::CellSet out(m);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    mesh::Coord cur = m.coord(static_cast<std::size_t>(
+        rng.uniform_int(0, m.node_count() - 1)));
+    out.insert(cur);
+    // Random walk from the center; each step either marks the current node or
+    // moves, so clusters are connected blobs of roughly `per_cluster` cells.
+    std::size_t placed = 1;
+    std::size_t guard = 0;
+    while (placed < per_cluster && guard < per_cluster * 64) {
+      ++guard;
+      const auto d = static_cast<mesh::Dir>(rng.uniform_int(0, 3));
+      if (auto next = m.neighbor(cur, d)) {
+        cur = *next;
+        if (!out.contains(cur)) {
+          out.insert(cur);
+          ++placed;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ocp::fault

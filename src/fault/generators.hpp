@@ -1,0 +1,30 @@
+// Fault injection models (Wu, IPPS 2001, section 5 uses uniform random node
+// faults; clustered and shaped injectors are provided for wider coverage).
+#pragma once
+
+#include <cstddef>
+
+#include "grid/cell_set.hpp"
+#include "stats/rng.hpp"
+
+namespace ocp::fault {
+
+/// The paper's simulation model: exactly `f` faulty nodes chosen uniformly at
+/// random without replacement among all nodes of the machine.
+[[nodiscard]] grid::CellSet uniform_random(const mesh::Mesh2D& m,
+                                           std::size_t f, stats::Rng& rng);
+
+/// Each node fails independently with probability `p` (alternative model for
+/// sensitivity studies).
+[[nodiscard]] grid::CellSet bernoulli(const mesh::Mesh2D& m, double p,
+                                      stats::Rng& rng);
+
+/// Clustered faults: `clusters` cluster centers chosen uniformly; around each
+/// center, `per_cluster` faults placed by a random walk (stays within the
+/// machine). Models spatially-correlated failures (e.g. a failing board).
+[[nodiscard]] grid::CellSet clustered(const mesh::Mesh2D& m,
+                                      std::size_t clusters,
+                                      std::size_t per_cluster,
+                                      stats::Rng& rng);
+
+}  // namespace ocp::fault

@@ -1,0 +1,106 @@
+#include "fault/link_faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ocp::fault {
+
+namespace {
+
+std::uint64_t link_key(const mesh::Mesh2D& m, const Link& l) {
+  return (static_cast<std::uint64_t>(m.index(l.a)) << 32) |
+         static_cast<std::uint64_t>(m.index(l.b));
+}
+
+}  // namespace
+
+Link make_link(mesh::Coord a, mesh::Coord b) {
+  if (b < a) std::swap(a, b);
+  return {a, b};
+}
+
+void LinkSet::insert(mesh::Coord a, mesh::Coord b) {
+  if (!mesh_.contains(a) || !mesh_.contains(b) || !mesh_.linked(a, b)) {
+    throw std::invalid_argument("LinkSet::insert: not a machine link");
+  }
+  const Link l = make_link(a, b);
+  if (keys_.insert(link_key(mesh_, l)).second) {
+    links_.push_back(l);
+  }
+}
+
+bool LinkSet::contains(mesh::Coord a, mesh::Coord b) const {
+  if (!mesh_.contains(a) || !mesh_.contains(b)) return false;
+  return keys_.count(link_key(mesh_, make_link(a, b))) != 0;
+}
+
+grid::CellSet reduce_to_node_faults(const LinkSet& failed_links,
+                                    const grid::CellSet& node_faults,
+                                    LinkReduction policy) {
+  const mesh::Mesh2D& m = failed_links.topology();
+  grid::CellSet out = node_faults;
+
+  // Links already covered by an existing faulty endpoint need nothing.
+  std::vector<Link> open;
+  for (const Link& l : failed_links.links()) {
+    if (!out.contains(l.a) && !out.contains(l.b)) open.push_back(l);
+  }
+
+  if (policy == LinkReduction::FirstEndpoint) {
+    for (const Link& l : open) out.insert(l.a);
+    return out;
+  }
+
+  // Greedy vertex cover: repeatedly fail the node incident to the most
+  // uncovered links.
+  while (!open.empty()) {
+    std::unordered_map<std::size_t, std::size_t> incidence;
+    for (const Link& l : open) {
+      ++incidence[m.index(l.a)];
+      ++incidence[m.index(l.b)];
+    }
+    mesh::Coord best{0, 0};
+    std::size_t best_count = 0;
+    for (const Link& l : open) {
+      for (mesh::Coord c : {l.a, l.b}) {
+        const std::size_t count = incidence[m.index(c)];
+        if (count > best_count ||
+            (count == best_count && c < best)) {
+          best_count = count;
+          best = c;
+        }
+      }
+    }
+    out.insert(best);
+    std::erase_if(open, [&](const Link& l) {
+      return l.a == best || l.b == best;
+    });
+  }
+  return out;
+}
+
+LinkSet random_link_faults(const mesh::Mesh2D& m, std::size_t count,
+                           stats::Rng& rng) {
+  // Enumerate all links (east and north from each node) and sample.
+  std::vector<Link> all;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count());
+       ++i) {
+    const mesh::Coord c = m.coord(i);
+    for (mesh::Dir d : {mesh::Dir::East, mesh::Dir::North}) {
+      if (auto n = m.neighbor(c, d)) {
+        // On small tori the east/north neighbor can coincide across the
+        // wrap; make_link canonicalizes so the sample stays unbiased.
+        all.push_back(make_link(c, *n));
+      }
+    }
+  }
+  LinkSet out(m);
+  for (std::size_t i :
+       rng.sample_without_replacement(all.size(), std::min(count, all.size()))) {
+    out.insert(all[i].a, all[i].b);
+  }
+  return out;
+}
+
+}  // namespace ocp::fault

@@ -1,0 +1,81 @@
+// Link faults and their reduction to node faults (paper, section 2: "link
+// faults can be treated as node faults").
+//
+// A `LinkSet` records failed bidirectional links. `reduce_to_node_faults`
+// converts them into the node-fault model the labeling consumes by
+// sacrificing one healthy endpoint per failed link. Several policies are
+// provided; all are sound (after reduction, no route over non-faulty nodes
+// can use a failed link), differing only in how many nodes they sacrifice.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "grid/cell_set.hpp"
+#include "mesh/mesh2d.hpp"
+#include "stats/rng.hpp"
+
+namespace ocp::fault {
+
+/// An undirected mesh link, stored in canonical (smaller endpoint first)
+/// form.
+struct Link {
+  mesh::Coord a;
+  mesh::Coord b;
+
+  friend constexpr bool operator==(const Link&, const Link&) = default;
+};
+
+/// Canonicalizes endpoints (sorted lexicographically).
+[[nodiscard]] Link make_link(mesh::Coord a, mesh::Coord b);
+
+/// A set of failed links on one machine.
+class LinkSet {
+ public:
+  explicit LinkSet(const mesh::Mesh2D& m) : mesh_(m) {}
+
+  [[nodiscard]] const mesh::Mesh2D& topology() const noexcept {
+    return mesh_;
+  }
+
+  /// Inserts a failed link; both endpoints must be machine nodes joined by
+  /// a physical link (throws std::invalid_argument otherwise).
+  void insert(mesh::Coord a, mesh::Coord b);
+
+  [[nodiscard]] bool contains(mesh::Coord a, mesh::Coord b) const;
+  [[nodiscard]] std::size_t size() const noexcept { return links_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return links_.empty(); }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept {
+    return links_;
+  }
+
+ private:
+  mesh::Mesh2D mesh_;
+  std::vector<Link> links_;
+  std::unordered_set<std::uint64_t> keys_;
+};
+
+/// How the reduction picks the endpoint to sacrifice for each failed link.
+enum class LinkReduction : std::uint8_t {
+  /// The lexicographically smaller endpoint — deterministic and simple.
+  FirstEndpoint = 0,
+  /// The endpoint incident to more failed links, so one sacrificed node
+  /// covers several failures (greedy vertex cover of the failed-link
+  /// graph); ties pick the smaller endpoint.
+  MostIncident = 1,
+};
+
+/// Reduces link faults to node faults: returns `node_faults` (already
+/// failed nodes) extended so every failed link has at least one faulty
+/// endpoint. Links between two already-faulty nodes add nothing.
+[[nodiscard]] grid::CellSet reduce_to_node_faults(
+    const LinkSet& failed_links, const grid::CellSet& node_faults,
+    LinkReduction policy = LinkReduction::MostIncident);
+
+/// Random link faults: `count` distinct links chosen uniformly among all
+/// machine links.
+[[nodiscard]] LinkSet random_link_faults(const mesh::Mesh2D& m,
+                                         std::size_t count, stats::Rng& rng);
+
+}  // namespace ocp::fault

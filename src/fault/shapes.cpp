@@ -1,0 +1,94 @@
+#include "fault/shapes.hpp"
+
+#include <cassert>
+
+namespace ocp::fault {
+
+namespace {
+
+/// Collects the cells of a `w x h` rectangle anchored at `at` into `out`.
+void fill_rect(std::vector<mesh::Coord>& out, mesh::Coord at, std::int32_t w,
+               std::int32_t h) {
+  assert(w > 0 && h > 0);
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      out.push_back({at.x + x, at.y + y});
+    }
+  }
+}
+
+}  // namespace
+
+geom::Region make_rectangle(mesh::Coord at, std::int32_t w, std::int32_t h) {
+  std::vector<mesh::Coord> cells;
+  fill_rect(cells, at, w, h);
+  return geom::Region(std::move(cells));
+}
+
+geom::Region make_l_shape(mesh::Coord at, std::int32_t len, std::int32_t arm) {
+  assert(len > arm && arm >= 1);
+  std::vector<mesh::Coord> cells;
+  fill_rect(cells, at, arm, len);                  // vertical arm
+  fill_rect(cells, {at.x + arm, at.y}, len - arm, arm);  // horizontal arm
+  return geom::Region(std::move(cells));
+}
+
+geom::Region make_t_shape(mesh::Coord at, std::int32_t bar,
+                          std::int32_t stem) {
+  assert(bar >= 3 && stem >= 1);
+  std::vector<mesh::Coord> cells;
+  fill_rect(cells, {at.x, at.y + stem}, bar, 1);  // top bar
+  fill_rect(cells, {at.x + bar / 2, at.y}, 1, stem);  // stem below center
+  return geom::Region(std::move(cells));
+}
+
+geom::Region make_plus_shape(mesh::Coord center, std::int32_t arm) {
+  assert(arm >= 1);
+  std::vector<mesh::Coord> cells;
+  fill_rect(cells, {center.x - arm, center.y}, 2 * arm + 1, 1);
+  fill_rect(cells, {center.x, center.y - arm}, 1, 2 * arm + 1);
+  return geom::Region(std::move(cells));
+}
+
+geom::Region make_u_shape(mesh::Coord at, std::int32_t width,
+                          std::int32_t height) {
+  assert(width >= 3 && height >= 2);
+  std::vector<mesh::Coord> cells;
+  fill_rect(cells, at, width, 1);                          // bottom bar
+  fill_rect(cells, {at.x, at.y + 1}, 1, height - 1);       // left tower
+  fill_rect(cells, {at.x + width - 1, at.y + 1}, 1, height - 1);  // right
+  return geom::Region(std::move(cells));
+}
+
+geom::Region make_h_shape(mesh::Coord at, std::int32_t width,
+                          std::int32_t height) {
+  assert(width >= 3 && height >= 3);
+  std::vector<mesh::Coord> cells;
+  fill_rect(cells, at, 1, height);                         // left tower
+  fill_rect(cells, {at.x + width - 1, at.y}, 1, height);   // right tower
+  fill_rect(cells, {at.x + 1, at.y + height / 2}, width - 2, 1);  // bar
+  return geom::Region(std::move(cells));
+}
+
+grid::CellSet to_fault_set(const mesh::Mesh2D& m, const geom::Region& r) {
+  grid::CellSet out(m);
+  for (mesh::Coord c : r.cells()) {
+    assert(m.contains(c));
+    out.insert(c);
+  }
+  return out;
+}
+
+grid::CellSet to_fault_set(const mesh::Mesh2D& m,
+                           const std::vector<geom::Region>& regions) {
+  grid::CellSet out(m);
+  for (const auto& r : regions) {
+    for (mesh::Coord c : r.cells()) {
+      assert(m.contains(c));
+      out.insert(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace ocp::fault

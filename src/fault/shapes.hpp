@@ -1,0 +1,52 @@
+// Deterministic fault-pattern builders for the region shapes discussed in
+// the paper's section 2: L-, T-, +-shapes (orthogonal convex) and U-, H-
+// shapes (non-orthogonal-convex).
+#pragma once
+
+#include <vector>
+
+#include "geometry/region.hpp"
+#include "grid/cell_set.hpp"
+#include "mesh/coord.hpp"
+
+namespace ocp::fault {
+
+/// Solid `w x h` rectangle anchored at `at` (lower-left corner).
+[[nodiscard]] geom::Region make_rectangle(mesh::Coord at, std::int32_t w,
+                                          std::int32_t h);
+
+/// L-shape: a vertical arm (`arm x len`) plus a horizontal arm along the
+/// bottom. Orthogonal convex.
+[[nodiscard]] geom::Region make_l_shape(mesh::Coord at, std::int32_t len,
+                                        std::int32_t arm);
+
+/// T-shape: a horizontal top bar with a centered vertical stem below.
+/// Orthogonal convex.
+[[nodiscard]] geom::Region make_t_shape(mesh::Coord at, std::int32_t bar,
+                                        std::int32_t stem);
+
+/// +-shape: centered cross with arms of length `arm` and thickness 1.
+/// Orthogonal convex.
+[[nodiscard]] geom::Region make_plus_shape(mesh::Coord center,
+                                           std::int32_t arm);
+
+/// U-shape: two vertical towers joined by a bottom bar. Rows between the
+/// towers are split into two runs -> NOT orthogonal convex.
+[[nodiscard]] geom::Region make_u_shape(mesh::Coord at, std::int32_t width,
+                                        std::int32_t height);
+
+/// H-shape: two vertical towers joined by a middle bar. Columns are split ->
+/// NOT orthogonal convex.
+[[nodiscard]] geom::Region make_h_shape(mesh::Coord at, std::int32_t width,
+                                        std::int32_t height);
+
+/// Marks every cell of `r` faulty in a fresh fault set on machine `m`.
+/// All cells must lie inside the machine.
+[[nodiscard]] grid::CellSet to_fault_set(const mesh::Mesh2D& m,
+                                         const geom::Region& r);
+
+/// Union of several regions as one fault set.
+[[nodiscard]] grid::CellSet to_fault_set(
+    const mesh::Mesh2D& m, const std::vector<geom::Region>& regions);
+
+}  // namespace ocp::fault

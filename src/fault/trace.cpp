@@ -1,0 +1,114 @@
+#include "fault/trace.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace ocp::fault {
+
+namespace {
+
+constexpr const char* kHeader = "ocpmesh-trace v1";
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("trace line " + std::to_string(line_no) + ": " +
+                              what);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const grid::CellSet& faults) {
+  const mesh::Mesh2D& m = faults.topology();
+  os << kHeader << "\n";
+  os << "machine " << m.width() << " " << m.height() << " "
+     << mesh::to_string(m.topology()) << "\n";
+  faults.for_each(
+      [&](mesh::Coord c) { os << "fault " << c.x << " " << c.y << "\n"; });
+}
+
+std::string to_trace_string(const grid::CellSet& faults) {
+  std::ostringstream os;
+  write_trace(os, faults);
+  return os.str();
+}
+
+grid::CellSet read_trace(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  std::optional<grid::CellSet> faults;
+  bool saw_header = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and surrounding whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+
+    if (!saw_header) {
+      if (line != kHeader) fail(line_no, "expected header '" + std::string(kHeader) + "'");
+      saw_header = true;
+      continue;
+    }
+
+    std::istringstream ss(line);
+    std::string keyword;
+    ss >> keyword;
+    if (keyword == "machine") {
+      if (faults) fail(line_no, "duplicate machine line");
+      std::int32_t w = 0;
+      std::int32_t h = 0;
+      std::string topo;
+      if (!(ss >> w >> h >> topo) || w <= 0 || h <= 0) {
+        fail(line_no, "malformed machine line");
+      }
+      if (topo != "mesh" && topo != "torus") {
+        fail(line_no, "unknown topology '" + topo + "'");
+      }
+      faults.emplace(mesh::Mesh2D(
+          w, h, topo == "torus" ? mesh::Topology::Torus
+                                : mesh::Topology::Mesh));
+    } else if (keyword == "fault") {
+      if (!faults) fail(line_no, "fault before machine line");
+      mesh::Coord c;
+      if (!(ss >> c.x >> c.y)) fail(line_no, "malformed fault line");
+      if (!faults->topology().contains(c)) {
+        fail(line_no, "fault " + mesh::to_string(c) + " outside the machine");
+      }
+      if (faults->contains(c)) {
+        fail(line_no, "duplicate fault " + mesh::to_string(c));
+      }
+      faults->insert(c);
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_header) throw std::invalid_argument("trace: missing header");
+  if (!faults) throw std::invalid_argument("trace: missing machine line");
+  return *std::move(faults);
+}
+
+grid::CellSet from_trace_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+void save_trace(const std::string& path, const grid::CellSet& faults) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  write_trace(f, faults);
+  if (!f) throw std::runtime_error("failed writing " + path);
+}
+
+grid::CellSet load_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_trace(f);
+}
+
+}  // namespace ocp::fault

@@ -1,0 +1,35 @@
+// Plain-text fault traces: record a machine + fault pattern, replay it
+// later. Lets users archive the exact instances behind a result and feed
+// external fault logs into the pipeline.
+//
+// Format (line oriented, '#' comments, stable under round-trip):
+//
+//   ocpmesh-trace v1
+//   machine <width> <height> <mesh|torus>
+//   fault <x> <y>
+//   fault <x> <y>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/cell_set.hpp"
+
+namespace ocp::fault {
+
+/// Serializes a fault set (with its machine header) to the trace format.
+void write_trace(std::ostream& os, const grid::CellSet& faults);
+[[nodiscard]] std::string to_trace_string(const grid::CellSet& faults);
+
+/// Parses a trace. Throws std::invalid_argument on malformed input
+/// (unknown header, bad machine line, fault outside the machine,
+/// duplicate fault).
+[[nodiscard]] grid::CellSet read_trace(std::istream& is);
+[[nodiscard]] grid::CellSet from_trace_string(const std::string& text);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const grid::CellSet& faults);
+[[nodiscard]] grid::CellSet load_trace(const std::string& path);
+
+}  // namespace ocp::fault

@@ -1,0 +1,130 @@
+#include "geometry/boundary.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ocp::geom {
+
+namespace {
+
+/// The full Moore neighborhood (used for ring membership).
+constexpr std::array<mesh::Coord, 8> kMoore = {{{1, 0},
+                                                {1, -1},
+                                                {0, -1},
+                                                {-1, -1},
+                                                {-1, 0},
+                                                {-1, 1},
+                                                {0, 1},
+                                                {1, 1}}};
+
+/// Counterclockwise rotation (E -> N -> W -> S -> E).
+constexpr mesh::Dir rot_ccw(mesh::Dir d) noexcept {
+  switch (d) {
+    case mesh::Dir::East: return mesh::Dir::North;
+    case mesh::Dir::North: return mesh::Dir::West;
+    case mesh::Dir::West: return mesh::Dir::South;
+    case mesh::Dir::South: return mesh::Dir::East;
+  }
+  return mesh::Dir::East;  // unreachable
+}
+
+constexpr mesh::Dir rot_cw(mesh::Dir d) noexcept {
+  return rot_ccw(rot_ccw(rot_ccw(d)));
+}
+
+}  // namespace
+
+std::vector<mesh::Coord> boundary_cells(const Region& r) {
+  std::vector<mesh::Coord> out;
+  for (mesh::Coord c : r.cells()) {
+    const bool boundary =
+        !r.contains(c.step(mesh::Dir::East)) ||
+        !r.contains(c.step(mesh::Dir::West)) ||
+        !r.contains(c.step(mesh::Dir::North)) ||
+        !r.contains(c.step(mesh::Dir::South));
+    if (boundary) out.push_back(c);
+  }
+  return out;
+}
+
+std::int64_t edge_perimeter(const Region& r) {
+  std::int64_t edges = 0;
+  for (mesh::Coord c : r.cells()) {
+    for (mesh::Dir d : mesh::kAllDirs) {
+      if (!r.contains(c.step(d))) ++edges;
+    }
+  }
+  return edges;
+}
+
+Region outer_ring(const Region& r) {
+  std::unordered_set<mesh::Coord> ring;
+  for (mesh::Coord c : r.cells()) {
+    for (mesh::Coord off : kMoore) {
+      const mesh::Coord n = c + off;
+      if (!r.contains(n)) ring.insert(n);
+    }
+  }
+  return Region(std::vector<mesh::Coord>(ring.begin(), ring.end()));
+}
+
+std::vector<mesh::Coord> trace_outer_ring(const Region& r) {
+  if (r.empty()) return {};
+  // Crack following: walk the rectilinear boundary of the region
+  // counterclockwise, edge by edge. The state is (inside cell, outward
+  // normal). Each edge contributes the outside cell across it; each convex
+  // corner additionally contributes the diagonal corner cell. This emits
+  // every ring cell: a ring cell is either edge-adjacent to the region or
+  // the diagonal at a convex corner.
+  const mesh::Coord start_cell = r.cells().front();  // min y, then min x
+  const mesh::Dir start_out = mesh::Dir::South;      // its south edge is free
+
+  std::vector<mesh::Coord> walk;
+  std::unordered_set<mesh::Coord> emitted;
+  const auto emit = [&](mesh::Coord c) {
+    // Consecutive duplicates arise at concave turns; for the convex
+    // polygons this is used on, non-consecutive repeats do not occur, but
+    // the set keeps the walk simple for any input.
+    if (emitted.insert(c).second) walk.push_back(c);
+  };
+
+  mesh::Coord cell = start_cell;
+  mesh::Dir out = start_out;
+  const std::size_t cap = 8 * r.size() + 16;
+  std::size_t steps = 0;
+  do {
+    if (++steps > cap) {
+      throw std::runtime_error("trace_outer_ring: boundary walk diverged");
+    }
+    emit(cell.step(out));
+    const mesh::Dir dir = rot_ccw(out);  // walk direction along this edge
+    const mesh::Coord ahead = cell.step(dir);
+    const mesh::Coord diag = ahead.step(out);
+    if (r.contains(ahead)) {
+      if (r.contains(diag)) {
+        // Concave turn: the boundary bends into the region.
+        cell = diag;
+        out = rot_cw(out);
+      } else {
+        cell = ahead;  // straight edge
+      }
+    } else if (r.contains(diag)) {
+      // Diagonal pinch (8-connected checkerboard): the region continues
+      // through the corner; follow it rather than cutting around, so the
+      // walk covers the whole ring of diagonally-chained regions.
+      cell = diag;
+      out = rot_cw(out);
+    } else {
+      // Convex corner: the diagonal outside cell belongs to the ring, then
+      // the boundary turns around this cell.
+      emit(cell.step(out).step(dir));
+      out = dir;
+    }
+  } while (!(cell == start_cell && out == start_out));
+  return walk;
+}
+
+}  // namespace ocp::geom

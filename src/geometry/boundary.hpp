@@ -1,0 +1,35 @@
+// Region boundaries and fault rings.
+//
+// Fault-tolerant routing schemes (Boura-Das, Su-Shin, Chalasani-Boppana)
+// route misdirected messages along the *fault ring*: the cycle of nonfaulty
+// nodes immediately surrounding a fault region. These helpers compute rings
+// and perimeters for both the rectangle model and orthogonal convex polygons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/region.hpp"
+
+namespace ocp::geom {
+
+/// Region cells that touch the complement through at least one mesh link.
+[[nodiscard]] std::vector<mesh::Coord> boundary_cells(const Region& r);
+
+/// Number of unit edges between the region and its complement (the length of
+/// the rectilinear boundary polygon).
+[[nodiscard]] std::int64_t edge_perimeter(const Region& r);
+
+/// The fault ring: all cells outside `r` that are 8-adjacent to a cell of
+/// `r` (unordered). May contain coordinates outside a finite mesh; callers
+/// clip against their machine.
+[[nodiscard]] Region outer_ring(const Region& r);
+
+/// The fault ring as an ordered closed walk (Moore-neighbor tracing,
+/// counterclockwise, starting from the row-major-smallest ring cell).
+/// Consecutive cells are 8-adjacent; the last cell is 8-adjacent to the
+/// first. Requires a non-empty region whose ring is a simple closed curve —
+/// true for the connected orthogonal convex polygons this library produces.
+[[nodiscard]] std::vector<mesh::Coord> trace_outer_ring(const Region& r);
+
+}  // namespace ocp::geom

@@ -1,0 +1,137 @@
+#include "geometry/convexity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+namespace ocp::geom {
+
+namespace {
+
+/// Per-line extent bookkeeping: for each row (or column) index, the min/max
+/// coordinate of member cells along the line and the member count.
+struct LineExtent {
+  std::int32_t lo = std::numeric_limits<std::int32_t>::max();
+  std::int32_t hi = std::numeric_limits<std::int32_t>::min();
+  std::int64_t count = 0;
+
+  void add(std::int32_t v) noexcept {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    ++count;
+  }
+
+  /// A line is a contiguous run iff it holds exactly hi - lo + 1 cells.
+  [[nodiscard]] bool is_run() const noexcept {
+    return count == static_cast<std::int64_t>(hi) - lo + 1;
+  }
+};
+
+}  // namespace
+
+bool is_orthogonal_convex(const Region& r) {
+  if (r.empty()) return true;
+  std::map<std::int32_t, LineExtent> rows;
+  std::map<std::int32_t, LineExtent> cols;
+  for (mesh::Coord c : r.cells()) {
+    rows[c.y].add(c.x);
+    cols[c.x].add(c.y);
+  }
+  const auto all_runs = [](const auto& lines) {
+    return std::all_of(lines.begin(), lines.end(),
+                       [](const auto& kv) { return kv.second.is_run(); });
+  };
+  return all_runs(rows) && all_runs(cols);
+}
+
+bool is_orthogonal_convex_polygon(const Region& r, Connectivity conn) {
+  return !r.empty() && r.is_connected(conn) && is_orthogonal_convex(r);
+}
+
+Region rectilinear_convex_closure(const Region& seed) {
+  if (seed.empty()) return seed;
+  // Work raster over the seed's bounding box; the closure never leaves it.
+  const Rect box = seed.bounding_box();
+  const auto w = static_cast<std::size_t>(box.width());
+  const auto h = static_cast<std::size_t>(box.height());
+  std::vector<std::uint8_t> raster(w * h, 0);
+  const auto idx = [&](std::int32_t x, std::int32_t y) {
+    return static_cast<std::size_t>(y - box.lo.y) * w +
+           static_cast<std::size_t>(x - box.lo.x);
+  };
+  for (mesh::Coord c : seed.cells()) raster[idx(c.x, c.y)] = 1;
+
+  // Alternate row fills and column fills to the fixpoint. Each pass fills a
+  // line between its extreme member cells; membership only grows, so the loop
+  // terminates within bbox-area additions.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::int32_t y = box.lo.y; y <= box.hi.y; ++y) {
+      std::int32_t lo = box.hi.x + 1;
+      std::int32_t hi = box.lo.x - 1;
+      for (std::int32_t x = box.lo.x; x <= box.hi.x; ++x) {
+        if (raster[idx(x, y)] != 0) {
+          lo = std::min(lo, x);
+          hi = std::max(hi, x);
+        }
+      }
+      for (std::int32_t x = lo; x <= hi; ++x) {
+        if (raster[idx(x, y)] == 0) {
+          raster[idx(x, y)] = 1;
+          changed = true;
+        }
+      }
+    }
+    for (std::int32_t x = box.lo.x; x <= box.hi.x; ++x) {
+      std::int32_t lo = box.hi.y + 1;
+      std::int32_t hi = box.lo.y - 1;
+      for (std::int32_t y = box.lo.y; y <= box.hi.y; ++y) {
+        if (raster[idx(x, y)] != 0) {
+          lo = std::min(lo, y);
+          hi = std::max(hi, y);
+        }
+      }
+      for (std::int32_t y = lo; y <= hi; ++y) {
+        if (raster[idx(x, y)] == 0) {
+          raster[idx(x, y)] = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::vector<mesh::Coord> cells;
+  for (std::int32_t y = box.lo.y; y <= box.hi.y; ++y) {
+    for (std::int32_t x = box.lo.x; x <= box.hi.x; ++x) {
+      if (raster[idx(x, y)] != 0) cells.push_back({x, y});
+    }
+  }
+  return Region(std::move(cells));
+}
+
+bool is_corner_node(const Region& r, mesh::Coord c) {
+  if (!r.contains(c)) return false;
+  const bool out_x = !r.contains(c.step(mesh::Dir::East)) ||
+                     !r.contains(c.step(mesh::Dir::West));
+  const bool out_y = !r.contains(c.step(mesh::Dir::North)) ||
+                     !r.contains(c.step(mesh::Dir::South));
+  return out_x && out_y;
+}
+
+std::vector<mesh::Coord> corner_nodes(const Region& r) {
+  std::vector<mesh::Coord> out;
+  for (mesh::Coord c : r.cells()) {
+    if (is_corner_node(r, c)) out.push_back(c);
+  }
+  return out;
+}
+
+bool quadrant_has_corner(const Region& r, mesh::Coord origin, Quadrant q) {
+  return std::any_of(r.cells().begin(), r.cells().end(), [&](mesh::Coord c) {
+    return in_quadrant(origin, q, c) && is_corner_node(r, c);
+  });
+}
+
+}  // namespace ocp::geom

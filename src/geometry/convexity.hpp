@@ -1,0 +1,66 @@
+// Orthogonal convexity predicates and the rectilinear convex closure
+// (Wu, IPPS 2001, Definition 1 and Theorem 2).
+#pragma once
+
+#include <vector>
+
+#include "geometry/region.hpp"
+#include "mesh/coord.hpp"
+
+namespace ocp::geom {
+
+/// Definition 1: a region is orthogonal convex iff for any horizontal or
+/// vertical line, whenever two nodes on the line are inside the region, all
+/// nodes on the line between them are inside too. Equivalently: every row and
+/// every column of the region is a single contiguous run.
+[[nodiscard]] bool is_orthogonal_convex(const Region& r);
+
+/// An *orthogonal convex polygon* in the paper's sense is a connected
+/// orthogonal convex region. Disabled regions are polygons under
+/// `Connectivity::Eight` (see grid::connected_components).
+[[nodiscard]] bool is_orthogonal_convex_polygon(
+    const Region& r, Connectivity conn = Connectivity::Four);
+
+/// The rectilinear convex closure of a cell set: the least superset that is
+/// orthogonal convex. It is computed as the fixpoint of "fill every row and
+/// every column between its extreme member cells". The fixpoint is the unique
+/// minimum because every orthogonal convex superset is closed under that fill
+/// rule. Theorem 2 states that each disabled region equals the closure of the
+/// faults it contains.
+[[nodiscard]] Region rectilinear_convex_closure(const Region& seed);
+
+/// Definition 4: a corner node of a region has, along *each* dimension, at
+/// least one mesh neighbor outside the region. Lemma 1 states every corner
+/// node of a disabled region is faulty.
+[[nodiscard]] bool is_corner_node(const Region& r, mesh::Coord c);
+
+/// All corner nodes of a region, row-major.
+[[nodiscard]] std::vector<mesh::Coord> corner_nodes(const Region& r);
+
+/// The four closed quadrants induced by horizontal and vertical lines through
+/// `origin` (Lemma 2). Each quadrant includes both axes and the origin.
+enum class Quadrant : int { PosPos = 0, PosNeg = 1, NegPos = 2, NegNeg = 3 };
+
+inline constexpr std::array<Quadrant, 4> kAllQuadrants = {
+    Quadrant::PosPos, Quadrant::PosNeg, Quadrant::NegPos, Quadrant::NegNeg};
+
+/// Membership of `c` in the closed quadrant `q` anchored at `origin`.
+[[nodiscard]] constexpr bool in_quadrant(mesh::Coord origin, Quadrant q,
+                                         mesh::Coord c) noexcept {
+  const std::int32_t dx = c.x - origin.x;
+  const std::int32_t dy = c.y - origin.y;
+  switch (q) {
+    case Quadrant::PosPos: return dx >= 0 && dy >= 0;
+    case Quadrant::PosNeg: return dx >= 0 && dy <= 0;
+    case Quadrant::NegPos: return dx <= 0 && dy >= 0;
+    case Quadrant::NegNeg: return dx <= 0 && dy <= 0;
+  }
+  return false;
+}
+
+/// True when quadrant `q` anchored at `origin` contains at least one corner
+/// node of `r` (the assertion of Lemma 2 for origins inside `r`).
+[[nodiscard]] bool quadrant_has_corner(const Region& r, mesh::Coord origin,
+                                       Quadrant q);
+
+}  // namespace ocp::geom

@@ -1,0 +1,61 @@
+// Axis-aligned lattice rectangles with inclusive bounds.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+#include "mesh/coord.hpp"
+
+namespace ocp::geom {
+
+/// Inclusive axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y] on the node
+/// lattice. Faulty blocks (paper, section 3) are rectangles of this form.
+struct Rect {
+  mesh::Coord lo;
+  mesh::Coord hi;
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  [[nodiscard]] constexpr std::int32_t width() const noexcept {
+    return hi.x - lo.x + 1;
+  }
+  [[nodiscard]] constexpr std::int32_t height() const noexcept {
+    return hi.y - lo.y + 1;
+  }
+  [[nodiscard]] constexpr std::int64_t area() const noexcept {
+    return static_cast<std::int64_t>(width()) * height();
+  }
+
+  [[nodiscard]] constexpr bool contains(mesh::Coord c) const noexcept {
+    return c.x >= lo.x && c.x <= hi.x && c.y >= lo.y && c.y <= hi.y;
+  }
+
+  /// L1 diameter of the rectangle: the distance between opposite corners.
+  [[nodiscard]] constexpr std::int32_t diameter() const noexcept {
+    return (width() - 1) + (height() - 1);
+  }
+
+  /// Smallest rectangle containing both this one and `c`.
+  [[nodiscard]] constexpr Rect expanded(mesh::Coord c) const noexcept {
+    return {{std::min(lo.x, c.x), std::min(lo.y, c.y)},
+            {std::max(hi.x, c.x), std::max(hi.y, c.y)}};
+  }
+
+  /// Degenerate single-cell rectangle.
+  [[nodiscard]] static constexpr Rect cell(mesh::Coord c) noexcept {
+    return {c, c};
+  }
+};
+
+/// L1 distance between two rectangles (0 when they touch or overlap).
+[[nodiscard]] constexpr std::int32_t distance(const Rect& a,
+                                              const Rect& b) noexcept {
+  const std::int32_t dx =
+      std::max({a.lo.x - b.hi.x, b.lo.x - a.hi.x, 0});
+  const std::int32_t dy =
+      std::max({a.lo.y - b.hi.y, b.lo.y - a.hi.y, 0});
+  return dx + dy;
+}
+
+}  // namespace ocp::geom

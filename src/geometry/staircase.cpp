@@ -1,0 +1,99 @@
+#include "geometry/staircase.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ocp::geom {
+
+std::vector<RowProfile> row_profiles(const Region& r) {
+  std::vector<RowProfile> rows;
+  // Cells are sorted row-major (y, then x): one pass suffices.
+  for (mesh::Coord c : r.cells()) {
+    if (rows.empty() || rows.back().y != c.y) {
+      rows.push_back({c.y, c.x, c.x, 1});
+    } else {
+      rows.back().xmax = c.x;  // sorted: always the max so far
+      ++rows.back().count;
+    }
+  }
+  return rows;
+}
+
+bool is_valley(const std::vector<std::int32_t>& v) {
+  if (v.empty()) return true;
+  std::size_t i = 1;
+  while (i < v.size() && v[i] <= v[i - 1]) ++i;   // descending slope
+  while (i < v.size() && v[i] >= v[i - 1]) ++i;   // ascending slope
+  return i == v.size();
+}
+
+bool is_hill(const std::vector<std::int32_t>& v) {
+  if (v.empty()) return true;
+  std::size_t i = 1;
+  while (i < v.size() && v[i] >= v[i - 1]) ++i;
+  while (i < v.size() && v[i] <= v[i - 1]) ++i;
+  return i == v.size();
+}
+
+bool is_orthogonal_convex_polygon_fast(const Region& r) {
+  if (r.empty()) return false;
+  const auto rows = row_profiles(r);
+  std::vector<std::int32_t> xmin;
+  std::vector<std::int32_t> xmax;
+  xmin.reserve(rows.size());
+  xmax.reserve(rows.size());
+  std::int32_t prev_y = rows.front().y - 1;
+  for (const RowProfile& row : rows) {
+    // Row gaps split the region; non-run rows break row convexity.
+    if (row.y != prev_y + 1) return false;
+    if (row.count != static_cast<std::int64_t>(row.xmax) - row.xmin + 1) {
+      return false;
+    }
+    prev_y = row.y;
+    xmin.push_back(row.xmin);
+    xmax.push_back(row.xmax);
+  }
+  // Valley/hill profiles <=> column convexity; together with contiguous,
+  // gap-free rows this is exactly a connected orthogonal convex polygon.
+  // (Consecutive runs may touch only diagonally, which 8-connectivity
+  // accepts.)
+  if (!is_valley(xmin) || !is_hill(xmax)) return false;
+  // Consecutive rows must overlap or touch diagonally: with valley/hill
+  // profiles a disconnect would need xmin(y+1) > xmax(y) + 1 (or the
+  // mirrored case), which the profiles still allow; reject it explicitly.
+  for (std::size_t i = 1; i < xmin.size(); ++i) {
+    if (xmin[i] > xmax[i - 1] + 1 || xmax[i] < xmin[i - 1] - 1) return false;
+  }
+  return true;
+}
+
+Staircases staircase_decomposition(const Region& r) {
+  assert(is_orthogonal_convex_polygon_fast(r));
+  const auto rows = row_profiles(r);
+
+  // Split rows at the extreme profiles.
+  std::size_t leftmost = 0;
+  std::size_t rightmost = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].xmin < rows[leftmost].xmin) leftmost = i;
+    if (rows[i].xmax > rows[rightmost].xmax) rightmost = i;
+  }
+
+  Staircases out;
+  for (std::size_t i = 0; i <= leftmost; ++i) {
+    out.south_west.push_back({rows[i].xmin, rows[i].y});
+  }
+  for (std::size_t i = leftmost; i < rows.size(); ++i) {
+    out.north_west.push_back({rows[i].xmin, rows[i].y});
+  }
+  for (std::size_t i = 0; i <= rightmost; ++i) {
+    out.south_east.push_back({rows[i].xmax, rows[i].y});
+  }
+  for (std::size_t i = rightmost; i < rows.size(); ++i) {
+    out.north_east.push_back({rows[i].xmax, rows[i].y});
+  }
+  return out;
+}
+
+}  // namespace ocp::geom

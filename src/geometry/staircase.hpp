@@ -1,0 +1,65 @@
+// Staircase structure of orthogonal convex polygons.
+//
+// A connected orthogonal convex region is exactly a stack of contiguous row
+// runs [xmin(y), xmax(y)] whose left profile xmin is valley-shaped (non-
+// increasing, then non-decreasing) and whose right profile xmax is hill-
+// shaped. Equivalently, the boundary decomposes into four monotone
+// staircases meeting at the extreme cells — the structure fault-tolerant
+// routers exploit when sliding along a region. This module computes the
+// profiles, provides an O(n) convexity test based on them (cross-validated
+// against the definitional test), and extracts the four staircases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/region.hpp"
+
+namespace ocp::geom {
+
+/// Row profile of a region: per row (ascending y), the run extent.
+struct RowProfile {
+  std::int32_t y = 0;
+  std::int32_t xmin = 0;
+  std::int32_t xmax = 0;
+  /// Number of region cells on this row; a contiguous run has
+  /// xmax - xmin + 1.
+  std::int64_t count = 0;
+
+  friend constexpr bool operator==(const RowProfile&,
+                                   const RowProfile&) = default;
+};
+
+/// Rows of the region in ascending y. Rows with no cells are omitted (a
+/// connected region has none inside its bounding box).
+[[nodiscard]] std::vector<RowProfile> row_profiles(const Region& r);
+
+/// True when `v` is valley-shaped: non-increasing, then non-decreasing.
+[[nodiscard]] bool is_valley(const std::vector<std::int32_t>& v);
+/// True when `v` is hill-shaped: non-decreasing, then non-increasing.
+[[nodiscard]] bool is_hill(const std::vector<std::int32_t>& v);
+
+/// O(n) orthogonal-convex-polygon test via the profile characterization:
+/// every row of the bounding box is one contiguous run, rows are gap-free,
+/// xmin is a valley and xmax is a hill. Agrees with
+/// `is_orthogonal_convex(r) && r.is_connected(Connectivity::Eight)` for
+/// nonempty regions (tested exhaustively on small regions).
+[[nodiscard]] bool is_orthogonal_convex_polygon_fast(const Region& r);
+
+/// The four boundary staircases of an orthogonal convex polygon, each an
+/// ordered cell chain:
+///   south_west: left run ends, from the bottom row up to the leftmost row
+///   north_west: left run ends, from the leftmost row up to the top row
+///   south_east / north_east: right run ends, mirrored.
+/// Chains share their corner cells. Requires
+/// `is_orthogonal_convex_polygon_fast(r)`.
+struct Staircases {
+  std::vector<mesh::Coord> south_west;
+  std::vector<mesh::Coord> north_west;
+  std::vector<mesh::Coord> south_east;
+  std::vector<mesh::Coord> north_east;
+};
+
+[[nodiscard]] Staircases staircase_decomposition(const Region& r);
+
+}  // namespace ocp::geom

@@ -1,0 +1,37 @@
+#include "grid/cell_set.hpp"
+
+#include <cassert>
+
+namespace ocp::grid {
+
+CellSet& CellSet::operator|=(const CellSet& other) {
+  assert(mesh_ == other.mesh_);
+  count_ = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    bits_[i] = static_cast<std::uint8_t>(bits_[i] | other.bits_[i]);
+    count_ += bits_[i];
+  }
+  return *this;
+}
+
+CellSet& CellSet::operator-=(const CellSet& other) {
+  assert(mesh_ == other.mesh_);
+  count_ = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    bits_[i] = static_cast<std::uint8_t>(bits_[i] & ~other.bits_[i] & 1);
+    count_ += bits_[i];
+  }
+  return *this;
+}
+
+CellSet& CellSet::operator&=(const CellSet& other) {
+  assert(mesh_ == other.mesh_);
+  count_ = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    bits_[i] = static_cast<std::uint8_t>(bits_[i] & other.bits_[i]);
+    count_ += bits_[i];
+  }
+  return *this;
+}
+
+}  // namespace ocp::grid

@@ -1,0 +1,88 @@
+#include "grid/connectivity.hpp"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+#include <utility>
+
+namespace ocp::grid {
+
+namespace {
+
+/// BFS work item: a physical cell together with its planar frame coordinate.
+struct Visit {
+  mesh::Coord cell;
+  mesh::Coord frame;
+};
+
+constexpr std::array<mesh::Coord, 8> kOffsets8 = {{
+    {1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}}};
+
+}  // namespace
+
+std::vector<Component> connected_components(const CellSet& cells,
+                                            Connectivity conn) {
+  const mesh::Mesh2D& m = cells.topology();
+  const std::size_t degree = conn == Connectivity::Four ? 4 : 8;
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(m.node_count()), 0);
+  std::vector<Component> out;
+
+  cells.for_each([&](mesh::Coord seed) {
+    if (seen[m.index(seed)] != 0) return;
+    // Gather one component by BFS, assigning unwrapped frame coordinates as
+    // we go. A component that wraps all the way around a torus ring revisits
+    // cells through `seen` and simply stops expanding there; the frame then
+    // covers each physical cell once.
+    std::vector<std::pair<mesh::Coord, mesh::Coord>> frame_to_cell;
+    std::queue<Visit> frontier;
+    seen[m.index(seed)] = 1;
+    frontier.push({seed, seed});
+    while (!frontier.empty()) {
+      const Visit v = frontier.front();
+      frontier.pop();
+      frame_to_cell.emplace_back(v.frame, v.cell);
+      for (std::size_t i = 0; i < degree; ++i) {
+        const mesh::Coord off = kOffsets8[i];
+        mesh::Coord next = v.cell + off;
+        if (m.is_torus()) {
+          next = m.wrap(next);
+        } else if (!m.contains(next)) {
+          continue;
+        }
+        if (!cells.contains(next) || seen[m.index(next)] != 0) continue;
+        seen[m.index(next)] = 1;
+        frontier.push({next, v.frame + off});
+      }
+    }
+    // Canonical row-major order on frame coordinates, keeping the physical
+    // address of each frame cell aligned with Region's internal sort.
+    std::sort(frame_to_cell.begin(), frame_to_cell.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.y < b.first.y ||
+                       (a.first.y == b.first.y && a.first.x < b.first.x);
+              });
+    Component comp;
+    std::vector<mesh::Coord> frame_cells;
+    frame_cells.reserve(frame_to_cell.size());
+    comp.mesh_cells.reserve(frame_to_cell.size());
+    for (const auto& [frame, cell] : frame_to_cell) {
+      frame_cells.push_back(frame);
+      comp.mesh_cells.push_back(cell);
+    }
+    comp.region = geom::Region(std::move(frame_cells));
+    out.push_back(std::move(comp));
+  });
+
+  return out;
+}
+
+std::vector<geom::Region> component_regions(const CellSet& cells,
+                                            Connectivity conn) {
+  std::vector<geom::Region> out;
+  for (auto& comp : connected_components(cells, conn)) {
+    out.push_back(std::move(comp.region));
+  }
+  return out;
+}
+
+}  // namespace ocp::grid

@@ -1,0 +1,45 @@
+// Connected-component extraction over mesh node sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/region.hpp"
+#include "grid/cell_set.hpp"
+
+namespace ocp::grid {
+
+/// Adjacency notion used when grouping cells into components.
+///
+/// Faulty blocks use `Four` (mesh links; under Definitions 2a/2b diagonal
+/// contact between unsafe sets cannot occur, so Four and Eight coincide).
+/// Disabled regions use `Eight`: the paper's section 3 example — faults
+/// (1,3), (2,1), (3,2) yielding the two disabled regions {(1,3)} and
+/// {(2,1), (3,2)} — groups the diagonal pair (2,1)/(3,2) into one region,
+/// which is exactly 8-connectivity.
+using Connectivity = geom::Connectivity;
+
+/// A connected component of a `CellSet`, described both as mesh cells and as
+/// a planar region. On a torus, a component may cross wraparound links; it is
+/// *unwrapped* into a planar frame (BFS from a seed, each hop shifting the
+/// frame coordinate) so that rectilinear geometry applies unchanged. On a
+/// mesh, frame coordinates equal mesh coordinates.
+struct Component {
+  /// Planar (possibly unwrapped) footprint; use for all geometry.
+  geom::Region region;
+  /// The corresponding physical addresses, parallel to `region.cells()`.
+  /// On a mesh these equal the region cells.
+  std::vector<mesh::Coord> mesh_cells;
+};
+
+/// Extracts all connected components of `cells` under the given adjacency,
+/// in deterministic (row-major seed) order. Connectivity follows the set's
+/// topology: torus components may span wraparound links.
+[[nodiscard]] std::vector<Component> connected_components(
+    const CellSet& cells, Connectivity conn = Connectivity::Four);
+
+/// Convenience: just the planar regions of `connected_components`.
+[[nodiscard]] std::vector<geom::Region> component_regions(
+    const CellSet& cells, Connectivity conn = Connectivity::Four);
+
+}  // namespace ocp::grid

@@ -1,0 +1,54 @@
+// Dense per-node storage for a 2-D mesh.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "mesh/mesh2d.hpp"
+
+namespace ocp::grid {
+
+/// A value of type `T` per mesh node, stored row-major. This is the canonical
+/// container for node labels (health, safety, activation) and per-node
+/// protocol state.
+template <typename T>
+class NodeGrid {
+ public:
+  explicit NodeGrid(const mesh::Mesh2D& m, const T& init = T{})
+      : mesh_(m), data_(static_cast<std::size_t>(m.node_count()), init) {}
+
+  [[nodiscard]] const mesh::Mesh2D& topology() const noexcept { return mesh_; }
+
+  [[nodiscard]] T& operator[](mesh::Coord c) noexcept {
+    return data_[mesh_.index(c)];
+  }
+  [[nodiscard]] const T& operator[](mesh::Coord c) const noexcept {
+    return data_[mesh_.index(c)];
+  }
+
+  [[nodiscard]] T& at_index(std::size_t i) noexcept {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  [[nodiscard]] const T& at_index(std::size_t i) const noexcept {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+  [[nodiscard]] auto begin() noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() noexcept { return data_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return data_.end(); }
+
+  friend bool operator==(const NodeGrid&, const NodeGrid&) = default;
+
+ private:
+  mesh::Mesh2D mesh_;
+  std::vector<T> data_;
+};
+
+}  // namespace ocp::grid

@@ -1,0 +1,116 @@
+// Lattice coordinates, directions and dimensions for 2-D mesh-connected
+// multicomputers (Wu, IPPS 2001, section 2).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace ocp::mesh {
+
+/// The two dimensions of a 2-D mesh. The paper's safe/unsafe Definition 2b
+/// ("an unsafe neighbor in *both* dimensions") and the enabled/disabled rule
+/// classify neighbors by the dimension along which they are adjacent.
+enum class Dim : std::uint8_t { X = 0, Y = 1 };
+
+/// The four mesh directions. A node's neighbor in direction `d` differs by
+/// exactly one in one dimension.
+enum class Dir : std::uint8_t { East = 0, West = 1, North = 2, South = 3 };
+
+/// Number of interior neighbors of a 2-D mesh node.
+inline constexpr std::size_t kNumDirs = 4;
+
+/// All four directions, in a fixed deterministic order.
+inline constexpr std::array<Dir, kNumDirs> kAllDirs = {
+    Dir::East, Dir::West, Dir::North, Dir::South};
+
+/// Dimension along which a direction moves (East/West -> X, North/South -> Y).
+[[nodiscard]] constexpr Dim dim_of(Dir d) noexcept {
+  return (d == Dir::East || d == Dir::West) ? Dim::X : Dim::Y;
+}
+
+/// The opposite direction (East <-> West, North <-> South).
+[[nodiscard]] constexpr Dir opposite(Dir d) noexcept {
+  switch (d) {
+    case Dir::East: return Dir::West;
+    case Dir::West: return Dir::East;
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+  }
+  return Dir::East;  // unreachable
+}
+
+/// Human-readable direction name ("E", "W", "N", "S").
+[[nodiscard]] const char* to_string(Dir d) noexcept;
+
+/// A node address (u_x, u_y) in a 2-D mesh. Coordinates are signed so that
+/// ghost nodes one step outside the mesh (paper, section 3) and relative
+/// frames used when unwrapping torus regions are representable.
+struct Coord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr auto operator<=>(const Coord&, const Coord&) = default;
+
+  /// Component along dimension `d`.
+  [[nodiscard]] constexpr std::int32_t operator[](Dim d) const noexcept {
+    return d == Dim::X ? x : y;
+  }
+
+  /// The adjacent coordinate in direction `d` (no bounds applied).
+  [[nodiscard]] constexpr Coord step(Dir d) const noexcept {
+    switch (d) {
+      case Dir::East: return {x + 1, y};
+      case Dir::West: return {x - 1, y};
+      case Dir::North: return {x, y + 1};
+      case Dir::South: return {x, y - 1};
+    }
+    return *this;  // unreachable
+  }
+
+  friend constexpr Coord operator+(Coord a, Coord b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Coord operator-(Coord a, Coord b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+};
+
+/// L1 (Manhattan) distance d(u, v) = |u_x - v_x| + |u_y - v_y| — the routing
+/// distance in a 2-D mesh without wraparound.
+[[nodiscard]] constexpr std::int32_t manhattan(Coord a, Coord b) noexcept {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// True when `a` and `b` are mesh-adjacent (differ by one in exactly one
+/// dimension).
+[[nodiscard]] constexpr bool adjacent(Coord a, Coord b) noexcept {
+  return manhattan(a, b) == 1;
+}
+
+/// "(x, y)" rendering for logs and test failure messages.
+[[nodiscard]] std::string to_string(Coord c);
+std::ostream& operator<<(std::ostream& os, Coord c);
+
+}  // namespace ocp::mesh
+
+template <>
+struct std::hash<ocp::mesh::Coord> {
+  [[nodiscard]] std::size_t operator()(ocp::mesh::Coord c) const noexcept {
+    const auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x));
+    const auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.y));
+    std::uint64_t v = (ux << 32) | uy;
+    // splitmix64 finalizer: cheap, well-distributed for grid coordinates.
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebULL;
+    v ^= v >> 31;
+    return static_cast<std::size_t>(v);
+  }
+};

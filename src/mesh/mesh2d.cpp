@@ -1,0 +1,14 @@
+#include "mesh/mesh2d.hpp"
+
+namespace ocp::mesh {
+
+const char* to_string(Topology t) noexcept {
+  return t == Topology::Mesh ? "mesh" : "torus";
+}
+
+std::string Mesh2D::describe() const {
+  return std::to_string(width_) + "x" + std::to_string(height_) + " " +
+         to_string(topology_);
+}
+
+}  // namespace ocp::mesh

@@ -1,0 +1,156 @@
+// 2-D mesh / torus topology (Wu, IPPS 2001, section 2).
+//
+// A `Mesh2D` describes an `width x height` grid of nodes with addresses
+// (x, y), 0 <= x < width, 0 <= y < height. In `Topology::Mesh` mode, boundary
+// nodes have fewer than four physical neighbors; the labeling algorithms treat
+// the missing neighbors as "ghost nodes" — permanently safe/enabled virtual
+// nodes on four additional lines adjacent to the mesh boundary (paper,
+// section 3). In `Topology::Torus` mode every node has four neighbors via
+// wraparound links and no ghost nodes exist (the paper's footnote 1).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mesh/coord.hpp"
+#include "mesh/neighborhood.hpp"
+
+namespace ocp::mesh {
+
+/// Interconnect flavor: open mesh (ghost boundary) or wraparound torus.
+enum class Topology : std::uint8_t { Mesh = 0, Torus = 1 };
+
+[[nodiscard]] const char* to_string(Topology t) noexcept;
+
+/// An immutable description of a 2-D mesh-connected multicomputer.
+class Mesh2D {
+ public:
+  /// Builds a `width x height` machine. Both extents must be positive.
+  constexpr Mesh2D(std::int32_t width, std::int32_t height,
+                   Topology topology = Topology::Mesh)
+      : width_(width), height_(height), topology_(topology) {
+    assert(width > 0 && height > 0);
+  }
+
+  /// Convenience for the paper's square `n x n` mesh.
+  [[nodiscard]] static constexpr Mesh2D square(std::int32_t n,
+                                               Topology t = Topology::Mesh) {
+    return Mesh2D(n, n, t);
+  }
+
+  [[nodiscard]] constexpr std::int32_t width() const noexcept { return width_; }
+  [[nodiscard]] constexpr std::int32_t height() const noexcept {
+    return height_;
+  }
+  [[nodiscard]] constexpr Topology topology() const noexcept {
+    return topology_;
+  }
+  [[nodiscard]] constexpr bool is_torus() const noexcept {
+    return topology_ == Topology::Torus;
+  }
+
+  /// Total number of nodes.
+  [[nodiscard]] constexpr std::int64_t node_count() const noexcept {
+    return static_cast<std::int64_t>(width_) * height_;
+  }
+
+  /// Network diameter: 2(n-1) for an n x n mesh; floor(w/2)+floor(h/2) for a
+  /// torus.
+  [[nodiscard]] constexpr std::int32_t diameter() const noexcept {
+    if (is_torus()) return width_ / 2 + height_ / 2;
+    return (width_ - 1) + (height_ - 1);
+  }
+
+  /// True when `c` addresses a physical node.
+  [[nodiscard]] constexpr bool contains(Coord c) const noexcept {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+  }
+
+  /// True when `c` lies on one of the four ghost lines adjacent to the mesh
+  /// boundary (mesh mode only; a torus has no ghost nodes).
+  [[nodiscard]] constexpr bool is_ghost(Coord c) const noexcept {
+    if (is_torus()) return false;
+    if (contains(c)) return false;
+    return c.x >= -1 && c.x <= width_ && c.y >= -1 && c.y <= height_ &&
+           // Corners of the ghost frame are not adjacent to any mesh node.
+           !((c.x == -1 || c.x == width_) && (c.y == -1 || c.y == height_));
+  }
+
+  /// Dense row-major index of a node; valid only when `contains(c)`.
+  [[nodiscard]] constexpr std::size_t index(Coord c) const noexcept {
+    assert(contains(c));
+    return static_cast<std::size_t>(c.y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(c.x);
+  }
+
+  /// Inverse of `index`.
+  [[nodiscard]] constexpr Coord coord(std::size_t i) const noexcept {
+    assert(i < static_cast<std::size_t>(node_count()));
+    const auto w = static_cast<std::size_t>(width_);
+    return {static_cast<std::int32_t>(i % w), static_cast<std::int32_t>(i / w)};
+  }
+
+  /// Canonicalizes a coordinate: identity on a mesh, modular wrap on a torus.
+  [[nodiscard]] constexpr Coord wrap(Coord c) const noexcept {
+    if (!is_torus()) return c;
+    auto m = [](std::int32_t v, std::int32_t n) {
+      const std::int32_t r = v % n;
+      return r < 0 ? r + n : r;
+    };
+    return {m(c.x, width_), m(c.y, height_)};
+  }
+
+  /// The physical neighbor of `c` in direction `d`, or nullopt when the link
+  /// leaves the machine (mesh boundary). On a torus every direction yields a
+  /// neighbor.
+  [[nodiscard]] constexpr std::optional<Coord> neighbor(Coord c,
+                                                        Dir d) const noexcept {
+    assert(contains(c));
+    const Coord n = c.step(d);
+    if (contains(n)) return n;
+    if (is_torus()) return wrap(n);
+    return std::nullopt;
+  }
+
+  /// All physical neighbors of `c` (2..4 on a mesh, exactly 4 on a torus),
+  /// in `kAllDirs` order.
+  [[nodiscard]] Neighborhood neighbors(Coord c) const noexcept {
+    Neighborhood out;
+    for (Dir d : kAllDirs) {
+      if (auto n = neighbor(c, d)) out.push_back({d, *n});
+    }
+    return out;
+  }
+
+  /// Routing distance between two nodes: Manhattan on a mesh, per-dimension
+  /// minimum of direct vs wraparound hops on a torus.
+  [[nodiscard]] constexpr std::int32_t distance(Coord a,
+                                                Coord b) const noexcept {
+    assert(contains(a) && contains(b));
+    if (!is_torus()) return manhattan(a, b);
+    auto axial = [](std::int32_t u, std::int32_t v, std::int32_t n) {
+      const std::int32_t d = std::abs(u - v);
+      return d < n - d ? d : n - d;
+    };
+    return axial(a.x, b.x, width_) + axial(a.y, b.y, height_);
+  }
+
+  /// True when `a` and `b` share a link (including torus wraparound links).
+  [[nodiscard]] constexpr bool linked(Coord a, Coord b) const noexcept {
+    return distance(a, b) == 1;
+  }
+
+  friend constexpr bool operator==(const Mesh2D&, const Mesh2D&) = default;
+
+  /// "100x100 mesh" / "16x8 torus" — for logs and experiment headers.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+  Topology topology_;
+};
+
+}  // namespace ocp::mesh

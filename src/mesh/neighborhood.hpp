@@ -1,0 +1,54 @@
+// Fixed-capacity neighbor list: a 2-D mesh node has at most four neighbors,
+// so neighbor queries never need heap allocation.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+
+#include "mesh/coord.hpp"
+
+namespace ocp::mesh {
+
+/// One adjacent node together with the direction that reaches it.
+struct Link {
+  Dir dir;
+  Coord to;
+
+  friend constexpr bool operator==(const Link&, const Link&) = default;
+};
+
+/// A small inline vector of up to four links.
+class Neighborhood {
+ public:
+  using value_type = Link;
+  using const_iterator = const Link*;
+
+  constexpr Neighborhood() = default;
+
+  constexpr void push_back(Link l) noexcept {
+    assert(size_ < kNumDirs);
+    links_[size_++] = l;
+  }
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] constexpr const Link& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return links_[i];
+  }
+
+  [[nodiscard]] constexpr const_iterator begin() const noexcept {
+    return links_.data();
+  }
+  [[nodiscard]] constexpr const_iterator end() const noexcept {
+    return links_.data() + size_;
+  }
+
+ private:
+  std::array<Link, kNumDirs> links_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace ocp::mesh

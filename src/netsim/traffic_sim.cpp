@@ -1,0 +1,78 @@
+#include "netsim/traffic_sim.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ocp::netsim {
+
+TrafficSimResult run_traffic_sim(const mesh::Mesh2D& machine,
+                                 const grid::CellSet& blocked,
+                                 const routing::Router& router,
+                                 const TrafficSimConfig& config) {
+  if (config.vc_scheme == VcScheme::MessageClass && config.num_vcs < 4) {
+    throw std::invalid_argument(
+        "MessageClass vc scheme needs at least 4 virtual channels");
+  }
+  stats::Rng rng(config.seed);
+  WormholeSim sim(machine, {.num_vcs = config.num_vcs,
+                            .vc_buffer_flits = config.vc_buffer_flits,
+                            .deadlock_threshold = config.deadlock_threshold});
+
+  // Usable sources/destinations.
+  std::vector<mesh::Coord> nodes;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(machine.node_count()); ++i) {
+    const mesh::Coord c = machine.coord(i);
+    if (!blocked.contains(c)) nodes.push_back(c);
+  }
+
+  TrafficSimResult result;
+  if (nodes.size() < 2) return result;
+
+  for (std::int64_t cycle = 0; cycle < config.warm_cycles; ++cycle) {
+    for (mesh::Coord src : nodes) {
+      if (!rng.bernoulli(config.injection_rate)) continue;
+      auto dst = nodes[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+      if (dst == src) continue;
+      const routing::Route route = router.route(src, dst);
+      if (!route.delivered()) continue;  // router gave up; not offered
+      try {
+        if (config.vc_scheme == VcScheme::MessageClass) {
+          sim.submit(
+              make_packet_class_based(route, config.packet_flits, cycle));
+        } else {
+          sim.submit(make_packet(route, config.num_vcs, config.packet_flits,
+                                 cycle));
+        }
+      } catch (const std::invalid_argument&) {
+        // A route that traverses the same virtual channel twice (a detour
+        // retracing its corridor) cannot be shipped as one worm; such
+        // packets are dropped from the offered load and counted.
+        ++result.unroutable_packets;
+        continue;
+      }
+      ++result.offered_packets;
+    }
+  }
+
+  const SimResult run = sim.run();
+  result.delivered_packets = run.delivered;
+  result.deadlocked = run.deadlocked;
+  result.cycles = run.cycles;
+  result.latency = run.latency;
+  for (const PacketOutcome& p : run.packets) {
+    if (p.delivered) {
+      result.latency_hist.add(static_cast<double>(p.latency()));
+    }
+  }
+  if (run.cycles > 0) {
+    result.accepted_flits_per_node_cycle =
+        static_cast<double>(run.delivered) * config.packet_flits /
+        (static_cast<double>(run.cycles) *
+         static_cast<double>(machine.node_count()));
+  }
+  return result;
+}
+
+}  // namespace ocp::netsim

@@ -1,0 +1,228 @@
+#include "netsim/wormhole.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ocp::netsim {
+
+namespace {
+
+/// Direction of the hop a -> b on machine `m` (torus wrap resolved).
+mesh::Dir hop_direction(const mesh::Mesh2D& m, mesh::Coord a, mesh::Coord b) {
+  for (mesh::Dir d : mesh::kAllDirs) {
+    if (auto n = m.neighbor(a, d); n && *n == b) return d;
+  }
+  throw std::invalid_argument("PacketSpec path does not follow machine links");
+}
+
+}  // namespace
+
+PacketSpec make_packet(const routing::Route& route, std::uint8_t num_vcs,
+                       std::int32_t length_flits, std::int64_t inject_cycle) {
+  PacketSpec spec;
+  spec.path = route.path;
+  spec.vcs.reserve(route.phase.size());
+  for (std::uint8_t phase : route.phase) {
+    spec.vcs.push_back(phase == 0 ? std::uint8_t{0}
+                                  : static_cast<std::uint8_t>(num_vcs - 1));
+  }
+  spec.length_flits = length_flits;
+  spec.inject_cycle = inject_cycle;
+  return spec;
+}
+
+PacketSpec make_packet_class_based(const routing::Route& route,
+                                   std::int32_t length_flits,
+                                   std::int64_t inject_cycle) {
+  PacketSpec spec;
+  spec.path = route.path;
+  std::uint8_t vc = 0;
+  if (!route.path.empty()) {
+    const mesh::Coord src = route.path.front();
+    const mesh::Coord dst = route.path.back();
+    if (dst.x > src.x) vc = 0;       // WE class
+    else if (dst.x < src.x) vc = 1;  // EW class
+    else if (dst.y > src.y) vc = 2;  // column-only, northbound
+    else vc = 3;                     // column-only, southbound
+  }
+  spec.vcs.assign(route.phase.size(), vc);
+  spec.length_flits = length_flits;
+  spec.inject_cycle = inject_cycle;
+  return spec;
+}
+
+WormholeSim::WormholeSim(const mesh::Mesh2D& machine, const SimConfig& config)
+    : mesh_(machine), config_(config) {
+  if (config.num_vcs == 0) {
+    throw std::invalid_argument("num_vcs must be positive");
+  }
+  if (config.vc_buffer_flits <= 0) {
+    throw std::invalid_argument("vc_buffer_flits must be positive");
+  }
+  owner_.assign(static_cast<std::size_t>(mesh_.node_count()) *
+                    mesh::kNumDirs * config.num_vcs,
+                -1);
+}
+
+std::size_t WormholeSim::channel_id(mesh::Coord from, mesh::Dir dir,
+                                    std::uint8_t vc) const noexcept {
+  return (mesh_.index(from) * mesh::kNumDirs +
+          static_cast<std::size_t>(dir)) *
+             config_.num_vcs +
+         vc;
+}
+
+void WormholeSim::submit(PacketSpec spec) {
+  if (spec.path.empty()) {
+    throw std::invalid_argument("PacketSpec path must contain the source");
+  }
+  if (spec.length_flits < 1) {
+    throw std::invalid_argument("PacketSpec needs at least one flit");
+  }
+  if (spec.vcs.size() + 1 != spec.path.size()) {
+    throw std::invalid_argument("PacketSpec needs one vc per hop");
+  }
+  Worm worm;
+  worm.channels.reserve(spec.vcs.size());
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t i = 0; i + 1 < spec.path.size(); ++i) {
+    if (spec.vcs[i] >= config_.num_vcs) {
+      throw std::invalid_argument("PacketSpec vc out of range");
+    }
+    const mesh::Dir dir = hop_direction(mesh_, spec.path[i], spec.path[i + 1]);
+    const std::size_t ch = channel_id(spec.path[i], dir, spec.vcs[i]);
+    if (!seen.insert(ch).second) {
+      // A worm that needs the same virtual channel twice can never make
+      // progress past itself; reject instead of deadlocking silently.
+      throw std::invalid_argument(
+          "PacketSpec revisits a virtual channel; route one packet per "
+          "channel visit");
+    }
+    worm.channels.push_back(ch);
+  }
+  worm.occupancy.assign(worm.channels.size(), 0);
+  worm.flits_at_source = spec.length_flits;
+  worm.spec = std::move(spec);
+  worms_.push_back(std::move(worm));
+}
+
+bool WormholeSim::step_worm(Worm& worm, std::int64_t /*now*/) {
+  const std::size_t hops = worm.channels.size();
+  const auto self = static_cast<std::int32_t>(&worm - worms_.data());
+  bool moved = false;
+
+  // Zero-hop worm: source and destination coincide; absorb directly.
+  if (hops == 0) {
+    ++worm.flits_absorbed;
+    --worm.flits_at_source;
+    return true;
+  }
+
+  // 1. Destination ejection: once the head owns the final hop channel, one
+  //    flit per cycle leaves the network.
+  if (worm.head_hop == hops && worm.occupancy[hops - 1] > 0) {
+    --worm.occupancy[hops - 1];
+    ++worm.flits_absorbed;
+    moved = true;
+  }
+
+  // 2. Forward flits front-to-back so a hole created ahead is filled this
+  //    cycle by the flit behind it (one hop per flit per cycle).
+  //    Moving into the first unowned channel acquires it (head extension).
+  for (std::size_t i = std::min(worm.head_hop, hops - 1); i-- > worm.tail_hop;) {
+    if (worm.occupancy[i] == 0) continue;
+    const std::size_t next = i + 1;
+    if (next == worm.head_hop) {
+      // Head flit requests the next virtual channel.
+      const std::size_t ch = worm.channels[next];
+      if (owner_[ch] == -1) {
+        owner_[ch] = self;
+        ++worm.head_hop;
+        --worm.occupancy[i];
+        ++worm.occupancy[next];
+        moved = true;
+      }
+    } else if (worm.occupancy[next] < config_.vc_buffer_flits) {
+      --worm.occupancy[i];
+      ++worm.occupancy[next];
+      moved = true;
+    }
+  }
+
+  // 3. Source injection into the first hop channel.
+  if (worm.flits_at_source > 0) {
+    const std::size_t ch = worm.channels[0];
+    if (worm.head_hop == 0) {
+      if (owner_[ch] == -1) {
+        owner_[ch] = self;
+        worm.head_hop = 1;
+        ++worm.occupancy[0];
+        --worm.flits_at_source;
+        moved = true;
+      }
+    } else if (worm.tail_hop == 0 &&
+               worm.occupancy[0] < config_.vc_buffer_flits) {
+      ++worm.occupancy[0];
+      --worm.flits_at_source;
+      moved = true;
+    }
+  }
+
+  // 4. Tail release: drained channels with nothing behind them free their
+  //    virtual channel for other worms.
+  while (worm.tail_hop < worm.head_hop && worm.occupancy[worm.tail_hop] == 0 &&
+         !(worm.tail_hop == 0 && worm.flits_at_source > 0)) {
+    owner_[worm.channels[worm.tail_hop]] = -1;
+    ++worm.tail_hop;
+  }
+
+  return moved;
+}
+
+SimResult WormholeSim::run() {
+  SimResult result;
+  result.packets.resize(worms_.size());
+  for (std::size_t i = 0; i < worms_.size(); ++i) {
+    result.packets[i].inject_cycle = worms_[i].spec.inject_cycle;
+  }
+
+  std::size_t remaining = worms_.size();
+  std::int64_t idle_cycles = 0;
+  std::int64_t now = 0;
+  for (; now < config_.max_cycles && remaining > 0; ++now) {
+    bool any_motion = false;
+    bool waiting_on_schedule = false;
+    for (std::size_t i = 0; i < worms_.size(); ++i) {
+      Worm& worm = worms_[i];
+      if (worm.done) continue;
+      if (now < worm.spec.inject_cycle) {
+        waiting_on_schedule = true;
+        continue;
+      }
+      if (step_worm(worm, now)) any_motion = true;
+      if (worm.flits_absorbed == worm.spec.length_flits) {
+        worm.done = true;
+        --remaining;
+        result.packets[i].delivered = true;
+        result.packets[i].finish_cycle = now;
+        ++result.delivered;
+        result.latency.add(static_cast<double>(result.packets[i].latency()));
+      }
+    }
+    if (any_motion) {
+      idle_cycles = 0;
+    } else if (!waiting_on_schedule) {
+      if (++idle_cycles >= config_.deadlock_threshold) {
+        result.deadlocked = true;
+        ++now;
+        break;
+      }
+    }
+  }
+  result.cycles = now;
+  result.stuck = remaining;
+  return result;
+}
+
+}  // namespace ocp::netsim

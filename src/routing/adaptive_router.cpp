@@ -1,0 +1,125 @@
+#include "routing/adaptive_router.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "routing/turns.hpp"
+
+namespace ocp::routing {
+
+namespace {
+
+std::uint64_t detour_state(const mesh::Mesh2D& m, mesh::Coord c,
+                           mesh::Dir heading) {
+  return (static_cast<std::uint64_t>(m.index(c)) << 2) |
+         static_cast<std::uint64_t>(heading);
+}
+
+/// Productive directions toward `dst`, most-offset dimension first.
+std::array<std::optional<mesh::Dir>, 2> productive_dirs(mesh::Coord cur,
+                                                        mesh::Coord dst) {
+  const std::int32_t dx = dst.x - cur.x;
+  const std::int32_t dy = dst.y - cur.y;
+  std::optional<mesh::Dir> along_x;
+  std::optional<mesh::Dir> along_y;
+  if (dx > 0) along_x = mesh::Dir::East;
+  if (dx < 0) along_x = mesh::Dir::West;
+  if (dy > 0) along_y = mesh::Dir::North;
+  if (dy < 0) along_y = mesh::Dir::South;
+  if (std::abs(dx) >= std::abs(dy)) return {along_x, along_y};
+  return {along_y, along_x};
+}
+
+}  // namespace
+
+Route AdaptiveRouter::route(mesh::Coord src, mesh::Coord dst) const {
+  Route r;
+  if (!mesh_.contains(src) || !mesh_.contains(dst) ||
+      blocked_->contains(src) || blocked_->contains(dst)) {
+    return r;  // Invalid
+  }
+  r.path.push_back(src);
+  mesh::Coord cur = src;
+
+  bool detouring = false;
+  std::int32_t hit_distance = 0;
+  mesh::Dir heading = mesh::Dir::East;
+  std::unordered_set<std::uint64_t> detour_seen;
+  const auto budget = static_cast<std::int64_t>(mesh_.node_count()) * 8;
+
+  for (std::int64_t steps = 0; cur != dst; ++steps) {
+    if (steps > budget) {
+      r.status = RouteStatus::Livelock;
+      return r;
+    }
+    if (!detouring) {
+      // Adaptive minimal phase: take any unblocked productive hop,
+      // preferring the dimension with the larger remaining offset.
+      bool advanced = false;
+      for (const auto& dir : productive_dirs(cur, dst)) {
+        if (!dir) continue;
+        const mesh::Coord next = cur.step(*dir);
+        if (impassable(next)) continue;
+        r.path.push_back(next);
+        r.phase.push_back(0);
+        cur = next;
+        advanced = true;
+        break;
+      }
+      if (advanced) continue;
+      // Both productive hops blocked: enter a boundary detour around the
+      // region blocking the preferred direction.
+      const auto dir = productive_dirs(cur, dst)[0];
+      detouring = true;
+      hit_distance = mesh::manhattan(cur, dst);
+      heading = hand_ == Hand::Right ? left_of(*dir) : right_of(*dir);
+      detour_seen.clear();
+      detour_seen.insert(detour_state(mesh_, cur, heading));
+    }
+
+    // Exit test: strictly closer than the hit point with a usable
+    // productive hop.
+    if (mesh::manhattan(cur, dst) < hit_distance) {
+      bool can_resume = false;
+      for (const auto& dir : productive_dirs(cur, dst)) {
+        if (dir && !impassable(cur.step(*dir))) {
+          can_resume = true;
+          break;
+        }
+      }
+      if (can_resume) {
+        detouring = false;
+        continue;
+      }
+    }
+
+    // One wall-following step (same discipline as FaultRingRouter).
+    const mesh::Dir into_wall =
+        hand_ == Hand::Right ? right_of(heading) : left_of(heading);
+    const mesh::Dir away =
+        hand_ == Hand::Right ? left_of(heading) : right_of(heading);
+    const std::array<mesh::Dir, 4> preference = {into_wall, heading, away,
+                                                 mesh::opposite(heading)};
+    bool moved = false;
+    for (mesh::Dir d : preference) {
+      const mesh::Coord next = cur.step(d);
+      if (impassable(next)) continue;
+      cur = next;
+      heading = d;
+      r.path.push_back(cur);
+      r.phase.push_back(1);
+      moved = true;
+      break;
+    }
+    if (!moved || !detour_seen.insert(detour_state(mesh_, cur, heading))
+                       .second) {
+      r.status = RouteStatus::Livelock;
+      return r;
+    }
+  }
+  r.status = RouteStatus::Delivered;
+  return r;
+}
+
+}  // namespace ocp::routing

@@ -1,0 +1,106 @@
+#include "routing/channel_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ocp::routing {
+
+ChannelDependencyGraph::ChannelDependencyGraph(const mesh::Mesh2D& m,
+                                               std::uint8_t num_vcs)
+    : mesh_(m), num_vcs_(num_vcs) {
+  if (num_vcs == 0) throw std::invalid_argument("num_vcs must be positive");
+  adjacency_.resize(static_cast<std::size_t>(m.node_count()) *
+                    mesh::kNumDirs * num_vcs);
+}
+
+std::size_t ChannelDependencyGraph::channel_id(mesh::Coord from,
+                                               mesh::Dir dir,
+                                               std::uint8_t vc) const noexcept {
+  return (mesh_.index(from) * mesh::kNumDirs +
+          static_cast<std::size_t>(dir)) *
+             num_vcs_ +
+         vc;
+}
+
+namespace {
+
+/// Direction of the hop a -> b (must be mesh-adjacent; torus wrap hops are
+/// resolved against the machine dimensions).
+mesh::Dir hop_direction(const mesh::Mesh2D& m, mesh::Coord a, mesh::Coord b) {
+  for (mesh::Dir d : mesh::kAllDirs) {
+    if (auto n = m.neighbor(a, d); n && *n == b) return d;
+  }
+  throw std::invalid_argument("hop_direction: nodes are not linked");
+}
+
+}  // namespace
+
+void ChannelDependencyGraph::add_route(const Route& route) {
+  if (route.path.size() < 2) return;
+  assert(route.phase.size() + 1 == route.path.size());
+  std::size_t prev_channel = 0;
+  bool have_prev = false;
+  for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+    const mesh::Dir dir = hop_direction(mesh_, route.path[i], route.path[i + 1]);
+    const std::uint8_t vc =
+        route.phase[i] == 0
+            ? 0
+            : static_cast<std::uint8_t>(num_vcs_ - 1);  // detours on last vc
+    const std::size_t ch = channel_id(route.path[i], dir, vc);
+    if (have_prev) {
+      auto& succ = adjacency_[prev_channel];
+      const auto ch32 = static_cast<std::uint32_t>(ch);
+      const auto it = std::lower_bound(succ.begin(), succ.end(), ch32);
+      if (it == succ.end() || *it != ch32) {
+        succ.insert(it, ch32);
+        ++dependency_count_;
+      }
+    }
+    prev_channel = ch;
+    have_prev = true;
+  }
+}
+
+std::size_t ChannelDependencyGraph::active_channels() const noexcept {
+  std::size_t n = 0;
+  for (const auto& succ : adjacency_) {
+    if (!succ.empty()) ++n;
+  }
+  return n;
+}
+
+std::size_t ChannelDependencyGraph::dependency_count() const noexcept {
+  return dependency_count_;
+}
+
+bool ChannelDependencyGraph::has_cycle() const {
+  // Iterative three-color DFS over the channel graph.
+  enum : std::uint8_t { White, Gray, Black };
+  std::vector<std::uint8_t> color(adjacency_.size(), White);
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+
+  for (std::size_t root = 0; root < adjacency_.size(); ++root) {
+    if (color[root] != White || adjacency_[root].empty()) continue;
+    stack.emplace_back(static_cast<std::uint32_t>(root), 0);
+    color[root] = Gray;
+    while (!stack.empty()) {
+      auto& [node, next_child] = stack.back();
+      const auto& succ = adjacency_[node];
+      if (next_child < succ.size()) {
+        const std::uint32_t child = succ[next_child++];
+        if (color[child] == Gray) return true;
+        if (color[child] == White) {
+          color[child] = Gray;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        color[node] = Black;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ocp::routing

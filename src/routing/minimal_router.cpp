@@ -1,0 +1,128 @@
+#include "routing/minimal_router.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace ocp::routing {
+
+namespace {
+
+/// Reachability raster over the minimal-path rectangle of (src, dst):
+/// raster[c] == 1 iff dst is reachable from c using productive hops only.
+/// Filled backward from dst; each cell needs only its two successors, so a
+/// single anti-lexicographic sweep suffices.
+class MinimalReach {
+ public:
+  MinimalReach(const mesh::Mesh2D& m, const grid::CellSet& blocked,
+               mesh::Coord src, mesh::Coord dst)
+      : lo_{std::min(src.x, dst.x), std::min(src.y, dst.y)},
+        hi_{std::max(src.x, dst.x), std::max(src.y, dst.y)},
+        width_(static_cast<std::size_t>(hi_.x - lo_.x + 1)),
+        reach_(width_ * static_cast<std::size_t>(hi_.y - lo_.y + 1), 0) {
+    // Step directions toward dst (zero offset in an aligned dimension).
+    const std::int32_t sx = dst.x == src.x ? 0 : (dst.x > src.x ? 1 : -1);
+    const std::int32_t sy = dst.y == src.y ? 0 : (dst.y > src.y ? 1 : -1);
+    // Sweep from dst back toward src: iterate x from dst.x toward src.x and
+    // y from dst.y toward src.y so successors are already computed.
+    for (std::int32_t y = dst.y;; y -= sy) {
+      for (std::int32_t x = dst.x;; x -= sx) {
+        const mesh::Coord c{x, y};
+        if (!blocked.contains(c) && m.contains(c)) {
+          if (c == dst) {
+            set(c);
+          } else {
+            const bool via_x = sx != 0 && x != dst.x && at({x + sx, y});
+            const bool via_y = sy != 0 && y != dst.y && at({x, y + sy});
+            if (via_x || via_y) set(c);
+          }
+        }
+        if (x == src.x || sx == 0) break;
+      }
+      if (y == src.y || sy == 0) break;
+    }
+  }
+
+  [[nodiscard]] bool at(mesh::Coord c) const noexcept {
+    return reach_[index(c)] != 0;
+  }
+
+ private:
+  void set(mesh::Coord c) noexcept { reach_[index(c)] = 1; }
+  [[nodiscard]] std::size_t index(mesh::Coord c) const noexcept {
+    return static_cast<std::size_t>(c.y - lo_.y) * width_ +
+           static_cast<std::size_t>(c.x - lo_.x);
+  }
+
+  mesh::Coord lo_;
+  mesh::Coord hi_;
+  std::size_t width_;
+  std::vector<std::uint8_t> reach_;
+};
+
+}  // namespace
+
+bool minimal_path_exists(const mesh::Mesh2D& m, const grid::CellSet& blocked,
+                         mesh::Coord src, mesh::Coord dst) {
+  if (!m.contains(src) || !m.contains(dst)) return false;
+  if (blocked.contains(src) || blocked.contains(dst)) return false;
+  return MinimalReach(m, blocked, src, dst).at(src);
+}
+
+Route MinimalRouter::route(mesh::Coord src, mesh::Coord dst) const {
+  Route r;
+  if (!mesh_.contains(src) || !mesh_.contains(dst) ||
+      blocked_->contains(src) || blocked_->contains(dst)) {
+    return r;  // Invalid
+  }
+
+  const MinimalReach reach(mesh_, *blocked_, src, dst);
+  if (!reach.at(src)) {
+    if (fallback_ == Fallback::Ring) {
+      return FaultRingRouter(mesh_, *blocked_).route(src, dst);
+    }
+    r.status = RouteStatus::Blocked;
+    r.path.push_back(src);
+    return r;
+  }
+
+  // Walk productive hops that keep the destination minimally reachable;
+  // prefer the dimension with the larger remaining offset (keeps the
+  // remaining minimal-path rectangle fat).
+  r.path.push_back(src);
+  mesh::Coord cur = src;
+  while (cur != dst) {
+    const std::int32_t dx = dst.x - cur.x;
+    const std::int32_t dy = dst.y - cur.y;
+    mesh::Coord candidates[2];
+    std::size_t n = 0;
+    const mesh::Coord step_x{cur.x + (dx > 0 ? 1 : -1), cur.y};
+    const mesh::Coord step_y{cur.x, cur.y + (dy > 0 ? 1 : -1)};
+    if (std::abs(dx) >= std::abs(dy)) {
+      if (dx != 0) candidates[n++] = step_x;
+      if (dy != 0) candidates[n++] = step_y;
+    } else {
+      if (dy != 0) candidates[n++] = step_y;
+      if (dx != 0) candidates[n++] = step_x;
+    }
+    bool advanced = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reach.at(candidates[i])) {
+        cur = candidates[i];
+        r.path.push_back(cur);
+        r.phase.push_back(0);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      // Cannot happen: reach.at(cur) implies a reachable productive
+      // successor by construction of the DP.
+      r.status = RouteStatus::Livelock;
+      return r;
+    }
+  }
+  r.status = RouteStatus::Delivered;
+  return r;
+}
+
+}  // namespace ocp::routing

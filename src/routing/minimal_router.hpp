@@ -1,0 +1,58 @@
+// Minimal routing with global feasibility information (the Wu [9] baseline).
+//
+// The paper's companion work — "Fault-tolerant adaptive and minimal routing
+// in mesh-connected multicomputers using extended safety levels" (IEEE TPDS
+// 11(2), 2000) — equips nodes with enough aggregated fault information to
+// decide, before committing to a hop, whether the destination is still
+// reachable over a *minimal* path. This module reproduces that capability
+// against our labeled regions:
+//
+//  * `minimal_path_exists` — the feasibility oracle: is there a monotone
+//    (productive-hops-only) path from src to dst avoiding blocked cells?
+//    Computed by dynamic programming over the minimal-path rectangle, the
+//    same information extended safety levels encode.
+//  * `MinimalRouter` — routes along productive hops, at each step choosing
+//    one from which the destination remains minimally reachable. When no
+//    minimal path exists at the source it either reports `Blocked`
+//    (Fallback::None — the "minimal or nothing" discipline) or hands over
+//    to the boundary-following detour (Fallback::Ring).
+//
+// Against orthogonal convex fault regions the oracle rarely fails (the
+// minimal-path rectangle must be fully walled), which is exactly the
+// regime [9] targets.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace ocp::routing {
+
+/// True when a minimal (monotone) src -> dst path through nonblocked cells
+/// exists. src/dst outside the machine or blocked yield false.
+[[nodiscard]] bool minimal_path_exists(const mesh::Mesh2D& m,
+                                       const grid::CellSet& blocked,
+                                       mesh::Coord src, mesh::Coord dst);
+
+/// What `MinimalRouter` does when no minimal path exists.
+enum class Fallback : std::uint8_t {
+  /// Report RouteStatus::Blocked without moving.
+  None = 0,
+  /// Detour like FaultRingRouter (delivered, but with stretch).
+  Ring = 1,
+};
+
+class MinimalRouter final : public Router {
+ public:
+  MinimalRouter(const mesh::Mesh2D& m, const grid::CellSet& blocked,
+                Fallback fallback = Fallback::Ring)
+      : mesh_(m), blocked_(&blocked), fallback_(fallback) {}
+
+  [[nodiscard]] Route route(mesh::Coord src, mesh::Coord dst) const override;
+  [[nodiscard]] std::string name() const override { return "minimal"; }
+
+ private:
+  mesh::Mesh2D mesh_;
+  const grid::CellSet* blocked_;  // non-owning
+  Fallback fallback_;
+};
+
+}  // namespace ocp::routing

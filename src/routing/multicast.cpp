@@ -1,0 +1,136 @@
+#include "routing/multicast.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ocp::routing {
+
+namespace {
+
+void add_leg(Multicast& out, Route route, std::int64_t base_depth,
+             std::int64_t* leg_depth) {
+  if (route.delivered()) {
+    ++out.reached;
+    out.traffic += route.hops();
+    const std::int64_t depth = base_depth + route.hops();
+    out.depth = std::max(out.depth, depth);
+    if (leg_depth) *leg_depth = depth;
+  }
+  out.legs.push_back(std::move(route));
+}
+
+/// Column-major boustrophedon rank: walk column 0 bottom-up, column 1
+/// top-down, ... — a Hamiltonian order of the full mesh, so consecutive
+/// destinations are usually close.
+std::int64_t snake_rank(const mesh::Mesh2D& m, mesh::Coord c) {
+  const std::int64_t column = c.x;
+  const std::int64_t within =
+      (c.x % 2 == 0) ? c.y : (m.height() - 1 - c.y);
+  return column * m.height() + within;
+}
+
+}  // namespace
+
+Multicast separate_unicast(const Router& router, mesh::Coord src,
+                           std::span<const mesh::Coord> dests) {
+  Multicast out;
+  out.requested = dests.size();
+  for (mesh::Coord dst : dests) {
+    add_leg(out, router.route(src, dst), 0, nullptr);
+  }
+  return out;
+}
+
+Multicast path_multicast(const Router& router, mesh::Coord src,
+                         std::span<const mesh::Coord> dests) {
+  Multicast out;
+  out.requested = dests.size();
+  if (dests.empty()) return out;
+
+  // Sort destinations by snake rank and split at the source's rank.
+  std::vector<mesh::Coord> order(dests.begin(), dests.end());
+  const mesh::Mesh2D* machine = nullptr;
+  // The router interface carries no machine; infer ranks from a mesh big
+  // enough for all coordinates (ranks only need consistency, not bounds).
+  std::int32_t max_extent = std::max(src.x, src.y) + 1;
+  for (mesh::Coord d : order) {
+    max_extent = std::max({max_extent, d.x + 1, d.y + 1});
+  }
+  const mesh::Mesh2D rank_mesh(max_extent, max_extent);
+  machine = &rank_mesh;
+
+  std::sort(order.begin(), order.end(), [&](mesh::Coord a, mesh::Coord b) {
+    return snake_rank(*machine, a) < snake_rank(*machine, b);
+  });
+  const std::int64_t src_rank = snake_rank(*machine, src);
+
+  // Ascending chain: destinations after the source, in increasing order.
+  mesh::Coord cursor = src;
+  std::int64_t depth = 0;
+  for (mesh::Coord d : order) {
+    if (snake_rank(*machine, d) < src_rank) continue;
+    std::int64_t leg_depth = 0;
+    add_leg(out, router.route(cursor, d), depth, &leg_depth);
+    if (out.legs.back().delivered()) {
+      cursor = d;
+      depth = leg_depth;
+    }
+  }
+  // Descending chain: destinations before the source, in decreasing order.
+  cursor = src;
+  depth = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (snake_rank(*machine, *it) >= src_rank) continue;
+    std::int64_t leg_depth = 0;
+    add_leg(out, router.route(cursor, *it), depth, &leg_depth);
+    if (out.legs.back().delivered()) {
+      cursor = *it;
+      depth = leg_depth;
+    }
+  }
+  return out;
+}
+
+Multicast tree_multicast(const Router& router, const mesh::Mesh2D& machine,
+                         mesh::Coord src,
+                         std::span<const mesh::Coord> dests) {
+  Multicast out;
+  out.requested = dests.size();
+
+  struct TreeNode {
+    mesh::Coord at;
+    std::int64_t depth;
+  };
+  std::vector<TreeNode> tree{{src, 0}};
+  std::vector<mesh::Coord> pending(dests.begin(), dests.end());
+
+  while (!pending.empty()) {
+    // Prim step: the (tree node, pending destination) pair with minimum
+    // machine distance.
+    std::size_t best_dest = 0;
+    std::size_t best_node = 0;
+    std::int32_t best_dist = std::numeric_limits<std::int32_t>::max();
+    for (std::size_t di = 0; di < pending.size(); ++di) {
+      for (std::size_t ni = 0; ni < tree.size(); ++ni) {
+        const std::int32_t dist = machine.distance(tree[ni].at, pending[di]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_dest = di;
+          best_node = ni;
+        }
+      }
+    }
+    const mesh::Coord dst = pending[best_dest];
+    pending.erase(pending.begin() +
+                  static_cast<std::ptrdiff_t>(best_dest));
+    std::int64_t leg_depth = 0;
+    add_leg(out, router.route(tree[best_node].at, dst),
+            tree[best_node].depth, &leg_depth);
+    if (out.legs.back().delivered()) {
+      tree.push_back({dst, leg_depth});
+    }
+  }
+  return out;
+}
+
+}  // namespace ocp::routing

@@ -1,0 +1,64 @@
+// Fault-tolerant multicast over labeled meshes.
+//
+// The paper's reference [8] (Tseng-Yang-Juang) studies path-based multicast
+// in wormhole meshes with fault regions. This module provides the three
+// classic software strategies on top of our unicast routers, so the cost of
+// a fault model can be evaluated for collective communication too:
+//
+//  * separate addressing — one unicast per destination (baseline);
+//  * path-based multicast — destinations are visited in boustrophedon
+//    (snake) order by at most two message chains, one ascending and one
+//    descending from the source, the path-based scheme of [8] adapted to
+//    our boundary-following unicast legs;
+//  * greedy tree multicast — each destination is attached to the nearest
+//    node already in the tree (Prim over router distances).
+//
+// All strategies tolerate faults by construction: every leg is produced by
+// the supplied fault-tolerant router.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "routing/router.hpp"
+
+namespace ocp::routing {
+
+/// Outcome of one multicast operation.
+struct Multicast {
+  /// Per-leg routes, in transmission order.
+  std::vector<Route> legs;
+  /// Destinations actually reached.
+  std::size_t reached = 0;
+  /// Destinations requested.
+  std::size_t requested = 0;
+  /// Total link traversals across all legs (the network traffic).
+  std::int64_t traffic = 0;
+  /// Largest hop distance from the source to any destination along the
+  /// scheme's delivery structure (the latency proxy).
+  std::int64_t depth = 0;
+
+  [[nodiscard]] bool complete() const noexcept {
+    return reached == requested;
+  }
+};
+
+/// One unicast per destination.
+[[nodiscard]] Multicast separate_unicast(const Router& router,
+                                         mesh::Coord src,
+                                         std::span<const mesh::Coord> dests);
+
+/// Dual-path multicast: destinations sorted in column-major snake order are
+/// split at the source's position; one chain visits the successors in
+/// ascending order, the other the predecessors in descending order.
+[[nodiscard]] Multicast path_multicast(const Router& router, mesh::Coord src,
+                                       std::span<const mesh::Coord> dests);
+
+/// Greedy tree: repeatedly connect the unconnected destination closest (by
+/// machine distance) to any tree node, routing from that node.
+[[nodiscard]] Multicast tree_multicast(const Router& router,
+                                       const mesh::Mesh2D& machine,
+                                       mesh::Coord src,
+                                       std::span<const mesh::Coord> dests);
+
+}  // namespace ocp::routing

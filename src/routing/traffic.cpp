@@ -1,0 +1,78 @@
+#include "routing/traffic.hpp"
+
+#include <vector>
+
+namespace ocp::routing {
+
+namespace {
+
+void record(TrafficStats& stats, const mesh::Mesh2D& m, const Route& route,
+            mesh::Coord src, mesh::Coord dst) {
+  ++stats.attempts;
+  switch (route.status) {
+    case RouteStatus::Delivered: {
+      ++stats.delivered;
+      const std::int32_t stretch = route.hops() - m.distance(src, dst);
+      if (stretch == 0) ++stats.delivered_minimal;
+      stats.hops.add(route.hops());
+      stats.stretch.add(stretch);
+      stats.detour_hops.add(route.detour_hops());
+      break;
+    }
+    case RouteStatus::Blocked:
+      ++stats.blocked;
+      break;
+    case RouteStatus::Livelock:
+      ++stats.livelocked;
+      break;
+    case RouteStatus::Invalid:
+      // Caller sampled a blocked endpoint; counted as an attempt only.
+      break;
+  }
+}
+
+std::vector<mesh::Coord> usable_nodes(const grid::CellSet& blocked) {
+  const mesh::Mesh2D& m = blocked.topology();
+  std::vector<mesh::Coord> nodes;
+  nodes.reserve(static_cast<std::size_t>(m.node_count()) - blocked.size());
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count()); ++i) {
+    const mesh::Coord c = m.coord(i);
+    if (!blocked.contains(c)) nodes.push_back(c);
+  }
+  return nodes;
+}
+
+}  // namespace
+
+TrafficStats run_uniform_traffic(const Router& router,
+                                 const grid::CellSet& blocked,
+                                 std::size_t pairs, stats::Rng& rng) {
+  const mesh::Mesh2D& m = blocked.topology();
+  const std::vector<mesh::Coord> nodes = usable_nodes(blocked);
+  TrafficStats stats;
+  if (nodes.size() < 2) return stats;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1));
+    auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 2));
+    if (b >= a) ++b;
+    record(stats, m, router.route(nodes[a], nodes[b]), nodes[a], nodes[b]);
+  }
+  return stats;
+}
+
+TrafficStats run_all_pairs(const Router& router, const grid::CellSet& blocked) {
+  const mesh::Mesh2D& m = blocked.topology();
+  const std::vector<mesh::Coord> nodes = usable_nodes(blocked);
+  TrafficStats stats;
+  for (mesh::Coord src : nodes) {
+    for (mesh::Coord dst : nodes) {
+      if (src == dst) continue;
+      record(stats, m, router.route(src, dst), src, dst);
+    }
+  }
+  return stats;
+}
+
+}  // namespace ocp::routing

@@ -1,0 +1,55 @@
+// Uniform-traffic route sampling and aggregate routing metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/router.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace ocp::routing {
+
+/// Aggregate outcome of routing many sampled packets.
+struct TrafficStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t delivered = 0;
+  /// Delivered over a shortest (zero-stretch) path.
+  std::uint64_t delivered_minimal = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t livelocked = 0;
+
+  /// Hop counts of delivered packets.
+  stats::Summary hops;
+  /// Stretch of delivered packets: hops minus the fault-free shortest
+  /// distance (0 = minimal route).
+  stats::Summary stretch;
+  /// Detour (ring-traversal) hops of delivered packets.
+  stats::Summary detour_hops;
+
+  [[nodiscard]] double delivery_rate() const noexcept {
+    return attempts == 0
+               ? 1.0
+               : static_cast<double>(delivered) / static_cast<double>(attempts);
+  }
+
+  /// Fraction of attempts delivered minimally.
+  [[nodiscard]] double minimal_rate() const noexcept {
+    return attempts == 0 ? 1.0
+                         : static_cast<double>(delivered_minimal) /
+                               static_cast<double>(attempts);
+  }
+};
+
+/// Routes `pairs` packets between distinct non-blocked nodes chosen
+/// uniformly at random and aggregates the outcomes.
+[[nodiscard]] TrafficStats run_uniform_traffic(const Router& router,
+                                               const grid::CellSet& blocked,
+                                               std::size_t pairs,
+                                               stats::Rng& rng);
+
+/// Routes every ordered pair of non-blocked nodes (exhaustive; use on small
+/// machines and in tests).
+[[nodiscard]] TrafficStats run_all_pairs(const Router& router,
+                                         const grid::CellSet& blocked);
+
+}  // namespace ocp::routing

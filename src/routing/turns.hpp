@@ -1,0 +1,24 @@
+// Shared direction-rotation helpers for the routing algorithms.
+#pragma once
+
+#include "mesh/coord.hpp"
+
+namespace ocp::routing {
+
+/// Counterclockwise rotation (E -> N -> W -> S -> E).
+[[nodiscard]] constexpr mesh::Dir left_of(mesh::Dir d) noexcept {
+  switch (d) {
+    case mesh::Dir::East: return mesh::Dir::North;
+    case mesh::Dir::North: return mesh::Dir::West;
+    case mesh::Dir::West: return mesh::Dir::South;
+    case mesh::Dir::South: return mesh::Dir::East;
+  }
+  return mesh::Dir::East;  // unreachable
+}
+
+/// Clockwise rotation (E -> S -> W -> N -> E).
+[[nodiscard]] constexpr mesh::Dir right_of(mesh::Dir d) noexcept {
+  return left_of(left_of(left_of(d)));
+}
+
+}  // namespace ocp::routing

@@ -1,0 +1,75 @@
+// Asynchronous execution of a node-local protocol.
+//
+// The paper assumes synchronous lock-step rounds "to simplify the
+// discussion". Because the labeling rules are monotone (safe -> unsafe and
+// disabled -> enabled only), the fixpoint is independent of update order, so
+// an asynchronous system — nodes updating at arbitrary times from their most
+// recently received neighbor statuses — converges to the same labeling. This
+// runner exercises that claim under randomized schedules; tests assert the
+// async fixpoint equals the synchronous one.
+#pragma once
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "simkernel/sync_runner.hpp"
+#include "stats/rng.hpp"
+
+namespace ocp::sim {
+
+/// Cost metrics of an asynchronous run.
+struct AsyncStats {
+  /// Individual node update executions.
+  std::uint64_t activations = 0;
+  /// Updates that changed the node's state.
+  std::uint64_t state_changes = 0;
+  /// Full passes over the node set until a pass produced no change.
+  std::int32_t sweeps = 0;
+};
+
+template <typename P>
+struct AsyncResult {
+  grid::NodeGrid<typename P::State> states;
+  AsyncStats stats;
+};
+
+/// Runs `proto` to quiescence with randomized sweeps: each sweep visits all
+/// nodes in a fresh random order, applying updates in place (so a node sees
+/// the newest states of already-updated neighbors — an arbitrary asynchronous
+/// interleaving). Stops when one whole sweep changes nothing.
+template <SyncProtocol P>
+AsyncResult<P> run_async(const mesh::Mesh2D& m, const P& proto,
+                         stats::Rng& rng, std::int32_t max_sweeps = 1 << 20) {
+  const auto node_count = static_cast<std::size_t>(m.node_count());
+  grid::NodeGrid<typename P::State> states(m);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    states.at_index(i) = proto.init(m.coord(i));
+  }
+
+  std::vector<std::size_t> order(node_count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  AsyncStats stats;
+  for (std::int32_t sweep = 1; sweep <= max_sweeps; ++sweep) {
+    stats.sweeps = sweep;
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    bool any_change = false;
+    for (std::size_t i : order) {
+      typename P::State& s = states.at_index(i);
+      if (!proto.participates(s)) continue;
+      ++stats.activations;
+      // In-place gather: neighbors may already hold this sweep's new states,
+      // modelling arbitrary message timing.
+      if (proto.update(s, detail::gather(m, proto, states, m.coord(i)))) {
+        ++stats.state_changes;
+        any_change = true;
+      }
+    }
+    if (!any_change) return AsyncResult<P>{std::move(states), stats};
+  }
+  throw std::runtime_error(
+      "run_async: protocol did not quiesce within max_sweeps");
+}
+
+}  // namespace ocp::sim

@@ -1,0 +1,146 @@
+// Synchronous lock-step execution of a node-local protocol (the paper's
+// "iterative message exchanges among neighboring nodes").
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "grid/node_grid.hpp"
+#include "simkernel/protocol.hpp"
+
+namespace ocp::sim {
+
+/// Result of a synchronous run: the stable per-node states plus cost metrics.
+template <typename P>
+struct RunResult {
+  grid::NodeGrid<typename P::State> states;
+  RoundStats stats;
+};
+
+namespace detail {
+
+/// Builds the round-`r` inbox of node `c` from the previous-round states.
+template <SyncProtocol P>
+Inbox<typename P::Message> gather(const mesh::Mesh2D& m, const P& proto,
+                                  const grid::NodeGrid<typename P::State>& prev,
+                                  mesh::Coord c) {
+  Inbox<typename P::Message> inbox;
+  for (mesh::Dir d : mesh::kAllDirs) {
+    const auto slot = static_cast<std::size_t>(d);
+    if (auto n = m.neighbor(c, d)) {
+      inbox.by_dir[slot] = proto.announce(prev[*n]);
+      inbox.from_ghost[slot] = false;
+    } else {
+      // Open mesh boundary: the missing neighbor is a ghost node whose
+      // status never changes (paper, section 3).
+      inbox.by_dir[slot] = proto.ghost_message();
+      inbox.from_ghost[slot] = true;
+    }
+  }
+  return inbox;
+}
+
+}  // namespace detail
+
+/// Runs `proto` to quiescence on machine `m` and returns the fixpoint.
+///
+/// Dense mode evaluates every participating node every round — a literal
+/// transcription of the paper's algorithm skeleton. Frontier mode evaluates
+/// only nodes that received a changed message; since `update` is a pure
+/// function of the inbox, the per-round states are identical. Both stop
+/// after the first round with no change anywhere.
+template <SyncProtocol P>
+RunResult<P> run_sync(const mesh::Mesh2D& m, const P& proto,
+                      const RunOptions& opts = {}) {
+  const auto node_count = static_cast<std::size_t>(m.node_count());
+  grid::NodeGrid<typename P::State> curr(m);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    curr.at_index(i) = proto.init(m.coord(i));
+  }
+  grid::NodeGrid<typename P::State> next = curr;
+
+  RoundStats stats;
+
+  // Per-round broadcast cost of the paper's model: every participating node
+  // announces to each physical neighbor.
+  std::uint64_t broadcast_per_round = 0;
+  for (std::size_t i = 0; i < node_count; ++i) {
+    if (proto.participates(curr.at_index(i))) {
+      broadcast_per_round += m.neighbors(m.coord(i)).size();
+    }
+  }
+  // Round 0 of the event-driven refinement: everyone announces once.
+  stats.messages_event_driven = broadcast_per_round;
+
+  // Frontier bookkeeping: nodes to (re-)evaluate this round.
+  std::vector<std::size_t> active;
+  std::vector<std::uint8_t> queued(node_count, 0);
+  if (opts.mode == RunMode::Frontier) {
+    active.reserve(node_count);
+    for (std::size_t i = 0; i < node_count; ++i) active.push_back(i);
+  }
+
+  std::vector<std::size_t> changed;
+  changed.reserve(node_count);
+
+  for (std::int32_t round = 1; round <= opts.max_rounds; ++round) {
+    stats.rounds_executed = round;
+    stats.messages_broadcast += broadcast_per_round;
+    changed.clear();
+
+    const auto evaluate = [&](std::size_t i) {
+      const mesh::Coord c = m.coord(i);
+      typename P::State& s = next.at_index(i);
+      if (!proto.participates(s)) return;
+      if (proto.update(s, detail::gather(m, proto, curr, c))) {
+        changed.push_back(i);
+      }
+    };
+
+    if (opts.mode == RunMode::Dense) {
+      for (std::size_t i = 0; i < node_count; ++i) evaluate(i);
+    } else {
+      for (std::size_t i : active) evaluate(i);
+    }
+
+    if (changed.empty()) break;  // quiescent: this round had no change
+    stats.rounds_to_quiesce = round;
+    stats.state_changes += changed.size();
+
+    // A node that changed announces its new state on each of its links.
+    for (std::size_t i : changed) {
+      stats.messages_event_driven += m.neighbors(m.coord(i)).size();
+      curr.at_index(i) = next.at_index(i);
+    }
+
+    if (opts.mode == RunMode::Frontier) {
+      // Next round, only the changed nodes' neighborhoods can change.
+      std::fill(queued.begin(), queued.end(), std::uint8_t{0});
+      active.clear();
+      for (std::size_t i : changed) {
+        const mesh::Coord c = m.coord(i);
+        for (const mesh::Link& l : m.neighbors(c)) {
+          const std::size_t j = m.index(l.to);
+          if (!queued[j]) {
+            queued[j] = 1;
+            active.push_back(j);
+          }
+        }
+        if (!queued[i]) {
+          queued[i] = 1;
+          active.push_back(i);
+        }
+      }
+    }
+  }
+
+  if (stats.rounds_executed >= opts.max_rounds &&
+      stats.rounds_to_quiesce == stats.rounds_executed) {
+    throw std::runtime_error(
+        "run_sync: protocol did not quiesce within max_rounds");
+  }
+  return RunResult<P>{std::move(curr), stats};
+}
+
+}  // namespace ocp::sim

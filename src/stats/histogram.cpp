@@ -1,0 +1,65 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ocp::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram needs hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  const auto raw = static_cast<std::int64_t>((x - lo_) / width_);
+  const auto clamped = std::clamp<std::int64_t>(
+      raw, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(clamped)];
+  ++total_;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (total_ == 0) return 0.0;
+  const double target = std::clamp(p, 0.0, 1.0) *
+                        static_cast<double>(total_);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto in_bin = static_cast<double>(counts_[i]);
+    if (cumulative + in_bin >= target && in_bin > 0) {
+      const double frac = (target - cumulative) / in_bin;
+      return bin_lo(i) + width_ * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative += in_bin;
+  }
+  return hi_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: incompatible layouts");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+std::string Histogram::sparkline() const {
+  static constexpr const char* kLevels[] = {" ", "▁", "▂", "▃",
+                                            "▄", "▅", "▆", "▇", "█"};
+  std::uint64_t max = 0;
+  for (std::uint64_t c : counts_) max = std::max(max, c);
+  std::string out;
+  for (std::uint64_t c : counts_) {
+    const std::size_t level =
+        max == 0 ? 0 : (c * 8 + max - 1) / max;  // ceil to 0..8
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace ocp::stats

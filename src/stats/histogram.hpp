@@ -1,0 +1,56 @@
+// Fixed-width histogram with percentile queries, for latency/size
+// distributions where a mean hides the tail.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ocp::stats {
+
+/// Counts samples into `bins` equal-width buckets over [lo, hi); samples
+/// outside the range land in the first/last bucket (clamped). Percentiles
+/// are answered from the counts with linear interpolation inside a bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const noexcept {
+    assert(i < counts_.size());
+    return counts_[i];
+  }
+  /// Inclusive lower edge of bucket `i`.
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+
+  /// Value below which `p` (0..1) of the samples fall; interpolated.
+  /// Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+  [[nodiscard]] double median() const noexcept { return percentile(0.5); }
+  [[nodiscard]] double p99() const noexcept { return percentile(0.99); }
+
+  /// Merge compatible histograms (same range/bins).
+  void merge(const Histogram& other);
+
+  /// Compact one-line sparkline ("▁▂▅█...") for logs.
+  [[nodiscard]] std::string sparkline() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ocp::stats

@@ -1,0 +1,52 @@
+// Deterministic random source for all stochastic experiments.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ocp::stats {
+
+/// Thin wrapper over a 64-bit Mersenne Twister with the sampling helpers the
+/// experiments need. Every experiment seeds one `Rng` and reports the seed,
+/// making each run reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability p.
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// k distinct values sampled uniformly from {0, 1, ..., n-1}
+  /// (partial Fisher-Yates; O(n) memory, O(n + k) time).
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k);
+
+  /// Derives an independent child seed; used to give each Monte-Carlo trial
+  /// its own stream so trials are order-independent and parallelizable.
+  [[nodiscard]] std::uint64_t fork_seed() {
+    return static_cast<std::uint64_t>(engine_()) ^ (seed_ * 0x9e3779b97f4a7c15ULL);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ocp::stats

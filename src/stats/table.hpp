@@ -1,0 +1,49 @@
+// Aligned-column table printing and CSV emission for benchmark harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ocp::stats {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table (what the bench binaries print) or as CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+  /// Space-padded columns with a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+  /// Writes CSV to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("3.142" for format_double(pi, 3)).
+[[nodiscard]] std::string format_double(double v, int precision);
+
+/// "mean ± ci" cell, e.g. "12.34 ± 0.05".
+[[nodiscard]] std::string format_mean_ci(double mean, double ci,
+                                         int precision);
+
+}  // namespace ocp::stats

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/ablation.hpp"
+
+namespace ocp::analysis {
+namespace {
+
+TEST(DefinitionAblationTest, Def2bSwallowsNoMoreThanDef2a) {
+  DefinitionAblationConfig config;
+  config.n = 32;
+  config.fault_counts = {10, 30};
+  config.trials = 20;
+  const auto rows = run_definition_ablation(config);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    // Definition 2b's unsafe set is a subset of 2a's on every instance, so
+    // the means are ordered.
+    EXPECT_LE(row.unsafe_nonfaulty_2b.mean(), row.unsafe_nonfaulty_2a.mean());
+    // And 2b can only split blocks relative to 2a.
+    EXPECT_GE(row.blocks_2b.mean(), row.blocks_2a.mean());
+  }
+}
+
+TEST(DefinitionAblationTest, TableRendersAllRows) {
+  DefinitionAblationConfig config;
+  config.n = 16;
+  config.fault_counts = {5};
+  config.trials = 5;
+  const auto rows = run_definition_ablation(config);
+  const auto table = definition_ablation_table(rows);
+  EXPECT_EQ(table.row_count(), 1u);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("unsafe-nf(2a)"), std::string::npos);
+}
+
+TEST(RoutingAblationTest, ModelsAreOrderedBySacrifice) {
+  RoutingAblationConfig config;
+  config.n = 24;
+  config.fault_counts = {15};
+  config.trials = 8;
+  config.pairs = 150;
+  const auto rows = run_routing_ablation(config);
+  ASSERT_EQ(rows.size(), 3u);
+
+  const auto& raw = rows[0];
+  const auto& blocks = rows[1];
+  const auto& regions = rows[2];
+  ASSERT_EQ(raw.model, BlockModel::RawFaults);
+  ASSERT_EQ(blocks.model, BlockModel::FaultyBlocks);
+  ASSERT_EQ(regions.model, BlockModel::DisabledRegions);
+
+  // Raw faults sacrifice nothing; disabled regions sacrifice no more than
+  // rectangular blocks (that is the point of the paper).
+  EXPECT_DOUBLE_EQ(raw.sacrificed_nonfaulty.mean(), 0.0);
+  EXPECT_LE(regions.sacrificed_nonfaulty.mean(),
+            blocks.sacrificed_nonfaulty.mean());
+
+  // Both labeled models deliver everything with the ring router.
+  EXPECT_DOUBLE_EQ(blocks.delivery_rate.mean(), 100.0);
+  EXPECT_DOUBLE_EQ(regions.delivery_rate.mean(), 100.0);
+}
+
+TEST(RoutingAblationTest, TableRendersAllRows) {
+  RoutingAblationConfig config;
+  config.n = 16;
+  config.fault_counts = {6};
+  config.trials = 3;
+  config.pairs = 50;
+  const auto rows = run_routing_ablation(config);
+  const auto table = routing_ablation_table(rows);
+  EXPECT_EQ(table.row_count(), 3u);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("disabled-regions"), std::string::npos);
+}
+
+TEST(BlockModelTest, Names) {
+  EXPECT_STREQ(to_string(BlockModel::RawFaults), "raw-faults");
+  EXPECT_STREQ(to_string(BlockModel::FaultyBlocks), "faulty-blocks");
+  EXPECT_STREQ(to_string(BlockModel::DisabledRegions), "disabled-regions");
+}
+
+}  // namespace
+}  // namespace ocp::analysis

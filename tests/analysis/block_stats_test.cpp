@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/block_stats.hpp"
+
+namespace ocp::analysis {
+namespace {
+
+BlockStatsConfig small_config() {
+  BlockStatsConfig config;
+  config.n = 40;
+  config.fault_counts = {0, 8, 16};
+  config.trials = 20;
+  config.seed = 5;
+  return config;
+}
+
+TEST(BlockStatsTest, ZeroFaultsProducesEmptyRow) {
+  auto config = small_config();
+  config.fault_counts = {0};
+  const auto rows = run_block_stats(config);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].block_size.empty());
+  EXPECT_TRUE(rows[0].singleton_pct.empty());
+}
+
+TEST(BlockStatsTest, SparseFaultsAreMostlySingletons) {
+  const auto rows = run_block_stats(small_config());
+  // 8 faults on 1600 nodes (0.5%): overwhelmingly singleton blocks.
+  EXPECT_GT(rows[1].singleton_pct.mean(), 90.0);
+  EXPECT_LT(rows[1].block_size.mean(), 1.5);
+  EXPECT_LT(rows[1].block_diameter.mean(), 0.5);
+}
+
+TEST(BlockStatsTest, DensityGrowsBlockSizes) {
+  auto config = small_config();
+  config.fault_counts = {8, 160};  // 0.5% vs 10%
+  const auto rows = run_block_stats(config);
+  EXPECT_GT(rows[1].block_size.mean(), rows[0].block_size.mean());
+  EXPECT_LT(rows[1].singleton_pct.mean(), rows[0].singleton_pct.mean());
+}
+
+TEST(BlockStatsTest, RegionSizesNeverExceedBlockSizes) {
+  const auto rows = run_block_stats(small_config());
+  for (const auto& row : rows) {
+    if (row.block_size.empty()) continue;
+    EXPECT_LE(row.region_size.mean(), row.block_size.mean() + 1e-9);
+  }
+}
+
+TEST(BlockStatsTest, TableRendersSparkline) {
+  const auto rows = run_block_stats(small_config());
+  const auto table = block_stats_table(rows);
+  EXPECT_EQ(table.row_count(), rows.size());
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("singleton %"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocp::analysis

@@ -1,0 +1,116 @@
+// Scaled-down runs of the Figure 5 experiment: shape assertions on the
+// paper's reported trends, fast enough for CI.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/fig5.hpp"
+
+namespace ocp::analysis {
+namespace {
+
+Fig5Config small_config() {
+  Fig5Config config;
+  config.n = 40;
+  config.fault_counts = {0, 10, 20, 40};
+  config.trials = 30;
+  config.seed = 123;
+  return config;
+}
+
+TEST(Fig5Test, ZeroFaultsZeroRounds) {
+  auto config = small_config();
+  config.fault_counts = {0};
+  const auto rows = run_fig5(config);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].rounds_blocks.mean(), 0.0);
+  EXPECT_EQ(rows[0].rounds_regions.mean(), 0.0);
+  EXPECT_EQ(rows[0].block_count.mean(), 0.0);
+  EXPECT_TRUE(rows[0].enabled_ratio_per_block.empty());
+}
+
+TEST(Fig5Test, RoundsAreFarBelowMeshDiameter) {
+  // The paper's headline: convergence needs far fewer rounds than the mesh
+  // diameter (2(n-1) = 78 here).
+  const auto rows = run_fig5(small_config());
+  for (const auto& row : rows) {
+    EXPECT_LT(row.rounds_blocks.mean(), 10.0) << "f=" << row.f;
+    EXPECT_LT(row.rounds_regions.mean(), 10.0) << "f=" << row.f;
+  }
+}
+
+TEST(Fig5Test, RegionRoundsBelowBlockRounds) {
+  // "The average number for disabled regions ... is lower than the number
+  // for faulty blocks, because disabled regions are generated out of faulty
+  // blocks." Checked at a density where blocks actually form.
+  auto config = small_config();
+  config.fault_counts = {40};
+  config.trials = 60;
+  const auto rows = run_fig5(config);
+  EXPECT_LE(rows[0].rounds_regions.mean(), rows[0].rounds_blocks.mean());
+}
+
+TEST(Fig5Test, EnabledRatioIsHighAndDecreasesWithDensity) {
+  // "The average percentage of enabled nodes among unsafe but nonfaulty
+  // nodes ... stays very high, especially when the number of faults is
+  // relatively low."
+  auto config = small_config();
+  config.fault_counts = {10, 80};
+  config.trials = 60;
+  const auto rows = run_fig5(config);
+  ASSERT_FALSE(rows[0].enabled_ratio_per_block.empty());
+  EXPECT_GT(rows[0].enabled_ratio_per_block.mean(), 90.0);
+  ASSERT_FALSE(rows[1].enabled_ratio_per_block.empty());
+  EXPECT_GE(rows[0].enabled_ratio_per_block.mean(),
+            rows[1].enabled_ratio_per_block.mean() - 1.0);
+}
+
+TEST(Fig5Test, RoundsGrowWithFaultCount) {
+  auto config = small_config();
+  config.fault_counts = {5, 60};
+  config.trials = 60;
+  const auto rows = run_fig5(config);
+  EXPECT_LT(rows[0].rounds_blocks.mean(), rows[1].rounds_blocks.mean());
+}
+
+TEST(Fig5Test, DeterministicForFixedSeed) {
+  const auto a = run_fig5(small_config());
+  const auto b = run_fig5(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].rounds_blocks.mean(), b[i].rounds_blocks.mean());
+    EXPECT_DOUBLE_EQ(a[i].enabled_ratio_pooled.mean(),
+                     b[i].enabled_ratio_pooled.mean());
+  }
+}
+
+TEST(Fig5Test, DefaultFaultCounts) {
+  const auto counts = Fig5Config::default_fault_counts(5, 100);
+  ASSERT_EQ(counts.size(), 21u);
+  EXPECT_EQ(counts.front(), 0);
+  EXPECT_EQ(counts.back(), 100);
+  const auto dense = Fig5Config::default_fault_counts(1, 100);
+  EXPECT_EQ(dense.size(), 101u);
+}
+
+TEST(Fig5Test, TableHasOneRowPerFaultCount) {
+  const auto rows = run_fig5(small_config());
+  const auto table = fig5_table(rows);
+  EXPECT_EQ(table.row_count(), rows.size());
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("rounds(FB)"), std::string::npos);
+}
+
+TEST(Fig5Test, TorusConfigRuns) {
+  auto config = small_config();
+  config.topology = mesh::Topology::Torus;
+  config.fault_counts = {15};
+  config.trials = 10;
+  const auto rows = run_fig5(config);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(rows[0].block_count.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace ocp::analysis

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "analysis/render.hpp"
+#include "fault/fixtures.hpp"
+
+namespace ocp::analysis {
+namespace {
+
+TEST(RenderTest, GlyphsMatchStatuses) {
+  const auto fx = fault::worked_example();
+  const auto result = labeling::run_pipeline(fx.faults);
+  const std::string art = render_labeling(fx.faults, result);
+
+  // 6x6 machine: 6 lines of 6 glyphs.
+  ASSERT_EQ(art.size(), 6u * 7u);
+  // All three faults render as 'X'; the worked example enables every
+  // nonfaulty block cell, so there must be exactly six 'e' and no 'd'.
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'X'), 3);
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'e'), 6);
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'd'), 0);
+}
+
+TEST(RenderTest, TopRowIsHighestY) {
+  const auto fx = fault::worked_example();  // fault at (1,3) on 6x6
+  const auto result = labeling::run_pipeline(fx.faults);
+  const std::string art = render_labeling(fx.faults, result);
+  // Row printed first is y = 5; the fault (1,3) appears on line index 2
+  // (y = 3), column 1.
+  const std::size_t line_len = 7;  // 6 glyphs + newline
+  EXPECT_EQ(art[2 * line_len + 1], 'X');
+}
+
+TEST(RenderTest, SafetyRenderMarksUnsafe) {
+  const auto fx = fault::figure2b();
+  const auto result = labeling::run_pipeline(fx.faults);
+  const std::string art = render_safety(fx.faults, result.safety);
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'X'), 18);
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'u'), 2);  // the pocket
+}
+
+TEST(RenderTest, DisabledPocketRendersAsD) {
+  const auto fx = fault::figure2b();
+  const auto result = labeling::run_pipeline(fx.faults);
+  const std::string art = render_labeling(fx.faults, result);
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'd'), 2);
+  EXPECT_EQ(std::count(art.begin(), art.end(), 'e'), 0);
+}
+
+}  // namespace
+}  // namespace ocp::analysis

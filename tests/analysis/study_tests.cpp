@@ -1,0 +1,99 @@
+// Unit tests for the partition and synchrony study runners.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/async_study.hpp"
+#include "analysis/partition_study.hpp"
+
+namespace ocp::analysis {
+namespace {
+
+TEST(PartitionStudyTest, CoverHierarchyHoldsPerRow) {
+  PartitionStudyConfig config;
+  config.n = 32;
+  config.fault_counts = {0, 10, 25};
+  config.trials = 10;
+  const auto rows = run_partition_study(config);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_LE(row.nonfaulty_optimal.mean(),
+              row.nonfaulty_touching.mean() + 1e-9);
+    EXPECT_LE(row.nonfaulty_touching.mean(),
+              row.nonfaulty_separated.mean() + 1e-9);
+    EXPECT_LE(row.nonfaulty_separated.mean(),
+              row.nonfaulty_regions.mean() + 1e-9);
+    EXPECT_GE(row.polygons_touching.mean(), row.polygons_regions.mean());
+  }
+}
+
+TEST(PartitionStudyTest, ClusteredModeSplitsRegions) {
+  PartitionStudyConfig config;
+  config.n = 48;
+  config.fault_counts = {32};
+  config.trials = 15;
+  config.clustered = true;
+  const auto rows = run_partition_study(config);
+  ASSERT_EQ(rows.size(), 1u);
+  // Clustered faults produce regions the Touching rule can cut further.
+  EXPECT_GT(rows[0].regions_split_pct.mean(), 0.0);
+  EXPECT_LT(rows[0].nonfaulty_touching.mean(),
+            rows[0].nonfaulty_regions.mean());
+}
+
+TEST(PartitionStudyTest, TableRenders) {
+  PartitionStudyConfig config;
+  config.n = 16;
+  config.fault_counts = {4};
+  config.trials = 4;
+  const auto table = partition_study_table(run_partition_study(config));
+  EXPECT_EQ(table.row_count(), 1u);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("nonfaulty(touching)"), std::string::npos);
+}
+
+TEST(AsyncStudyTest, FixpointsAlwaysMatch) {
+  AsyncStudyConfig config;
+  config.n = 32;
+  config.fault_counts = {0, 12, 30};
+  config.trials = 10;
+  const auto rows = run_async_study(config);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(row.fixpoint_match_pct.mean(), 100.0);
+    // Async needs at least the quiescence-detection sweep.
+    EXPECT_GE(row.async_sweeps.mean(), 1.0);
+    // Event-driven messaging never exceeds broadcast.
+    EXPECT_LE(row.msgs_event_per_node.mean(),
+              row.msgs_broadcast_per_node.mean() + 1e-9);
+  }
+}
+
+TEST(AsyncStudyTest, BroadcastCostGrowsWithDensity) {
+  AsyncStudyConfig config;
+  config.n = 40;
+  config.fault_counts = {4, 60};
+  config.trials = 12;
+  const auto rows = run_async_study(config);
+  EXPECT_GT(rows[1].msgs_broadcast_per_node.mean(),
+            rows[0].msgs_broadcast_per_node.mean());
+  // Event-driven cost stays flat (~4 messages/node initial announcements).
+  EXPECT_NEAR(rows[1].msgs_event_per_node.mean(),
+              rows[0].msgs_event_per_node.mean(), 0.5);
+}
+
+TEST(AsyncStudyTest, TableRenders) {
+  AsyncStudyConfig config;
+  config.n = 16;
+  config.fault_counts = {5};
+  config.trials = 4;
+  const auto table = async_study_table(run_async_study(config));
+  EXPECT_EQ(table.row_count(), 1u);
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("fixpoint match %"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocp::analysis

@@ -1,0 +1,76 @@
+#include "analysis/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/fixtures.hpp"
+#include "routing/router.hpp"
+
+namespace ocp::analysis {
+namespace {
+
+std::size_t count_substr(const std::string& haystack,
+                         const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SvgTest, OneRectPerNode) {
+  const auto fx = fault::worked_example();  // 6x6 machine
+  const auto result = labeling::run_pipeline(fx.faults);
+  const std::string svg = render_labeling_svg(fx.faults, result);
+  EXPECT_EQ(count_substr(svg, "<rect"), 36u);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgTest, StatusColorsAppearWithCorrectMultiplicity) {
+  const auto fx = fault::worked_example();
+  const auto result = labeling::run_pipeline(fx.faults);
+  SvgStyle style;
+  const std::string svg = render_labeling_svg(fx.faults, result, style);
+  // 3 faults, 6 re-enabled (worked example enables all), no disabled
+  // healthy nodes.
+  EXPECT_EQ(count_substr(svg, style.faulty), 3u);
+  EXPECT_EQ(count_substr(svg, style.enabled_unsafe), 6u);
+  EXPECT_EQ(count_substr(svg, style.disabled_nonfaulty), 0u);
+  EXPECT_EQ(count_substr(svg, style.safe), 36u - 9u);
+}
+
+TEST(SvgTest, Figure2bShowsDisabledPocket) {
+  const auto fx = fault::figure2b();
+  const auto result = labeling::run_pipeline(fx.faults);
+  SvgStyle style;
+  const std::string svg = render_labeling_svg(fx.faults, result, style);
+  EXPECT_EQ(count_substr(svg, style.disabled_nonfaulty), 2u);
+  EXPECT_EQ(count_substr(svg, style.enabled_unsafe), 0u);
+}
+
+TEST(SvgTest, RouteOverlayDrawsSegmentsAndEndpoints) {
+  const auto fx = fault::worked_example();
+  const auto result = labeling::run_pipeline(fx.faults);
+  const auto blocked = labeling::disabled_cells(result.activation);
+  const routing::FaultRingRouter router(fx.faults.topology(), blocked);
+  const auto route = router.route({0, 0}, {5, 5});
+  ASSERT_TRUE(route.delivered());
+  const std::string svg = render_route_svg(fx.faults, result, route);
+  EXPECT_EQ(count_substr(svg, "<line"),
+            static_cast<std::size_t>(route.hops()));
+  EXPECT_EQ(count_substr(svg, "<circle"), 2u);
+}
+
+TEST(SvgTest, CellSizeScalesCanvas) {
+  const auto fx = fault::worked_example();
+  const auto result = labeling::run_pipeline(fx.faults);
+  SvgStyle style;
+  style.cell_px = 10;
+  const std::string svg = render_labeling_svg(fx.faults, result, style);
+  EXPECT_NE(svg.find("width=\"60\""), std::string::npos);
+  EXPECT_NE(svg.find("height=\"60\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocp::analysis

@@ -1,0 +1,142 @@
+// Phase two (enabled/disabled labeling, Definition 3) unit tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/activation_protocol.hpp"
+#include "core/reference.hpp"
+#include "core/regions.hpp"
+#include "fault/generators.hpp"
+#include "grid/connectivity.hpp"
+#include "simkernel/sync_runner.hpp"
+
+namespace ocp::labeling {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+grid::NodeGrid<Activation> run_distributed(const grid::CellSet& faults,
+                                           const grid::NodeGrid<Safety>& safety,
+                                           sim::RoundStats* stats = nullptr) {
+  const ActivationProtocol proto(faults, safety);
+  auto result = sim::run_sync(faults.topology(), proto);
+  if (stats) *stats = result.stats;
+  grid::NodeGrid<Activation> out(faults.topology(), Activation::Enabled);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.at_index(i) = result.states.at_index(i).activation;
+  }
+  return out;
+}
+
+TEST(ActivationTest, SafeNodesAreEnabledFaultyDisabled) {
+  const Mesh2D m(8, 8);
+  const grid::CellSet faults{m, {{3, 3}, {4, 4}}};
+  const auto safety = reference_safety(faults, SafeUnsafeDef::Def2b);
+  const auto act = run_distributed(faults, safety);
+  EXPECT_EQ((act[{0, 0}]), Activation::Enabled);
+  EXPECT_EQ((act[{3, 3}]), Activation::Disabled);
+  EXPECT_EQ((act[{4, 4}]), Activation::Disabled);
+}
+
+TEST(ActivationTest, DiagonalPairBlockFreesBothNonfaultyCells) {
+  // The 2x2 block from two diagonal faults: each nonfaulty cell has two
+  // enabled neighbors outside the block and gets activated.
+  const Mesh2D m(8, 8);
+  const grid::CellSet faults{m, {{3, 3}, {4, 4}}};
+  const auto safety = reference_safety(faults, SafeUnsafeDef::Def2b);
+  const auto act = run_distributed(faults, safety);
+  EXPECT_EQ((act[{3, 4}]), Activation::Enabled);
+  EXPECT_EQ((act[{4, 3}]), Activation::Enabled);
+}
+
+TEST(ActivationTest, FaultyNodesNeverEnable) {
+  const Mesh2D m(12, 12);
+  stats::Rng rng(2);
+  const auto faults = fault::uniform_random(m, 20, rng);
+  const auto safety = reference_safety(faults, SafeUnsafeDef::Def2b);
+  const auto act = run_distributed(faults, safety);
+  faults.for_each([&](Coord c) { EXPECT_EQ(act[c], Activation::Disabled); });
+}
+
+TEST(ActivationTest, MonotoneSubsetOfUnsafe) {
+  // Disabled cells are exactly a subset of unsafe cells; safe cells are
+  // always enabled.
+  const Mesh2D m(16, 16);
+  stats::Rng rng(3);
+  const auto faults = fault::uniform_random(m, 30, rng);
+  const auto safety = reference_safety(faults, SafeUnsafeDef::Def2a);
+  const auto act = run_distributed(faults, safety);
+  for (std::size_t i = 0; i < act.size(); ++i) {
+    if (act.at_index(i) == Activation::Disabled) {
+      EXPECT_EQ(safety.at_index(i), Safety::Unsafe);
+    }
+    if (safety.at_index(i) == Safety::Safe) {
+      EXPECT_EQ(act.at_index(i), Activation::Enabled);
+    }
+  }
+}
+
+TEST(ActivationTest, DistributedMatchesReferenceOnRandomInstances) {
+  const Mesh2D m(30, 30);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    stats::Rng rng(seed);
+    const auto faults = fault::uniform_random(m, 50, rng);
+    for (auto def : {SafeUnsafeDef::Def2a, SafeUnsafeDef::Def2b}) {
+      const auto safety = reference_safety(faults, def);
+      EXPECT_EQ(run_distributed(faults, safety),
+                reference_activation(faults, safety))
+          << "seed " << seed << " " << to_string(def);
+    }
+  }
+}
+
+TEST(ActivationTest, GhostNeighborsCountAsEnabledSupport) {
+  // A 2x2 block in the mesh corner: the corner-most nonfaulty cell of the
+  // block still sees two enabled (ghost) neighbors and activates.
+  const Mesh2D m(6, 6);
+  const grid::CellSet faults{m, {{0, 1}, {1, 0}}};
+  const auto safety = reference_safety(faults, SafeUnsafeDef::Def2b);
+  ASSERT_EQ((safety[{0, 0}]), Safety::Unsafe);
+  ASSERT_EQ((safety[{1, 1}]), Safety::Unsafe);
+  const auto act = run_distributed(faults, safety);
+  // (0,0) has ghost west + ghost south -> enabled; (1,1) has east + north
+  // mesh neighbors enabled -> enabled.
+  EXPECT_EQ((act[{0, 0}]), Activation::Enabled);
+  EXPECT_EQ((act[{1, 1}]), Activation::Enabled);
+}
+
+TEST(ActivationTest, SingleContactPocketStaysDisabled) {
+  // A healthy cell surrounded by faults on three sides (one link to the
+  // outside) cannot collect two enabled neighbors.
+  const Mesh2D m(8, 8);
+  grid::CellSet faults{m, {{2, 2}, {3, 2}, {4, 2}, {2, 3}, {4, 3},
+                           {2, 4}, {3, 4}, {4, 4}}};
+  faults.erase({3, 4});  // open the top: pocket (3,3) sees one enabled nbr
+  const auto safety = reference_safety(faults, SafeUnsafeDef::Def2b);
+  ASSERT_EQ((safety[{3, 3}]), Safety::Unsafe);
+  ASSERT_EQ((safety[{3, 4}]), Safety::Unsafe);
+  const auto act = run_distributed(faults, safety);
+  EXPECT_EQ((act[{3, 3}]), Activation::Disabled);
+  EXPECT_EQ((act[{3, 4}]), Activation::Disabled);
+}
+
+TEST(ActivationTest, PhaseTwoRoundsAtMostPhaseOneDiameterBound) {
+  const Mesh2D m(24, 24);
+  for (std::uint64_t seed = 50; seed < 56; ++seed) {
+    stats::Rng rng(seed);
+    const auto faults = fault::uniform_random(m, 40, rng);
+    const auto safety = reference_safety(faults, SafeUnsafeDef::Def2b);
+    sim::RoundStats stats;
+    run_distributed(faults, safety, &stats);
+    std::int32_t max_diam = 0;
+    for (const auto& comp : grid::connected_components(unsafe_cells(safety))) {
+      max_diam = std::max(max_diam, comp.region.diameter());
+    }
+    EXPECT_LE(stats.rounds_to_quiesce, std::max(max_diam, 1))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ocp::labeling

@@ -1,0 +1,152 @@
+// Exhaustive verification on small machines: every fault pattern with up to
+// three faults (and every two-fault pattern on 4x4) is checked against all
+// section-3/4 claims. Unlike the randomized sweeps, these tests cannot miss
+// a corner case within their universe.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+#include "geometry/convexity.hpp"
+
+namespace ocp::labeling {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+using mesh::Topology;
+
+/// Checks every claim on one instance; returns a description of the first
+/// violation, empty when clean.
+std::string check_instance(const grid::CellSet& faults, SafeUnsafeDef def) {
+  PipelineOptions opts{.definition = def};
+  const auto result = run_pipeline(faults, opts);
+
+  for (const auto& block : result.blocks) {
+    if (!block.region().is_rectangle()) return "non-rectangular block";
+  }
+  for (std::size_t i = 0; i < result.blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.blocks.size(); ++j) {
+      std::int32_t dist = std::numeric_limits<std::int32_t>::max();
+      for (Coord u : result.blocks[i].component.mesh_cells) {
+        for (Coord v : result.blocks[j].component.mesh_cells) {
+          dist = std::min(dist, faults.topology().distance(u, v));
+        }
+      }
+      const std::int32_t min_dist = def == SafeUnsafeDef::Def2a ? 3 : 2;
+      if (dist < min_dist) return "blocks too close";
+    }
+  }
+  for (const auto& region : result.regions) {
+    // A region wrapping a whole torus ring has no planar outside along that
+    // dimension; the paper's corner/minimality analysis presupposes regions
+    // smaller than the ring (always true at its scale: f <= 1% of nodes).
+    // Such degenerate wraps only arise on these tiny exhaustive tori.
+    const geom::Rect bbox = region.region().bounding_box();
+    if (faults.topology().is_torus() &&
+        (bbox.width() >= faults.topology().width() ||
+         bbox.height() >= faults.topology().height())) {
+      continue;
+    }
+    if (!geom::is_orthogonal_convex(region.region())) {
+      return "concave disabled region";
+    }
+    if (!region.region().is_connected(geom::Connectivity::Eight)) {
+      return "disconnected disabled region";
+    }
+    // Lemma 1 + Theorem 2.
+    std::vector<Coord> fault_frame;
+    const auto frame = region.region().cells();
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      const bool is_fault =
+          faults.contains(region.component.mesh_cells[i]);
+      if (is_fault) fault_frame.push_back(frame[i]);
+      if (geom::is_corner_node(region.region(), frame[i]) && !is_fault) {
+        return "nonfaulty corner node";
+      }
+    }
+    if (geom::rectilinear_convex_closure(geom::Region(fault_frame)) !=
+        region.region()) {
+      return "region is not the closure of its faults";
+    }
+  }
+  // Status lattice.
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(faults.topology().node_count()); ++i) {
+    const Coord c = faults.topology().coord(i);
+    if (faults.contains(c)) {
+      if (result.safety[c] != Safety::Unsafe) return "faulty but safe";
+      if (result.activation[c] != Activation::Disabled) {
+        return "faulty but enabled";
+      }
+    }
+    if (result.activation[c] == Activation::Disabled &&
+        result.safety[c] != Safety::Unsafe) {
+      return "disabled but safe";
+    }
+  }
+  return {};
+}
+
+void exhaust(const Mesh2D& m, std::size_t max_faults) {
+  const auto n = static_cast<std::size_t>(m.node_count());
+  // Enumerate all fault sets of size 1..max_faults by index combinations.
+  std::vector<std::size_t> pick;
+  const auto recurse = [&](auto&& self, std::size_t start) -> void {
+    if (!pick.empty()) {
+      grid::CellSet faults(m);
+      for (std::size_t i : pick) faults.insert(m.coord(i));
+      for (auto def : {SafeUnsafeDef::Def2a, SafeUnsafeDef::Def2b}) {
+        const std::string violation = check_instance(faults, def);
+        if (!violation.empty()) {
+          std::string cells;
+          for (std::size_t i : pick) {
+            cells += mesh::to_string(m.coord(i)) + " ";
+          }
+          FAIL() << violation << " on " << m.describe() << " faults "
+                 << cells << to_string(def);
+        }
+      }
+    }
+    if (pick.size() == max_faults) return;
+    for (std::size_t i = start; i < n; ++i) {
+      pick.push_back(i);
+      self(self, i + 1);
+      pick.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+}
+
+TEST(ExhaustiveSmallMesh, AllPatternsUpTo3FaultsOn3x3Mesh) {
+  exhaust(Mesh2D(3, 3), 3);
+}
+
+TEST(ExhaustiveSmallMesh, AllPatternsUpTo3FaultsOn4x3Mesh) {
+  exhaust(Mesh2D(4, 3), 3);
+}
+
+TEST(ExhaustiveSmallMesh, AllPatternsUpTo2FaultsOn5x5Mesh) {
+  exhaust(Mesh2D(5, 5), 2);
+}
+
+TEST(ExhaustiveSmallMesh, AllPatternsUpTo3FaultsOn4x4Torus) {
+  exhaust(Mesh2D(4, 4, Topology::Torus), 3);
+}
+
+TEST(ExhaustiveSmallMesh, AllPatternsUpTo2FaultsOn5x4Torus) {
+  exhaust(Mesh2D(5, 4, Topology::Torus), 2);
+}
+
+TEST(ExhaustiveSmallMesh, DegenerateOneByNMeshes) {
+  // 1xN meshes: every nonfaulty node has at most two neighbors, both along
+  // the same dimension — under Definition 2b no nonfaulty node can ever be
+  // unsafe, so blocks are exactly the fault runs.
+  for (std::int32_t len : {1, 2, 5, 9}) {
+    const Mesh2D m(len, 1);
+    exhaust(m, std::min<std::size_t>(3, static_cast<std::size_t>(len)));
+  }
+}
+
+}  // namespace
+}  // namespace ocp::labeling

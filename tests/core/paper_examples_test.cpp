@@ -1,0 +1,137 @@
+// Pinned reproductions of the paper's worked examples (section 3 and
+// Figures 1-2). These tests encode the exact outcomes the text reports.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "fault/fixtures.hpp"
+#include "geometry/convexity.hpp"
+
+namespace ocp::labeling {
+namespace {
+
+using mesh::Coord;
+
+// Section 3: "Consider an example of a 2-D mesh with three faulty nodes:
+// (1,3), (2,1), and (3,2). Using the safe/unsafe rule, one faulty block
+// {(i,j) | i,j in {1,2,3}} is constructed. Using the enabled/disabled rule,
+// the faulty block is split into two disabled regions: {(1,3)} and
+// {(2,1),(3,2)}. All the nonfaulty nodes in the faulty block are enabled."
+TEST(PaperExamples, WorkedExampleFaultyBlock) {
+  const auto fx = fault::worked_example();
+  const auto result = run_pipeline(fx.faults);
+
+  ASSERT_EQ(result.blocks.size(), 1u);
+  const auto& block = result.blocks[0].region();
+  EXPECT_EQ(block.size(), 9u);
+  for (std::int32_t x = 1; x <= 3; ++x) {
+    for (std::int32_t y = 1; y <= 3; ++y) {
+      EXPECT_TRUE(block.contains({x, y}));
+    }
+  }
+  EXPECT_TRUE(block.is_rectangle());
+}
+
+TEST(PaperExamples, WorkedExampleDisabledRegions) {
+  const auto fx = fault::worked_example();
+  const auto result = run_pipeline(fx.faults);
+
+  ASSERT_EQ(result.regions.size(), 2u);
+  // Row-major extraction order: {(2,1),(3,2)} seeds at (2,1) first.
+  const geom::Region expected_a({{2, 1}, {3, 2}});
+  const geom::Region expected_b({{1, 3}});
+  EXPECT_EQ(result.regions[0].region(), expected_a);
+  EXPECT_EQ(result.regions[1].region(), expected_b);
+
+  // "All the nonfaulty nodes in the faulty block are enabled."
+  EXPECT_EQ(result.enabled_total(), 6u);
+  EXPECT_EQ(result.disabled_nonfaulty_total(), 0u);
+}
+
+TEST(PaperExamples, WorkedExampleRegionsAreOrthogonalConvexPolygons) {
+  const auto fx = fault::worked_example();
+  const auto result = run_pipeline(fx.faults);
+  for (const auto& region : result.regions) {
+    EXPECT_TRUE(geom::is_orthogonal_convex_polygon(
+        region.region(), geom::Connectivity::Eight));
+  }
+}
+
+// Figure 1: the same fault pattern under Definition 2a forms one faulty
+// block; under Definition 2b it forms two blocks, and the total number of
+// swallowed nonfaulty nodes shrinks.
+TEST(PaperExamples, Figure1DefinitionComparison) {
+  const auto fx = fault::figure1();
+  PipelineOptions def2a{.definition = SafeUnsafeDef::Def2a};
+  PipelineOptions def2b{.definition = SafeUnsafeDef::Def2b};
+  const auto a = run_pipeline(fx.faults, def2a);
+  const auto b = run_pipeline(fx.faults, def2b);
+
+  ASSERT_EQ(a.blocks.size(), 1u);
+  EXPECT_EQ(a.blocks[0].size(), 6u);  // 2x3 bridged block
+  EXPECT_TRUE(a.blocks[0].region().is_rectangle());
+
+  ASSERT_EQ(b.blocks.size(), 2u);
+  EXPECT_EQ(b.blocks[0].size(), 2u);
+  EXPECT_EQ(b.blocks[1].size(), 2u);
+  // "the distance between two faulty blocks is at least 2" (Def 2b).
+  EXPECT_EQ(b.blocks[0].region().distance_to(b.blocks[1].region()), 2);
+
+  // Definition 2b swallows strictly fewer nonfaulty nodes.
+  EXPECT_LT(b.unsafe_nonfaulty_total(), a.unsafe_nonfaulty_total());
+}
+
+// Figure 2 (a): the healthy upper-right pocket of the block is activated
+// entirely — starting from the corner cell with two outside neighbors.
+TEST(PaperExamples, Figure2aPocketFullyEnabled) {
+  const auto fx = fault::figure2a();
+  const auto result = run_pipeline(fx.faults);
+
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.blocks[0].size(), 16u);  // the full 4x4 block
+  EXPECT_EQ(result.blocks[0].unsafe_nonfaulty_count, 4u);
+
+  for (Coord c : {Coord{4, 4}, Coord{5, 4}, Coord{4, 5}, Coord{5, 5}}) {
+    EXPECT_EQ(result.activation[c], Activation::Enabled)
+        << mesh::to_string(c);
+  }
+  EXPECT_EQ(result.enabled_total(), 4u);
+}
+
+// Figure 2 (b): the healthy upper-center pocket would have double status
+// under a recursive definition; under Definition 3 (monotone, disabled
+// start) it stays disabled.
+TEST(PaperExamples, Figure2bPocketStaysDisabled) {
+  const auto fx = fault::figure2b();
+  const auto result = run_pipeline(fx.faults);
+
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.blocks[0].size(), 20u);  // the full 5x4 block
+  EXPECT_EQ(result.blocks[0].unsafe_nonfaulty_count, 2u);
+
+  EXPECT_EQ((result.activation[{4, 4}]), Activation::Disabled);
+  EXPECT_EQ((result.activation[{4, 5}]), Activation::Disabled);
+  EXPECT_EQ(result.enabled_total(), 0u);
+
+  // The whole block remains one disabled region and it is still an
+  // orthogonal convex polygon (here: the rectangle itself).
+  ASSERT_EQ(result.regions.size(), 1u);
+  EXPECT_EQ(result.regions[0].size(), 20u);
+  EXPECT_TRUE(geom::is_orthogonal_convex_polygon(result.regions[0].region()));
+}
+
+// Definitions 2a/2b distance claims on the paper's diagonal-pair remark:
+// faults (u_x,u_y) and (u_x+1,u_y+1) with no other faults end up in a single
+// block under both definitions.
+TEST(PaperExamples, DiagonalRemarkSingleRegion) {
+  const mesh::Mesh2D m(8, 8);
+  const grid::CellSet faults{m, {{3, 3}, {4, 4}}};
+  for (auto def : {SafeUnsafeDef::Def2a, SafeUnsafeDef::Def2b}) {
+    PipelineOptions opts{.definition = def};
+    const auto result = run_pipeline(faults, opts);
+    ASSERT_EQ(result.blocks.size(), 1u) << to_string(def);
+    EXPECT_EQ(result.blocks[0].size(), 4u) << to_string(def);
+  }
+}
+
+}  // namespace
+}  // namespace ocp::labeling

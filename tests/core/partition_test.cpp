@@ -1,0 +1,235 @@
+// Covers for the paper's open problem: exhaustive optimum vs greedy
+// gap-splitting heuristic for multi-polygon fault covers.
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "fault/shapes.hpp"
+#include "geometry/convexity.hpp"
+
+namespace ocp::labeling {
+namespace {
+
+using geom::Region;
+using mesh::Coord;
+
+TEST(PartitionTest, EmptyFaultSet) {
+  EXPECT_TRUE(closure_cover(Region{}).polygons.empty());
+  EXPECT_TRUE(greedy_gap_cover(Region{}).polygons.empty());
+  EXPECT_TRUE(optimal_cover_exhaustive(Region{}).polygons.empty());
+}
+
+TEST(PartitionTest, SingleFaultIsItsOwnCover) {
+  const Region faults({{3, 3}});
+  for (const auto& cover :
+       {closure_cover(faults), greedy_gap_cover(faults),
+        optimal_cover_exhaustive(faults)}) {
+    ASSERT_EQ(cover.polygon_count(), 1u);
+    EXPECT_EQ(cover.polygons[0], faults);
+    EXPECT_EQ(cover.nonfaulty_cells, 0u);
+  }
+}
+
+TEST(PartitionTest, SinglePolygonCoverIsTheClosure) {
+  const Region faults({{0, 0}, {4, 0}, {4, 4}});
+  const auto cover = closure_cover(faults);
+  ASSERT_EQ(cover.polygon_count(), 1u);
+  EXPECT_EQ(cover.polygons[0], geom::rectilinear_convex_closure(faults));
+  EXPECT_TRUE(is_valid_cover(faults, cover.polygons));
+}
+
+TEST(PartitionTest, ValidityRejectsUncoveredFault) {
+  const Region faults({{0, 0}, {5, 5}});
+  EXPECT_FALSE(is_valid_cover(faults, {Region({{0, 0}})}));
+}
+
+TEST(PartitionTest, ValidityRejectsConcavePolygon) {
+  const Region faults({{0, 0}});
+  EXPECT_FALSE(
+      is_valid_cover(faults, {fault::make_u_shape({0, 0}, 4, 3)}));
+}
+
+TEST(PartitionTest, ValidityRejectsAdjacentPolygons) {
+  const Region faults({{0, 0}, {1, 1}});
+  // Diagonal singletons are 8-adjacent: not a valid two-polygon cover.
+  EXPECT_FALSE(
+      is_valid_cover(faults, {Region({{0, 0}}), Region({{1, 1}})}));
+  // The joint closure is fine.
+  EXPECT_TRUE(is_valid_cover(
+      faults, {geom::rectilinear_convex_closure(faults)}));
+}
+
+TEST(PartitionTest, GreedySplitsAtEmptyLines) {
+  // Four corner faults: the single closure bridges everything into the full
+  // 5x3 box; greedy splits on the empty column *and* the empty row, ending
+  // with four separated singletons.
+  const Region faults({{0, 0}, {0, 2}, {4, 0}, {4, 2}});
+  const auto single = closure_cover(faults);
+  const auto greedy = greedy_gap_cover(faults);
+  EXPECT_EQ(single.polygon_count(), 1u);
+  EXPECT_EQ(single.nonfaulty_cells, 15u - 4u);
+  EXPECT_EQ(greedy.polygon_count(), 4u);
+  EXPECT_EQ(greedy.nonfaulty_cells, 0u);
+  EXPECT_TRUE(is_valid_cover(faults, greedy.polygons));
+}
+
+TEST(PartitionTest, GreedyRecursesIntoSubClusters) {
+  // Staircase with empty lines at every level: greedy ends with singletons.
+  const Region faults({{0, 0}, {2, 1}, {4, 2}});
+  const auto greedy = greedy_gap_cover(faults);
+  EXPECT_EQ(greedy.polygon_count(), 3u);
+  EXPECT_EQ(greedy.nonfaulty_cells, 0u);
+  EXPECT_TRUE(is_valid_cover(faults, greedy.polygons));
+}
+
+TEST(PartitionTest, ExhaustiveMatchesKnownOptimum) {
+  // Diamond corners: the optimum is four singletons, zero healthy cells.
+  const Region faults({{0, 2}, {2, 0}, {4, 2}, {2, 4}});
+  const auto optimal = optimal_cover_exhaustive(faults);
+  EXPECT_EQ(optimal.nonfaulty_cells, 0u);
+  EXPECT_EQ(optimal.polygon_count(), 4u);
+  EXPECT_TRUE(is_valid_cover(faults, optimal.polygons));
+}
+
+TEST(PartitionTest, DiagonalPairCannotBeSplit) {
+  // 8-adjacent faults must share a polygon; all solvers agree.
+  const Region faults({{2, 1}, {3, 2}});
+  EXPECT_EQ(optimal_cover_exhaustive(faults).polygon_count(), 1u);
+  EXPECT_EQ(greedy_gap_cover(faults).polygon_count(), 1u);
+  EXPECT_EQ(optimal_cover_exhaustive(faults).nonfaulty_cells, 0u);
+}
+
+TEST(PartitionTest, ExhaustiveNeverWorseThanGreedyOrSingle) {
+  stats::Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Coord> cells;
+    const int f = static_cast<int>(rng.uniform_int(1, 7));
+    for (int i = 0; i < f; ++i) {
+      cells.push_back({static_cast<std::int32_t>(rng.uniform_int(0, 7)),
+                       static_cast<std::int32_t>(rng.uniform_int(0, 7))});
+    }
+    const Region faults(std::move(cells));
+    const auto single = closure_cover(faults);
+    const auto greedy = greedy_gap_cover(faults);
+    const auto optimal = optimal_cover_exhaustive(faults);
+
+    ASSERT_TRUE(is_valid_cover(faults, single.polygons));
+    ASSERT_TRUE(is_valid_cover(faults, greedy.polygons));
+    ASSERT_TRUE(is_valid_cover(faults, optimal.polygons));
+    ASSERT_LE(optimal.nonfaulty_cells, greedy.nonfaulty_cells);
+    ASSERT_LE(greedy.nonfaulty_cells, single.nonfaulty_cells);
+  }
+}
+
+TEST(PartitionTest, LargeFaultSetFallsBackToGreedy) {
+  stats::Rng rng(5);
+  std::vector<Coord> cells;
+  for (int i = 0; i < 30; ++i) {
+    cells.push_back({static_cast<std::int32_t>(rng.uniform_int(0, 20)),
+                     static_cast<std::int32_t>(rng.uniform_int(0, 20))});
+  }
+  const Region faults(std::move(cells));
+  const auto cover =
+      optimal_cover_exhaustive(faults, CoverRule::Separated,
+                               /*max_faults=*/10);
+  EXPECT_TRUE(is_valid_cover(faults, cover.polygons));
+  EXPECT_EQ(cover.nonfaulty_cells, greedy_gap_cover(faults).nonfaulty_cells);
+}
+
+TEST(PartitionTest, TouchingRuleAllowsAdjacentPieces) {
+  const Region faults({{0, 0}, {1, 1}});
+  const std::vector<Region> split = {Region({{0, 0}}), Region({{1, 1}})};
+  EXPECT_FALSE(is_valid_cover(faults, split, CoverRule::Separated));
+  EXPECT_TRUE(is_valid_cover(faults, split, CoverRule::Touching));
+  // Overlap is rejected even under Touching.
+  const std::vector<Region> overlap = {Region({{0, 0}, {1, 0}}),
+                                       Region({{1, 0}, {1, 1}})};
+  EXPECT_FALSE(is_valid_cover(faults, overlap, CoverRule::Touching));
+}
+
+TEST(PartitionTest, TouchingOptimumCutsZigChains) {
+  // The paper's remark on Figures 1 (c)/(d): "for certain cases, a disabled
+  // region can be further partitioned and more nonfaulty nodes in the
+  // region can be removed." A zig-zag fault chain keeps two healthy nodes
+  // in its one-polygon cover; cutting it into touching diagonal pairs
+  // drops both.
+  const Region faults({{3, 3}, {4, 4}, {3, 5}, {4, 6}});
+  const auto one = closure_cover(faults);
+  ASSERT_EQ(one.polygon_count(), 1u);
+  EXPECT_EQ(one.nonfaulty_cells, 2u);
+
+  const auto separated =
+      optimal_cover_exhaustive(faults, CoverRule::Separated);
+  EXPECT_EQ(separated.nonfaulty_cells, 2u);  // cannot split without touching
+
+  const auto touching = optimal_cover_exhaustive(faults, CoverRule::Touching);
+  EXPECT_EQ(touching.nonfaulty_cells, 0u);
+  EXPECT_GE(touching.polygon_count(), 2u);
+  EXPECT_TRUE(is_valid_cover(faults, touching.polygons, CoverRule::Touching));
+}
+
+TEST(PartitionTest, GreedyCutCoverMatchesTouchingOptimumOnZigChain) {
+  const Region faults({{3, 3}, {4, 4}, {3, 5}, {4, 6}});
+  const auto cut = greedy_cut_cover(faults);
+  EXPECT_EQ(cut.nonfaulty_cells, 0u);
+  EXPECT_TRUE(is_valid_cover(faults, cut.polygons, CoverRule::Touching));
+}
+
+TEST(PartitionTest, CoverHierarchyOnRandomInstances) {
+  // optimal(touching) <= greedy(touching) and <= optimal(separated)
+  // <= greedy(separated) <= closure, and every cover is valid for its rule.
+  stats::Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Coord> cells;
+    const int f = static_cast<int>(rng.uniform_int(1, 7));
+    for (int i = 0; i < f; ++i) {
+      cells.push_back({static_cast<std::int32_t>(rng.uniform_int(0, 7)),
+                       static_cast<std::int32_t>(rng.uniform_int(0, 7))});
+    }
+    const Region faults(std::move(cells));
+    const auto closure = closure_cover(faults);
+    const auto gap = greedy_gap_cover(faults);
+    const auto cut = greedy_cut_cover(faults);
+    const auto opt_sep =
+        optimal_cover_exhaustive(faults, CoverRule::Separated);
+    const auto opt_touch =
+        optimal_cover_exhaustive(faults, CoverRule::Touching);
+
+    ASSERT_TRUE(is_valid_cover(faults, gap.polygons, CoverRule::Separated));
+    ASSERT_TRUE(is_valid_cover(faults, cut.polygons, CoverRule::Touching));
+    ASSERT_TRUE(
+        is_valid_cover(faults, opt_sep.polygons, CoverRule::Separated));
+    ASSERT_TRUE(
+        is_valid_cover(faults, opt_touch.polygons, CoverRule::Touching));
+
+    ASSERT_LE(opt_touch.nonfaulty_cells, opt_sep.nonfaulty_cells);
+    ASSERT_LE(opt_touch.nonfaulty_cells, cut.nonfaulty_cells);
+    ASSERT_LE(opt_sep.nonfaulty_cells, gap.nonfaulty_cells);
+    ASSERT_LE(gap.nonfaulty_cells, closure.nonfaulty_cells);
+  }
+}
+
+TEST(PartitionTest, PartitioningDisabledRegionsImprovesFigure1cCases) {
+  // The paper notes disabled regions like Figures 1 (c)/(d) can be further
+  // partitioned. Construct such a case: faults whose disabled region is one
+  // polygon but whose fault clusters sit across an empty line.
+  const mesh::Mesh2D m(12, 12);
+  const grid::CellSet faults{
+      m, {{3, 3}, {4, 4}, {3, 5}, {4, 6}}};  // zig chain, one block
+  const auto result = run_pipeline(faults);
+  ASSERT_EQ(result.regions.size(), 1u);
+  const auto& dr = result.regions[0].region();
+
+  // The disabled region covers the faults with some healthy nodes...
+  const std::size_t dr_nonfaulty = result.regions[0].disabled_nonfaulty_count;
+  // ...and the multi-polygon solvers never do worse.
+  Region fault_region(faults.to_vector());
+  const auto optimal = optimal_cover_exhaustive(fault_region);
+  EXPECT_LE(optimal.nonfaulty_cells, dr_nonfaulty);
+  EXPECT_TRUE(is_valid_cover(fault_region, optimal.polygons));
+  EXPECT_TRUE(geom::is_orthogonal_convex(dr));
+}
+
+}  // namespace
+}  // namespace ocp::labeling

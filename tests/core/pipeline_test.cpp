@@ -1,0 +1,99 @@
+// Pipeline orchestration tests: engines agree, options are honored, stats
+// are populated.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+
+namespace ocp::labeling {
+namespace {
+
+using mesh::Mesh2D;
+
+TEST(PipelineTest, DistributedAndReferenceEnginesAgree) {
+  const Mesh2D m(32, 32);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    stats::Rng rng(seed);
+    const auto faults = fault::uniform_random(m, 50, rng);
+    for (auto def : {SafeUnsafeDef::Def2a, SafeUnsafeDef::Def2b}) {
+      PipelineOptions dist{.definition = def, .engine = Engine::Distributed};
+      PipelineOptions ref{.definition = def, .engine = Engine::Reference};
+      const auto a = run_pipeline(faults, dist);
+      const auto b = run_pipeline(faults, ref);
+      EXPECT_EQ(a.safety, b.safety) << "seed " << seed;
+      EXPECT_EQ(a.activation, b.activation) << "seed " << seed;
+      EXPECT_EQ(a.blocks.size(), b.blocks.size());
+      EXPECT_EQ(a.regions.size(), b.regions.size());
+    }
+  }
+}
+
+TEST(PipelineTest, DenseAndFrontierModesAgree) {
+  const Mesh2D m(24, 24);
+  stats::Rng rng(9);
+  const auto faults = fault::uniform_random(m, 40, rng);
+  PipelineOptions dense{.run_mode = sim::RunMode::Dense};
+  PipelineOptions frontier{.run_mode = sim::RunMode::Frontier};
+  const auto a = run_pipeline(faults, dense);
+  const auto b = run_pipeline(faults, frontier);
+  EXPECT_EQ(a.safety, b.safety);
+  EXPECT_EQ(a.activation, b.activation);
+  EXPECT_EQ(a.safety_stats.rounds_to_quiesce,
+            b.safety_stats.rounds_to_quiesce);
+  EXPECT_EQ(a.activation_stats.rounds_to_quiesce,
+            b.activation_stats.rounds_to_quiesce);
+}
+
+TEST(PipelineTest, DistributedEngineReportsRounds) {
+  const Mesh2D m(16, 16);
+  const grid::CellSet faults{m, {{5, 5}, {6, 6}}};  // diagonal pair
+  const auto result = run_pipeline(faults);
+  EXPECT_GE(result.safety_stats.rounds_to_quiesce, 1);
+  EXPECT_GE(result.activation_stats.rounds_to_quiesce, 1);
+  EXPECT_GT(result.safety_stats.messages_broadcast, 0u);
+}
+
+TEST(PipelineTest, ReferenceEngineZeroesStats) {
+  const Mesh2D m(16, 16);
+  const grid::CellSet faults{m, {{5, 5}, {6, 6}}};
+  PipelineOptions opts{.engine = Engine::Reference};
+  const auto result = run_pipeline(faults, opts);
+  EXPECT_EQ(result.safety_stats.rounds_to_quiesce, 0);
+  EXPECT_EQ(result.safety_stats.messages_broadcast, 0u);
+}
+
+TEST(PipelineTest, DefinitionOptionIsHonored) {
+  const Mesh2D m(10, 10);
+  const grid::CellSet faults{m, {{3, 2}, {3, 4}}};  // same-dimension pair
+  PipelineOptions def2a{.definition = SafeUnsafeDef::Def2a};
+  PipelineOptions def2b{.definition = SafeUnsafeDef::Def2b};
+  const auto a = run_pipeline(faults, def2a);
+  const auto b = run_pipeline(faults, def2b);
+  EXPECT_EQ(a.blocks.size(), 1u);  // bridged by (3,3)
+  EXPECT_EQ(b.blocks.size(), 2u);  // split
+}
+
+TEST(PipelineTest, WorksOnTorus) {
+  const Mesh2D m(16, 16, mesh::Topology::Torus);
+  stats::Rng rng(11);
+  const auto faults = fault::uniform_random(m, 20, rng);
+  const auto result = run_pipeline(faults);
+  std::size_t block_faults = 0;
+  for (const auto& b : result.blocks) block_faults += b.fault_count;
+  EXPECT_EQ(block_faults, faults.size());
+}
+
+TEST(PipelineTest, FullyFaultyMachineIsOneBlock) {
+  const Mesh2D m(4, 4);
+  grid::CellSet faults(m);
+  for (std::size_t i = 0; i < 16; ++i) faults.insert(m.coord(i));
+  const auto result = run_pipeline(faults);
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.blocks[0].size(), 16u);
+  ASSERT_EQ(result.regions.size(), 1u);
+  EXPECT_EQ(result.regions[0].size(), 16u);
+  EXPECT_EQ(result.enabled_total(), 0u);
+}
+
+}  // namespace
+}  // namespace ocp::labeling

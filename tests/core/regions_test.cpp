@@ -1,0 +1,122 @@
+// Faulty-block and disabled-region extraction tests.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+
+namespace ocp::labeling {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(RegionsTest, NoFaultsNoRegions) {
+  const Mesh2D m(10, 10);
+  const auto result = run_pipeline(grid::CellSet(m));
+  EXPECT_TRUE(result.blocks.empty());
+  EXPECT_TRUE(result.regions.empty());
+  EXPECT_EQ(result.unsafe_nonfaulty_total(), 0u);
+  EXPECT_EQ(result.enabled_total(), 0u);
+}
+
+TEST(RegionsTest, SingleFaultSingletonBlockAndRegion) {
+  const Mesh2D m(10, 10);
+  const auto result = run_pipeline(grid::CellSet{m, {{5, 5}}});
+  ASSERT_EQ(result.blocks.size(), 1u);
+  ASSERT_EQ(result.regions.size(), 1u);
+  EXPECT_EQ(result.blocks[0].size(), 1u);
+  EXPECT_EQ(result.blocks[0].fault_count, 1u);
+  EXPECT_EQ(result.blocks[0].unsafe_nonfaulty_count, 0u);
+  EXPECT_EQ(result.regions[0].size(), 1u);
+  EXPECT_EQ(result.regions[0].parent_block, 0u);
+}
+
+TEST(RegionsTest, BlockCountsPartitionBlockSize) {
+  const Mesh2D m(20, 20);
+  stats::Rng rng(1);
+  const auto faults = fault::uniform_random(m, 30, rng);
+  const auto result = run_pipeline(faults);
+  for (const auto& block : result.blocks) {
+    EXPECT_EQ(block.fault_count + block.unsafe_nonfaulty_count, block.size());
+  }
+}
+
+TEST(RegionsTest, BlocksPartitionUnsafeSet) {
+  const Mesh2D m(20, 20);
+  stats::Rng rng(2);
+  const auto faults = fault::uniform_random(m, 40, rng);
+  const auto result = run_pipeline(faults);
+  std::size_t total = 0;
+  for (const auto& block : result.blocks) total += block.size();
+  EXPECT_EQ(total, unsafe_cells(result.safety).size());
+}
+
+TEST(RegionsTest, RegionsPartitionDisabledSet) {
+  const Mesh2D m(20, 20);
+  stats::Rng rng(3);
+  const auto faults = fault::uniform_random(m, 40, rng);
+  const auto result = run_pipeline(faults);
+  std::size_t total = 0;
+  for (const auto& region : result.regions) total += region.size();
+  EXPECT_EQ(total, disabled_cells(result.activation).size());
+}
+
+TEST(RegionsTest, EveryFaultLandsInExactlyOneRegion) {
+  const Mesh2D m(24, 24);
+  stats::Rng rng(4);
+  const auto faults = fault::uniform_random(m, 50, rng);
+  const auto result = run_pipeline(faults);
+  std::size_t region_faults = 0;
+  for (const auto& region : result.regions) region_faults += region.fault_count;
+  EXPECT_EQ(region_faults, faults.size());
+  std::size_t block_faults = 0;
+  for (const auto& block : result.blocks) block_faults += block.fault_count;
+  EXPECT_EQ(block_faults, faults.size());
+}
+
+TEST(RegionsTest, ParentBlockContainsItsRegions) {
+  const Mesh2D m(24, 24);
+  stats::Rng rng(5);
+  const auto faults = fault::uniform_random(m, 60, rng);
+  const auto result = run_pipeline(faults);
+  for (const auto& region : result.regions) {
+    ASSERT_LT(region.parent_block, result.blocks.size());
+    const auto& parent = result.blocks[region.parent_block].region();
+    for (Coord c : region.component.mesh_cells) {
+      EXPECT_TRUE(parent.contains(c));
+    }
+  }
+}
+
+TEST(RegionsTest, EnabledTotalsAreConsistent) {
+  const Mesh2D m(24, 24);
+  stats::Rng rng(6);
+  const auto faults = fault::uniform_random(m, 45, rng);
+  const auto result = run_pipeline(faults);
+  EXPECT_EQ(result.enabled_total() + result.disabled_nonfaulty_total(),
+            result.unsafe_nonfaulty_total());
+  // Cross-check against a direct count of unsafe-but-enabled cells.
+  std::size_t direct = 0;
+  for (std::size_t i = 0; i < result.safety.size(); ++i) {
+    if (result.safety.at_index(i) == Safety::Unsafe &&
+        result.activation.at_index(i) == Activation::Enabled) {
+      ++direct;
+    }
+  }
+  EXPECT_EQ(result.enabled_total(), direct);
+}
+
+TEST(RegionsTest, MismatchedGridsThrow) {
+  const Mesh2D m(8, 8);
+  const grid::CellSet faults{m, {{4, 4}}};
+  // Activation grid claims a disabled cell where safety says safe ->
+  // extract_disabled_regions must reject the pair.
+  grid::NodeGrid<Safety> safety(m, Safety::Safe);
+  grid::NodeGrid<Activation> act(m, Activation::Enabled);
+  act[{2, 2}] = Activation::Disabled;
+  EXPECT_THROW(extract_disabled_regions(faults, act, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ocp::labeling

@@ -1,0 +1,160 @@
+// Phase one (safe/unsafe labeling) unit tests: Definitions 2a and 2b.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/reference.hpp"
+#include "core/regions.hpp"
+#include "core/safety_protocol.hpp"
+#include "fault/generators.hpp"
+#include "grid/connectivity.hpp"
+#include "simkernel/sync_runner.hpp"
+
+namespace ocp::labeling {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+grid::NodeGrid<Safety> run_distributed(const grid::CellSet& faults,
+                                       SafeUnsafeDef def,
+                                       sim::RoundStats* stats = nullptr) {
+  const SafetyProtocol proto(faults, def);
+  auto result = sim::run_sync(faults.topology(), proto);
+  if (stats) *stats = result.stats;
+  grid::NodeGrid<Safety> out(faults.topology(), Safety::Safe);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.at_index(i) = result.states.at_index(i).safety;
+  }
+  return out;
+}
+
+TEST(SafetyTest, NoFaultsMeansAllSafe) {
+  const Mesh2D m(8, 8);
+  const grid::CellSet faults(m);
+  sim::RoundStats stats;
+  const auto safety = run_distributed(faults, SafeUnsafeDef::Def2b, &stats);
+  for (Safety s : safety) EXPECT_EQ(s, Safety::Safe);
+  EXPECT_EQ(stats.rounds_to_quiesce, 0);
+}
+
+TEST(SafetyTest, IsolatedFaultStaysAlone) {
+  const Mesh2D m(8, 8);
+  const grid::CellSet faults{m, {{4, 4}}};
+  for (auto def : {SafeUnsafeDef::Def2a, SafeUnsafeDef::Def2b}) {
+    const auto safety = run_distributed(faults, def);
+    std::size_t unsafe = 0;
+    for (Safety s : safety) unsafe += s == Safety::Unsafe ? 1u : 0u;
+    EXPECT_EQ(unsafe, 1u) << to_string(def);
+  }
+}
+
+TEST(SafetyTest, DiagonalFaultsMergeIntoSquare) {
+  // The classic example: faults at (u) and (u+1, u+1) pull both in-between
+  // nodes unsafe under both definitions.
+  const Mesh2D m(8, 8);
+  const grid::CellSet faults{m, {{3, 3}, {4, 4}}};
+  for (auto def : {SafeUnsafeDef::Def2a, SafeUnsafeDef::Def2b}) {
+    const auto safety = run_distributed(faults, def);
+    EXPECT_EQ((safety[{3, 4}]), Safety::Unsafe) << to_string(def);
+    EXPECT_EQ((safety[{4, 3}]), Safety::Unsafe) << to_string(def);
+    EXPECT_EQ((safety[{2, 3}]), Safety::Safe) << to_string(def);
+  }
+}
+
+TEST(SafetyTest, SameDimensionPairDiffersBetweenDefinitions) {
+  // A node with two unsafe neighbors along the same dimension is unsafe
+  // under Definition 2a but safe under Definition 2b (the distinction the
+  // paper highlights).
+  const Mesh2D m(8, 8);
+  const grid::CellSet faults{m, {{3, 2}, {3, 4}}};
+  const auto s2a = run_distributed(faults, SafeUnsafeDef::Def2a);
+  const auto s2b = run_distributed(faults, SafeUnsafeDef::Def2b);
+  EXPECT_EQ((s2a[{3, 3}]), Safety::Unsafe);
+  EXPECT_EQ((s2b[{3, 3}]), Safety::Safe);
+}
+
+TEST(SafetyTest, FaultyNodesAreAlwaysUnsafe) {
+  const Mesh2D m(10, 10);
+  stats::Rng rng(1);
+  const auto faults = fault::uniform_random(m, 20, rng);
+  for (auto def : {SafeUnsafeDef::Def2a, SafeUnsafeDef::Def2b}) {
+    const auto safety = run_distributed(faults, def);
+    faults.for_each(
+        [&](Coord c) { EXPECT_EQ(safety[c], Safety::Unsafe) << to_string(def); });
+  }
+}
+
+TEST(SafetyTest, Def2aUnsafeSetContainsDef2bUnsafeSet) {
+  // Definition 2a's rule fires whenever 2b's does, so its fixpoint dominates.
+  const Mesh2D m(20, 20);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    stats::Rng rng(seed);
+    const auto faults = fault::uniform_random(m, 30, rng);
+    const auto s2a = reference_safety(faults, SafeUnsafeDef::Def2a);
+    const auto s2b = reference_safety(faults, SafeUnsafeDef::Def2b);
+    for (std::size_t i = 0; i < s2a.size(); ++i) {
+      if (s2b.at_index(i) == Safety::Unsafe) {
+        EXPECT_EQ(s2a.at_index(i), Safety::Unsafe) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(SafetyTest, DistributedMatchesReferenceOnRandomInstances) {
+  const Mesh2D m(30, 30);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    stats::Rng rng(seed);
+    const auto faults = fault::uniform_random(m, 45, rng);
+    for (auto def : {SafeUnsafeDef::Def2a, SafeUnsafeDef::Def2b}) {
+      EXPECT_EQ(run_distributed(faults, def), reference_safety(faults, def))
+          << "seed " << seed << " " << to_string(def);
+    }
+  }
+}
+
+TEST(SafetyTest, GhostBoundaryDoesNotLeakUnsafe) {
+  // A fault at the mesh corner: ghost neighbors are safe, so the corner's
+  // mesh neighbors each see only one unsafe neighbor and stay safe.
+  const Mesh2D m(6, 6);
+  const grid::CellSet faults{m, {{0, 0}}};
+  const auto safety = run_distributed(faults, SafeUnsafeDef::Def2b);
+  EXPECT_EQ((safety[{1, 0}]), Safety::Safe);
+  EXPECT_EQ((safety[{0, 1}]), Safety::Safe);
+}
+
+TEST(SafetyTest, CornerDiagonalPairMergesAtBoundary) {
+  const Mesh2D m(6, 6);
+  const grid::CellSet faults{m, {{0, 0}, {1, 1}}};
+  const auto safety = run_distributed(faults, SafeUnsafeDef::Def2b);
+  EXPECT_EQ((safety[{1, 0}]), Safety::Unsafe);
+  EXPECT_EQ((safety[{0, 1}]), Safety::Unsafe);
+}
+
+TEST(SafetyTest, TorusWrapsUnsafePropagation) {
+  // Faults straddling the seam behave exactly like adjacent interior faults.
+  const Mesh2D m(8, 8, mesh::Topology::Torus);
+  const grid::CellSet faults{m, {{7, 3}, {0, 4}}};  // diagonal across seam
+  const auto safety = run_distributed(faults, SafeUnsafeDef::Def2b);
+  EXPECT_EQ((safety[{7, 4}]), Safety::Unsafe);
+  EXPECT_EQ((safety[{0, 3}]), Safety::Unsafe);
+}
+
+TEST(SafetyTest, RoundsBoundedByLargestBlockDiameter) {
+  const Mesh2D m(30, 30);
+  for (std::uint64_t seed = 20; seed < 30; ++seed) {
+    stats::Rng rng(seed);
+    const auto faults = fault::uniform_random(m, 60, rng);
+    sim::RoundStats stats;
+    const auto safety = run_distributed(faults, SafeUnsafeDef::Def2b, &stats);
+    // Find the largest unsafe-component diameter.
+    std::int32_t max_diam = 0;
+    for (const auto& comp : grid::connected_components(unsafe_cells(safety))) {
+      max_diam = std::max(max_diam, comp.region.diameter());
+    }
+    EXPECT_LE(stats.rounds_to_quiesce, std::max(max_diam, 1)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ocp::labeling

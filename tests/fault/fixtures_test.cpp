@@ -1,0 +1,55 @@
+#include "fault/fixtures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocp::fault {
+namespace {
+
+TEST(FixturesTest, WorkedExampleFaults) {
+  const Fixture fx = worked_example();
+  EXPECT_EQ(fx.faults.size(), 3u);
+  EXPECT_TRUE(fx.faults.contains({1, 3}));
+  EXPECT_TRUE(fx.faults.contains({2, 1}));
+  EXPECT_TRUE(fx.faults.contains({3, 2}));
+  EXPECT_FALSE(fx.name.empty());
+  EXPECT_FALSE(fx.description.empty());
+}
+
+TEST(FixturesTest, Figure1TwoClusters) {
+  const Fixture fx = figure1();
+  EXPECT_EQ(fx.faults.size(), 4u);
+  EXPECT_TRUE(fx.faults.contains({2, 2}));
+  EXPECT_TRUE(fx.faults.contains({3, 4}));
+}
+
+TEST(FixturesTest, Figure2aPocketIsHealthy) {
+  const Fixture fx = figure2a();
+  EXPECT_EQ(fx.faults.size(), 16u - 4u);
+  // Pocket cells are healthy.
+  EXPECT_FALSE(fx.faults.contains({4, 4}));
+  EXPECT_FALSE(fx.faults.contains({5, 5}));
+  // Block cells outside the pocket are faulty.
+  EXPECT_TRUE(fx.faults.contains({2, 2}));
+  EXPECT_TRUE(fx.faults.contains({3, 5}));
+}
+
+TEST(FixturesTest, Figure2bPocketIsHealthy) {
+  const Fixture fx = figure2b();
+  EXPECT_EQ(fx.faults.size(), 20u - 2u);
+  EXPECT_FALSE(fx.faults.contains({4, 4}));
+  EXPECT_FALSE(fx.faults.contains({4, 5}));
+  EXPECT_TRUE(fx.faults.contains({3, 5}));
+  EXPECT_TRUE(fx.faults.contains({5, 5}));
+}
+
+TEST(FixturesTest, AllFaultsInsideTheirMachines) {
+  for (const Fixture& fx :
+       {worked_example(), figure1(), figure2a(), figure2b()}) {
+    fx.faults.for_each([&](mesh::Coord c) {
+      EXPECT_TRUE(fx.faults.topology().contains(c)) << fx.name;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace ocp::fault

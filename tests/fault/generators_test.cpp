@@ -1,0 +1,73 @@
+#include "fault/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocp::fault {
+namespace {
+
+using mesh::Mesh2D;
+
+TEST(UniformRandomTest, ExactCount) {
+  const Mesh2D m(20, 20);
+  stats::Rng rng(1);
+  for (std::size_t f : {0u, 1u, 17u, 100u, 400u}) {
+    EXPECT_EQ(uniform_random(m, f, rng).size(), f);
+  }
+}
+
+TEST(UniformRandomTest, CellsAreDistinctByConstruction) {
+  const Mesh2D m(10, 10);
+  stats::Rng rng(2);
+  const auto faults = uniform_random(m, 50, rng);
+  EXPECT_EQ(faults.size(), 50u);  // CellSet dedupes; equality means distinct
+}
+
+TEST(UniformRandomTest, DeterministicForSeed) {
+  const Mesh2D m(30, 30);
+  stats::Rng a(99);
+  stats::Rng b(99);
+  EXPECT_EQ(uniform_random(m, 40, a), uniform_random(m, 40, b));
+}
+
+TEST(UniformRandomTest, CoversWholeMeshOverManyDraws) {
+  const Mesh2D m(5, 5);
+  stats::Rng rng(3);
+  grid::CellSet seen(m);
+  for (int i = 0; i < 200; ++i) {
+    uniform_random(m, 3, rng).for_each([&](mesh::Coord c) { seen.insert(c); });
+  }
+  EXPECT_EQ(seen.size(), 25u);
+}
+
+TEST(BernoulliTest, ProbabilityZeroAndOne) {
+  const Mesh2D m(10, 10);
+  stats::Rng rng(4);
+  EXPECT_TRUE(bernoulli(m, 0.0, rng).empty());
+  EXPECT_EQ(bernoulli(m, 1.0, rng).size(), 100u);
+}
+
+TEST(BernoulliTest, RateIsRoughlyP) {
+  const Mesh2D m(100, 100);
+  stats::Rng rng(5);
+  const auto faults = bernoulli(m, 0.1, rng);
+  EXPECT_GT(faults.size(), 800u);
+  EXPECT_LT(faults.size(), 1200u);
+}
+
+TEST(ClusteredTest, ProducesRequestedClusters) {
+  const Mesh2D m(50, 50);
+  stats::Rng rng(6);
+  const auto faults = clustered(m, 3, 10, rng);
+  EXPECT_GE(faults.size(), 3u);          // at least the centers
+  EXPECT_LE(faults.size(), 30u);         // at most clusters * per_cluster
+}
+
+TEST(ClusteredTest, FaultsStayInsideMachine) {
+  const Mesh2D m(12, 9);
+  stats::Rng rng(7);
+  const auto faults = clustered(m, 4, 8, rng);
+  faults.for_each([&](mesh::Coord c) { EXPECT_TRUE(m.contains(c)); });
+}
+
+}  // namespace
+}  // namespace ocp::fault

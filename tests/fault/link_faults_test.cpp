@@ -1,0 +1,148 @@
+#include "fault/link_faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "routing/router.hpp"
+
+namespace ocp::fault {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(LinkSetTest, CanonicalizesEndpoints) {
+  const Link l1 = make_link({3, 3}, {2, 3});
+  EXPECT_EQ(l1.a, (Coord{2, 3}));
+  EXPECT_EQ(l1.b, (Coord{3, 3}));
+  EXPECT_EQ(make_link({2, 3}, {3, 3}), l1);
+}
+
+TEST(LinkSetTest, InsertAndContainsEitherOrder) {
+  LinkSet links{Mesh2D(6, 6)};
+  links.insert({2, 2}, {2, 3});
+  EXPECT_TRUE(links.contains({2, 2}, {2, 3}));
+  EXPECT_TRUE(links.contains({2, 3}, {2, 2}));
+  EXPECT_FALSE(links.contains({2, 2}, {3, 2}));
+  EXPECT_EQ(links.size(), 1u);
+  links.insert({2, 3}, {2, 2});  // duplicate, either order
+  EXPECT_EQ(links.size(), 1u);
+}
+
+TEST(LinkSetTest, RejectsNonLinks) {
+  LinkSet links{Mesh2D(6, 6)};
+  EXPECT_THROW(links.insert({0, 0}, {2, 0}), std::invalid_argument);
+  EXPECT_THROW(links.insert({0, 0}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(links.insert({0, 0}, {-1, 0}), std::invalid_argument);
+}
+
+TEST(LinkSetTest, TorusWrapLinksAreValid) {
+  LinkSet links{Mesh2D(6, 6, mesh::Topology::Torus)};
+  links.insert({0, 2}, {5, 2});
+  EXPECT_TRUE(links.contains({5, 2}, {0, 2}));
+}
+
+TEST(ReductionTest, EveryFailedLinkGetsAFaultyEndpoint) {
+  const Mesh2D m(10, 10);
+  stats::Rng rng(1);
+  const LinkSet links = random_link_faults(m, 15, rng);
+  const grid::CellSet base(m);
+  for (auto policy :
+       {LinkReduction::FirstEndpoint, LinkReduction::MostIncident}) {
+    const auto nodes = reduce_to_node_faults(links, base, policy);
+    for (const Link& l : links.links()) {
+      EXPECT_TRUE(nodes.contains(l.a) || nodes.contains(l.b));
+    }
+  }
+}
+
+TEST(ReductionTest, ExistingNodeFaultsCoverTheirLinks) {
+  const Mesh2D m(8, 8);
+  LinkSet links(m);
+  links.insert({3, 3}, {4, 3});
+  const grid::CellSet base{m, {{3, 3}}};
+  const auto nodes = reduce_to_node_faults(links, base);
+  // The already-faulty endpoint suffices; nothing new is sacrificed.
+  EXPECT_EQ(nodes.size(), 1u);
+}
+
+TEST(ReductionTest, MostIncidentSacrificesFewerNodesOnStars) {
+  // Four failed links around one hub: greedy covers all with the hub node;
+  // the first-endpoint policy may sacrifice several.
+  const Mesh2D m(8, 8);
+  LinkSet links(m);
+  const Coord hub{4, 4};
+  for (mesh::Dir d : mesh::kAllDirs) {
+    links.insert(hub, hub.step(d));
+  }
+  const grid::CellSet base(m);
+  const auto greedy =
+      reduce_to_node_faults(links, base, LinkReduction::MostIncident);
+  const auto naive =
+      reduce_to_node_faults(links, base, LinkReduction::FirstEndpoint);
+  EXPECT_EQ(greedy.size(), 1u);
+  EXPECT_TRUE(greedy.contains(hub));
+  EXPECT_GT(naive.size(), 1u);
+}
+
+TEST(ReductionTest, PipelineOverReducedFaultsKeepsInvariants) {
+  const Mesh2D m(16, 16);
+  stats::Rng rng(5);
+  const LinkSet links = random_link_faults(m, 12, rng);
+  const auto node_view = reduce_to_node_faults(links, grid::CellSet(m));
+  const auto result = labeling::run_pipeline(node_view);
+  for (const auto& block : result.blocks) {
+    EXPECT_TRUE(block.region().is_rectangle());
+  }
+}
+
+TEST(ReductionTest, RoutesNeverUseFailedLinks) {
+  // Soundness of the reduction end to end: a route over the reduced node
+  // faults cannot traverse any failed link (one endpoint is always
+  // blocked).
+  const Mesh2D m(14, 14);
+  stats::Rng rng(7);
+  const LinkSet links = random_link_faults(m, 10, rng);
+  const auto node_view = reduce_to_node_faults(links, grid::CellSet(m));
+  const auto result = labeling::run_pipeline(node_view);
+  const auto blocked = labeling::disabled_cells(result.activation);
+  const routing::FaultRingRouter router(m, blocked);
+
+  stats::Rng pair_rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto src = m.coord(static_cast<std::size_t>(
+        pair_rng.uniform_int(0, m.node_count() - 1)));
+    const auto dst = m.coord(static_cast<std::size_t>(
+        pair_rng.uniform_int(0, m.node_count() - 1)));
+    if (src == dst || blocked.contains(src) || blocked.contains(dst)) {
+      continue;
+    }
+    const auto route = router.route(src, dst);
+    if (!route.delivered()) continue;
+    for (std::size_t h = 0; h + 1 < route.path.size(); ++h) {
+      ASSERT_FALSE(links.contains(route.path[h], route.path[h + 1]))
+          << "route used failed link at hop " << h;
+    }
+  }
+}
+
+TEST(RandomLinkFaultsTest, CountAndValidity) {
+  const Mesh2D m(10, 10);
+  stats::Rng rng(9);
+  const LinkSet links = random_link_faults(m, 25, rng);
+  EXPECT_EQ(links.size(), 25u);
+  for (const Link& l : links.links()) {
+    EXPECT_TRUE(m.linked(l.a, l.b));
+  }
+}
+
+TEST(RandomLinkFaultsTest, RequestBeyondAllLinksIsClamped) {
+  const Mesh2D m(3, 3);
+  stats::Rng rng(10);
+  // A 3x3 mesh has 2*3 + 3*2 = 12 links.
+  const LinkSet links = random_link_faults(m, 1000, rng);
+  EXPECT_EQ(links.size(), 12u);
+}
+
+}  // namespace
+}  // namespace ocp::fault

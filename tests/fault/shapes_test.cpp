@@ -1,0 +1,83 @@
+#include "fault/shapes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/convexity.hpp"
+
+namespace ocp::fault {
+namespace {
+
+using geom::Region;
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(ShapesTest, RectangleCellsAndAnchor) {
+  const Region r = make_rectangle({2, 3}, 4, 2);
+  EXPECT_EQ(r.size(), 8u);
+  EXPECT_TRUE(r.contains({2, 3}));
+  EXPECT_TRUE(r.contains({5, 4}));
+  EXPECT_FALSE(r.contains({6, 3}));
+  EXPECT_TRUE(r.is_rectangle());
+}
+
+TEST(ShapesTest, LShapeGeometry) {
+  const Region l = make_l_shape({0, 0}, 5, 2);
+  // Vertical arm 2x5 plus horizontal arm 3x2.
+  EXPECT_EQ(l.size(), 10u + 6u);
+  EXPECT_TRUE(l.contains({0, 4}));
+  EXPECT_TRUE(l.contains({4, 0}));
+  EXPECT_FALSE(l.contains({4, 4}));
+  EXPECT_TRUE(geom::is_orthogonal_convex_polygon(l));
+}
+
+TEST(ShapesTest, TShapeGeometry) {
+  const Region t = make_t_shape({0, 0}, 5, 2);
+  EXPECT_EQ(t.size(), 5u + 2u);
+  EXPECT_TRUE(t.contains({0, 2}));  // bar
+  EXPECT_TRUE(t.contains({2, 0}));  // stem
+  EXPECT_FALSE(t.contains({0, 0}));
+  EXPECT_TRUE(geom::is_orthogonal_convex_polygon(t));
+}
+
+TEST(ShapesTest, PlusShapeGeometry) {
+  const Region p = make_plus_shape({5, 5}, 2);
+  EXPECT_EQ(p.size(), 2u * (2u * 2u + 1u) - 1u);
+  EXPECT_TRUE(p.contains({5, 5}));
+  EXPECT_TRUE(p.contains({3, 5}));
+  EXPECT_TRUE(p.contains({5, 7}));
+  EXPECT_FALSE(p.contains({4, 4}));
+  EXPECT_TRUE(geom::is_orthogonal_convex_polygon(p));
+}
+
+TEST(ShapesTest, UShapeIsConcave) {
+  const Region u = make_u_shape({0, 0}, 5, 3);
+  EXPECT_EQ(u.size(), 5u + 2u * 2u);
+  EXPECT_FALSE(geom::is_orthogonal_convex(u));
+  EXPECT_TRUE(u.is_connected());
+}
+
+TEST(ShapesTest, HShapeIsConcave) {
+  const Region h = make_h_shape({0, 0}, 5, 5);
+  EXPECT_EQ(h.size(), 5u + 5u + 3u);
+  EXPECT_FALSE(geom::is_orthogonal_convex(h));
+  EXPECT_TRUE(h.is_connected());
+}
+
+TEST(ShapesTest, ToFaultSetSingleRegion) {
+  const Mesh2D m(10, 10);
+  const Region l = make_l_shape({1, 1}, 4, 1);
+  const grid::CellSet faults = to_fault_set(m, l);
+  EXPECT_EQ(faults.size(), l.size());
+  for (Coord c : l.cells()) EXPECT_TRUE(faults.contains(c));
+}
+
+TEST(ShapesTest, ToFaultSetUnionOfRegions) {
+  const Mesh2D m(20, 20);
+  const std::vector<Region> regions = {make_rectangle({1, 1}, 2, 2),
+                                       make_rectangle({10, 10}, 3, 1)};
+  const grid::CellSet faults = to_fault_set(m, regions);
+  EXPECT_EQ(faults.size(), 4u + 3u);
+}
+
+}  // namespace
+}  // namespace ocp::fault

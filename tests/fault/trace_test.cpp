@@ -1,0 +1,107 @@
+#include "fault/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/generators.hpp"
+
+namespace ocp::fault {
+namespace {
+
+using mesh::Mesh2D;
+using mesh::Topology;
+
+TEST(TraceTest, RoundTripMesh) {
+  const Mesh2D m(12, 9);
+  stats::Rng rng(3);
+  const auto faults = uniform_random(m, 15, rng);
+  const auto parsed = from_trace_string(to_trace_string(faults));
+  EXPECT_EQ(parsed, faults);
+  EXPECT_EQ(parsed.topology(), m);
+}
+
+TEST(TraceTest, RoundTripTorus) {
+  const Mesh2D m(7, 7, Topology::Torus);
+  const grid::CellSet faults{m, {{0, 0}, {6, 6}}};
+  const auto parsed = from_trace_string(to_trace_string(faults));
+  EXPECT_EQ(parsed, faults);
+  EXPECT_TRUE(parsed.topology().is_torus());
+}
+
+TEST(TraceTest, EmptyFaultSetRoundTrips) {
+  const Mesh2D m(5, 5);
+  const grid::CellSet faults(m);
+  EXPECT_EQ(from_trace_string(to_trace_string(faults)), faults);
+}
+
+TEST(TraceTest, CommentsAndBlankLinesAreIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "ocpmesh-trace v1\n"
+      "\n"
+      "machine 6 4 mesh   # inline comment\n"
+      "  fault 2 3\n"
+      "\n";
+  const auto faults = from_trace_string(text);
+  EXPECT_EQ(faults.size(), 1u);
+  EXPECT_TRUE(faults.contains({2, 3}));
+  EXPECT_EQ(faults.topology().width(), 6);
+  EXPECT_EQ(faults.topology().height(), 4);
+}
+
+TEST(TraceTest, RejectsMissingHeader) {
+  EXPECT_THROW(from_trace_string("machine 4 4 mesh\n"),
+               std::invalid_argument);
+  EXPECT_THROW(from_trace_string(""), std::invalid_argument);
+}
+
+TEST(TraceTest, RejectsMissingMachine) {
+  EXPECT_THROW(from_trace_string("ocpmesh-trace v1\nfault 1 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(from_trace_string("ocpmesh-trace v1\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceTest, RejectsMalformedLines) {
+  const std::string prefix = "ocpmesh-trace v1\nmachine 4 4 mesh\n";
+  EXPECT_THROW(from_trace_string(prefix + "fault 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(from_trace_string(prefix + "wibble 1 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(from_trace_string("ocpmesh-trace v1\nmachine 0 4 mesh\n"),
+               std::invalid_argument);
+  EXPECT_THROW(from_trace_string("ocpmesh-trace v1\nmachine 4 4 ring\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceTest, RejectsOutOfMachineAndDuplicateFaults) {
+  const std::string prefix = "ocpmesh-trace v1\nmachine 4 4 mesh\n";
+  EXPECT_THROW(from_trace_string(prefix + "fault 4 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(from_trace_string(prefix + "fault -1 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(from_trace_string(prefix + "fault 1 1\nfault 1 1\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceTest, RejectsDuplicateMachine) {
+  EXPECT_THROW(from_trace_string(
+                   "ocpmesh-trace v1\nmachine 4 4 mesh\nmachine 5 5 mesh\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  const Mesh2D m(8, 8);
+  stats::Rng rng(5);
+  const auto faults = uniform_random(m, 9, rng);
+  const std::string path = testing::TempDir() + "/ocp_trace_test.txt";
+  save_trace(path, faults);
+  EXPECT_EQ(load_trace(path), faults);
+}
+
+TEST(TraceTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/definitely/missing.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ocp::fault

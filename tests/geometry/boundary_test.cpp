@@ -1,0 +1,101 @@
+#include "geometry/boundary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "fault/shapes.hpp"
+#include "geometry/convexity.hpp"
+
+namespace ocp::geom {
+namespace {
+
+using mesh::Coord;
+
+TEST(BoundaryTest, SingleCellBoundary) {
+  const Region r({{3, 3}});
+  EXPECT_EQ(boundary_cells(r).size(), 1u);
+  EXPECT_EQ(edge_perimeter(r), 4);
+}
+
+TEST(BoundaryTest, RectanglePerimeter) {
+  const Region r = fault::make_rectangle({0, 0}, 4, 3);
+  EXPECT_EQ(edge_perimeter(r), 2 * (4 + 3));
+  // Boundary cells: everything except the 2x1 interior.
+  EXPECT_EQ(boundary_cells(r).size(), 12u - 2u);
+}
+
+TEST(BoundaryTest, OuterRingOfSingleCell) {
+  const Region r({{3, 3}});
+  const Region ring = outer_ring(r);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_TRUE(ring.contains({2, 2}));
+  EXPECT_TRUE(ring.contains({4, 4}));
+  EXPECT_FALSE(ring.contains({3, 3}));
+}
+
+TEST(BoundaryTest, OuterRingOfRectangle) {
+  const Region r = fault::make_rectangle({1, 1}, 3, 2);
+  const Region ring = outer_ring(r);
+  // Frame of a 3x2 rectangle: (3+2)*2 + 4 corners + 2*... = 5x4 box minus
+  // the 3x2 region = 20 - 6 = 14 cells.
+  EXPECT_EQ(ring.size(), 14u);
+  for (Coord c : ring.cells()) {
+    EXPECT_FALSE(r.contains(c));
+  }
+}
+
+TEST(BoundaryTest, TraceVisitsEveryRingCellOnce) {
+  const Region shapes[] = {
+      fault::make_rectangle({2, 2}, 1, 1),
+      fault::make_rectangle({2, 2}, 4, 3),
+      fault::make_l_shape({2, 2}, 5, 2),
+      fault::make_t_shape({2, 2}, 5, 2),
+      fault::make_plus_shape({8, 8}, 2),
+      // Diagonally-chained regions (the 8-connected disabled-region case):
+      // the walk must follow the pinch instead of cutting the corner.
+      Region({{3, 3}, {4, 4}}),
+      Region({{3, 3}, {4, 4}, {5, 5}}),
+      Region({{3, 3}, {4, 4}, {3, 5}}),
+  };
+  for (const Region& r : shapes) {
+    const Region ring = outer_ring(r);
+    const auto walk = trace_outer_ring(r);
+    EXPECT_EQ(walk.size(), ring.size());
+    std::unordered_set<Coord> seen(walk.begin(), walk.end());
+    EXPECT_EQ(seen.size(), walk.size()) << "walk revisits a cell";
+    for (Coord c : walk) {
+      EXPECT_TRUE(ring.contains(c));
+    }
+  }
+}
+
+TEST(BoundaryTest, TraceStepsAreEightAdjacent) {
+  const Region r = fault::make_plus_shape({8, 8}, 3);
+  const auto walk = trace_outer_ring(r);
+  ASSERT_GE(walk.size(), 3u);
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    const Coord a = walk[i];
+    const Coord b = walk[(i + 1) % walk.size()];
+    const Coord d = b - a;
+    EXPECT_LE(std::abs(d.x), 1);
+    EXPECT_LE(std::abs(d.y), 1);
+    EXPECT_NE(a, b);
+  }
+}
+
+TEST(BoundaryTest, EmptyRegionHasEmptyRing) {
+  EXPECT_TRUE(trace_outer_ring(Region{}).empty());
+  EXPECT_TRUE(outer_ring(Region{}).empty());
+  EXPECT_EQ(edge_perimeter(Region{}), 0);
+}
+
+TEST(BoundaryTest, PerimeterOfConcaveShapeCountsPocketEdges) {
+  const Region u = fault::make_u_shape({0, 0}, 5, 3);
+  // U 5x3 with towers of width 1: perimeter is larger than its bounding
+  // box's perimeter because the pocket adds interior boundary.
+  EXPECT_GT(edge_perimeter(u), 2 * (5 + 3));
+}
+
+}  // namespace
+}  // namespace ocp::geom

@@ -1,0 +1,125 @@
+// Rectilinear convex closure: correctness of the minimal orthogonal convex
+// superset used by the Theorem 2 / Corollary checks.
+#include <gtest/gtest.h>
+
+#include "fault/shapes.hpp"
+#include "geometry/convexity.hpp"
+#include "stats/rng.hpp"
+
+namespace ocp::geom {
+namespace {
+
+using mesh::Coord;
+
+TEST(ClosureTest, EmptyAndSingletonAreFixed) {
+  EXPECT_TRUE(rectilinear_convex_closure(Region{}).empty());
+  const Region single({{4, 2}});
+  EXPECT_EQ(rectilinear_convex_closure(single), single);
+}
+
+TEST(ClosureTest, ConvexInputIsUnchanged) {
+  const Region shapes[] = {
+      fault::make_rectangle({0, 0}, 4, 3),
+      fault::make_l_shape({0, 0}, 5, 2),
+      fault::make_t_shape({0, 0}, 5, 2),
+      fault::make_plus_shape({5, 5}, 2),
+  };
+  for (const Region& r : shapes) {
+    EXPECT_EQ(rectilinear_convex_closure(r), r);
+  }
+}
+
+TEST(ClosureTest, FillsRowGap) {
+  const Region gap({{0, 0}, {3, 0}});
+  const Region expected({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  EXPECT_EQ(rectilinear_convex_closure(gap), expected);
+}
+
+TEST(ClosureTest, FillsColumnGap) {
+  const Region gap({{2, 1}, {2, 4}});
+  EXPECT_EQ(rectilinear_convex_closure(gap).size(), 4u);
+}
+
+TEST(ClosureTest, DiagonalPairStaysTwoCells) {
+  // No row or column holds two cells, so nothing fills: the diagonal pair is
+  // its own closure (this is why the disabled region {(2,1),(3,2)} of the
+  // paper's worked example is already minimal).
+  const Region diag({{2, 1}, {3, 2}});
+  EXPECT_EQ(rectilinear_convex_closure(diag), diag);
+}
+
+TEST(ClosureTest, UShapeClosesItsPocket) {
+  const Region u = fault::make_u_shape({0, 0}, 5, 3);
+  const Region closed = rectilinear_convex_closure(u);
+  EXPECT_TRUE(is_orthogonal_convex(closed));
+  // The pocket cells between the towers get filled.
+  EXPECT_TRUE(closed.contains({1, 1}));
+  EXPECT_TRUE(closed.contains({3, 2}));
+  EXPECT_EQ(closed.size(), 15u);  // full 5x3 bounding box
+}
+
+TEST(ClosureTest, HShapeClosesToFullBox) {
+  const Region h = fault::make_h_shape({0, 0}, 5, 5);
+  const Region closed = rectilinear_convex_closure(h);
+  EXPECT_TRUE(is_orthogonal_convex(closed));
+  EXPECT_TRUE(closed.is_rectangle());
+}
+
+TEST(ClosureTest, CascadingFills) {
+  // Corner points whose row fill enables a column fill: closure must iterate
+  // to the fixpoint, not stop after one pass.
+  const Region zig({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  const Region closed = rectilinear_convex_closure(zig);
+  EXPECT_TRUE(is_orthogonal_convex(closed));
+  EXPECT_EQ(closed.size(), 9u);  // full 3x3
+}
+
+TEST(ClosureTest, ResultIsAlwaysConvexAndMinimalOnRandomInputs) {
+  stats::Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Coord> cells;
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    for (int i = 0; i < n; ++i) {
+      cells.push_back({static_cast<std::int32_t>(rng.uniform_int(0, 9)),
+                       static_cast<std::int32_t>(rng.uniform_int(0, 9))});
+    }
+    const Region seed(std::move(cells));
+    const Region closed = rectilinear_convex_closure(seed);
+
+    // Superset of the seed.
+    for (Coord c : seed.cells()) {
+      ASSERT_TRUE(closed.contains(c));
+    }
+    // Orthogonal convex.
+    ASSERT_TRUE(is_orthogonal_convex(closed));
+    // Idempotent.
+    ASSERT_EQ(rectilinear_convex_closure(closed), closed);
+    // Minimal: removing any non-seed cell breaks convexity, i.e. every
+    // added cell is forced. (Closure is the least fixed point, so each
+    // added cell lies on a line between two closed cells.)
+    for (Coord c : closed.cells()) {
+      if (seed.contains(c)) continue;
+      const Region without = closed.difference(Region({c}));
+      ASSERT_FALSE(is_orthogonal_convex(without))
+          << "cell " << mesh::to_string(c) << " was not forced";
+    }
+  }
+}
+
+TEST(ClosureTest, ClosureWithinBoundingBox) {
+  stats::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Coord> cells;
+    const int n = static_cast<int>(rng.uniform_int(2, 8));
+    for (int i = 0; i < n; ++i) {
+      cells.push_back({static_cast<std::int32_t>(rng.uniform_int(-5, 5)),
+                       static_cast<std::int32_t>(rng.uniform_int(-5, 5))});
+    }
+    const Region seed(std::move(cells));
+    const Region closed = rectilinear_convex_closure(seed);
+    EXPECT_EQ(closed.bounding_box(), seed.bounding_box());
+  }
+}
+
+}  // namespace
+}  // namespace ocp::geom

@@ -1,0 +1,72 @@
+#include "geometry/rect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocp::geom {
+namespace {
+
+using mesh::Coord;
+
+TEST(RectTest, DimensionsInclusive) {
+  const Rect r{{1, 2}, {4, 3}};
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 2);
+  EXPECT_EQ(r.area(), 8);
+  EXPECT_EQ(r.diameter(), 4);  // (4-1) + (2-1)
+}
+
+TEST(RectTest, SingleCell) {
+  const Rect r = Rect::cell({5, 5});
+  EXPECT_EQ(r.width(), 1);
+  EXPECT_EQ(r.height(), 1);
+  EXPECT_EQ(r.area(), 1);
+  EXPECT_EQ(r.diameter(), 0);
+}
+
+TEST(RectTest, ContainsIsInclusive) {
+  const Rect r{{1, 1}, {3, 3}};
+  EXPECT_TRUE(r.contains({1, 1}));
+  EXPECT_TRUE(r.contains({3, 3}));
+  EXPECT_TRUE(r.contains({2, 2}));
+  EXPECT_FALSE(r.contains({0, 2}));
+  EXPECT_FALSE(r.contains({4, 2}));
+  EXPECT_FALSE(r.contains({2, 0}));
+}
+
+TEST(RectTest, ExpandedCoversNewPoint) {
+  Rect r = Rect::cell({2, 2});
+  r = r.expanded({5, 1});
+  EXPECT_EQ(r.lo, (Coord{2, 1}));
+  EXPECT_EQ(r.hi, (Coord{5, 2}));
+  r = r.expanded({0, 7});
+  EXPECT_EQ(r.lo, (Coord{0, 1}));
+  EXPECT_EQ(r.hi, (Coord{5, 7}));
+}
+
+TEST(RectTest, DistanceZeroWhenOverlapping) {
+  const Rect a{{0, 0}, {3, 3}};
+  const Rect b{{2, 2}, {5, 5}};
+  EXPECT_EQ(distance(a, b), 0);
+}
+
+TEST(RectTest, DistanceZeroWhenTouching) {
+  const Rect a{{0, 0}, {1, 1}};
+  const Rect b{{1, 1}, {3, 3}};
+  EXPECT_EQ(distance(a, b), 0);
+}
+
+TEST(RectTest, DistanceAlongOneAxis) {
+  const Rect a{{0, 0}, {1, 1}};
+  const Rect b{{4, 0}, {5, 1}};
+  EXPECT_EQ(distance(a, b), 3);
+  EXPECT_EQ(distance(b, a), 3);
+}
+
+TEST(RectTest, DistanceDiagonal) {
+  const Rect a{{0, 0}, {1, 1}};
+  const Rect b{{3, 4}, {5, 6}};
+  EXPECT_EQ(distance(a, b), 2 + 3);
+}
+
+}  // namespace
+}  // namespace ocp::geom

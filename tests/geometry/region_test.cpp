@@ -1,0 +1,115 @@
+#include "geometry/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/shapes.hpp"
+
+namespace ocp::geom {
+namespace {
+
+using mesh::Coord;
+
+TEST(RegionTest, EmptyRegion) {
+  const Region r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.contains({0, 0}));
+  EXPECT_EQ(r.diameter(), 0);
+  EXPECT_EQ(r.component_count(), 0u);
+}
+
+TEST(RegionTest, DeduplicatesAndSortsRowMajor) {
+  const Region r({{2, 1}, {0, 0}, {2, 1}, {1, 0}});
+  EXPECT_EQ(r.size(), 3u);
+  const auto cells = r.cells();
+  EXPECT_EQ(cells[0], (Coord{0, 0}));
+  EXPECT_EQ(cells[1], (Coord{1, 0}));
+  EXPECT_EQ(cells[2], (Coord{2, 1}));
+}
+
+TEST(RegionTest, ContainsUsesBinarySearch) {
+  const Region r({{0, 0}, {5, 5}, {3, 2}});
+  EXPECT_TRUE(r.contains({3, 2}));
+  EXPECT_FALSE(r.contains({2, 3}));
+  EXPECT_FALSE(r.contains({-1, -1}));
+}
+
+TEST(RegionTest, BoundingBox) {
+  const Region r({{1, 4}, {3, 2}, {2, 2}});
+  EXPECT_EQ(r.bounding_box().lo, (Coord{1, 2}));
+  EXPECT_EQ(r.bounding_box().hi, (Coord{3, 4}));
+}
+
+TEST(RegionTest, RectangleDetection) {
+  EXPECT_TRUE(fault::make_rectangle({2, 3}, 4, 2).is_rectangle());
+  EXPECT_FALSE(fault::make_l_shape({0, 0}, 4, 2).is_rectangle());
+  EXPECT_TRUE(Region({{7, 7}}).is_rectangle());
+}
+
+TEST(RegionTest, DiameterMatchesBruteForce) {
+  const Region shapes[] = {
+      fault::make_rectangle({0, 0}, 5, 3),
+      fault::make_l_shape({0, 0}, 6, 2),
+      fault::make_plus_shape({10, 10}, 3),
+      fault::make_u_shape({0, 0}, 5, 4),
+      Region({{0, 0}, {7, 3}, {2, 9}}),
+  };
+  for (const Region& r : shapes) {
+    std::int32_t brute = 0;
+    for (Coord a : r.cells()) {
+      for (Coord b : r.cells()) {
+        brute = std::max(brute, mesh::manhattan(a, b));
+      }
+    }
+    EXPECT_EQ(r.diameter(), brute);
+  }
+}
+
+TEST(RegionTest, ConnectivityFourVsEight) {
+  const Region diag({{0, 0}, {1, 1}});
+  EXPECT_FALSE(diag.is_connected(Connectivity::Four));
+  EXPECT_TRUE(diag.is_connected(Connectivity::Eight));
+  EXPECT_EQ(diag.component_count(Connectivity::Four), 2u);
+  EXPECT_EQ(diag.component_count(Connectivity::Eight), 1u);
+}
+
+TEST(RegionTest, ShapesAreConnected) {
+  EXPECT_TRUE(fault::make_l_shape({0, 0}, 5, 2).is_connected());
+  EXPECT_TRUE(fault::make_t_shape({0, 0}, 5, 3).is_connected());
+  EXPECT_TRUE(fault::make_u_shape({0, 0}, 5, 3).is_connected());
+  EXPECT_TRUE(fault::make_h_shape({0, 0}, 5, 5).is_connected());
+  EXPECT_TRUE(fault::make_plus_shape({5, 5}, 2).is_connected());
+}
+
+TEST(RegionTest, DistanceToOtherRegion) {
+  const Region a({{0, 0}, {1, 0}});
+  const Region b({{4, 0}});
+  EXPECT_EQ(a.distance_to(b), 3);
+  const Region c({{1, 1}});
+  EXPECT_EQ(a.distance_to(c), 1);
+}
+
+TEST(RegionTest, DifferenceAndUnion) {
+  const Region a = fault::make_rectangle({0, 0}, 3, 3);
+  const Region b = fault::make_rectangle({1, 1}, 3, 3);
+  const Region diff = a.difference(b);
+  EXPECT_EQ(diff.size(), 9u - 4u);
+  EXPECT_TRUE(diff.contains({0, 0}));
+  EXPECT_FALSE(diff.contains({1, 1}));
+  const Region uni = a.united(b);
+  EXPECT_EQ(uni.size(), 9u + 9u - 4u);
+}
+
+TEST(RegionTest, AsciiRendering) {
+  const Region r({{0, 0}, {1, 0}, {1, 1}});
+  EXPECT_EQ(r.to_ascii(), ".#\n##\n");
+}
+
+TEST(RegionTest, EqualityIgnoresConstructionOrder) {
+  const Region a({{0, 0}, {1, 1}});
+  const Region b({{1, 1}, {0, 0}});
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ocp::geom

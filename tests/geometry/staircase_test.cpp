@@ -1,0 +1,151 @@
+#include "geometry/staircase.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/shapes.hpp"
+#include "geometry/convexity.hpp"
+#include "stats/rng.hpp"
+
+namespace ocp::geom {
+namespace {
+
+using mesh::Coord;
+
+TEST(RowProfileTest, ProfilesOfLShape) {
+  const Region l = fault::make_l_shape({0, 0}, 4, 2);  // 2-wide arm, 4 tall
+  const auto rows = row_profiles(l);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].y, 0);
+  EXPECT_EQ(rows[0].xmin, 0);
+  EXPECT_EQ(rows[0].xmax, 3);  // bottom bar
+  EXPECT_EQ(rows[3].xmax, 1);  // top of the vertical arm
+}
+
+TEST(ValleyHillTest, Classification) {
+  EXPECT_TRUE(is_valley({3, 2, 1, 1, 2, 5}));
+  EXPECT_TRUE(is_valley({1, 2, 3}));      // empty descending part
+  EXPECT_TRUE(is_valley({3, 2, 1}));      // empty ascending part
+  EXPECT_TRUE(is_valley({2}));
+  EXPECT_TRUE(is_valley({}));
+  EXPECT_FALSE(is_valley({1, 2, 1}));     // that's a hill
+  EXPECT_FALSE(is_valley({2, 1, 2, 1}));  // zigzag
+
+  EXPECT_TRUE(is_hill({1, 2, 3, 3, 1}));
+  EXPECT_TRUE(is_hill({3, 2, 1}));
+  EXPECT_FALSE(is_hill({2, 1, 2}));
+}
+
+TEST(FastConvexityTest, AgreesWithDefinitionalTestOnShapes) {
+  const Region shapes[] = {
+      fault::make_rectangle({0, 0}, 5, 3),
+      fault::make_l_shape({0, 0}, 5, 2),
+      fault::make_t_shape({0, 0}, 5, 2),
+      fault::make_plus_shape({6, 6}, 3),
+      fault::make_u_shape({0, 0}, 5, 3),
+      fault::make_h_shape({0, 0}, 5, 5),
+      Region({{0, 0}, {1, 1}}),
+      Region({{0, 0}, {2, 2}}),
+      Region({{0, 0}}),
+  };
+  for (const Region& r : shapes) {
+    EXPECT_EQ(is_orthogonal_convex_polygon_fast(r),
+              is_orthogonal_convex(r) &&
+                  r.is_connected(Connectivity::Eight))
+        << r.to_ascii();
+  }
+}
+
+TEST(FastConvexityTest, AgreesOnRandomRegions) {
+  stats::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Coord> cells;
+    const int n = static_cast<int>(rng.uniform_int(1, 10));
+    for (int i = 0; i < n; ++i) {
+      cells.push_back({static_cast<std::int32_t>(rng.uniform_int(0, 5)),
+                       static_cast<std::int32_t>(rng.uniform_int(0, 5))});
+    }
+    const Region r(std::move(cells));
+    ASSERT_EQ(is_orthogonal_convex_polygon_fast(r),
+              is_orthogonal_convex(r) &&
+                  r.is_connected(Connectivity::Eight))
+        << r.to_ascii();
+  }
+}
+
+TEST(FastConvexityTest, EmptyRegionIsNotAPolygon) {
+  EXPECT_FALSE(is_orthogonal_convex_polygon_fast(Region{}));
+}
+
+TEST(StaircaseTest, RectangleChains) {
+  const Region r = fault::make_rectangle({2, 2}, 4, 3);
+  const Staircases s = staircase_decomposition(r);
+  // Left profile is constant: SW chain is just the bottom-left cell, NW
+  // walks the left edge.
+  EXPECT_EQ(s.south_west.front(), (Coord{2, 2}));
+  EXPECT_EQ(s.north_west.back(), (Coord{2, 4}));
+  EXPECT_EQ(s.south_east.front(), (Coord{5, 2}));
+  EXPECT_EQ(s.north_east.back(), (Coord{5, 4}));
+}
+
+TEST(StaircaseTest, ChainsAreMonotoneAndInsideRegion) {
+  const Region shapes[] = {
+      fault::make_rectangle({0, 0}, 4, 4),
+      fault::make_l_shape({0, 0}, 5, 2),
+      fault::make_t_shape({0, 0}, 7, 3),
+      fault::make_plus_shape({8, 8}, 3),
+  };
+  for (const Region& r : shapes) {
+    ASSERT_TRUE(is_orthogonal_convex_polygon_fast(r));
+    const Staircases s = staircase_decomposition(r);
+    for (const auto* chain :
+         {&s.south_west, &s.north_west, &s.south_east, &s.north_east}) {
+      ASSERT_FALSE(chain->empty());
+      for (std::size_t i = 0; i < chain->size(); ++i) {
+        EXPECT_TRUE(r.contains((*chain)[i]));
+        if (i > 0) {
+          EXPECT_EQ((*chain)[i].y, (*chain)[i - 1].y + 1);
+        }
+      }
+    }
+    // Monotonicity of the x profiles along each chain.
+    for (std::size_t i = 1; i < s.south_west.size(); ++i) {
+      EXPECT_LE(s.south_west[i].x, s.south_west[i - 1].x);
+    }
+    for (std::size_t i = 1; i < s.north_west.size(); ++i) {
+      EXPECT_GE(s.north_west[i].x, s.north_west[i - 1].x);
+    }
+    for (std::size_t i = 1; i < s.south_east.size(); ++i) {
+      EXPECT_GE(s.south_east[i].x, s.south_east[i - 1].x);
+    }
+    for (std::size_t i = 1; i < s.north_east.size(); ++i) {
+      EXPECT_LE(s.north_east[i].x, s.north_east[i - 1].x);
+    }
+  }
+}
+
+TEST(StaircaseTest, ChainsShareCornerCells) {
+  const Region plus = fault::make_plus_shape({5, 5}, 2);
+  const Staircases s = staircase_decomposition(plus);
+  // SW's last cell is NW's first (the leftmost row), same on the right.
+  EXPECT_EQ(s.south_west.back(), s.north_west.front());
+  EXPECT_EQ(s.south_east.back(), s.north_east.front());
+  // Bottom cells of the left/right chains sit on the bottom row.
+  EXPECT_EQ(s.south_west.front().y, plus.bounding_box().lo.y);
+  EXPECT_EQ(s.south_east.front().y, plus.bounding_box().lo.y);
+}
+
+TEST(StaircaseTest, DiagonalChainIsAllCorners) {
+  const Region diag({{0, 0}, {1, 1}, {2, 2}});
+  ASSERT_TRUE(is_orthogonal_convex_polygon_fast(diag));
+  const Staircases s = staircase_decomposition(diag);
+  // xmin is ascending: the leftmost row is the bottom one, so the whole
+  // left profile belongs to the NW chain; mirrored on the right, the whole
+  // ascent of xmax belongs to the SE chain.
+  EXPECT_EQ(s.south_west.size(), 1u);
+  EXPECT_EQ(s.north_west.size(), 3u);
+  EXPECT_EQ(s.south_east.size(), 3u);
+  EXPECT_EQ(s.north_east.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ocp::geom

@@ -1,0 +1,101 @@
+#include "grid/cell_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocp::grid {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(CellSetTest, StartsEmpty) {
+  const CellSet s{Mesh2D(4, 4)};
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains({0, 0}));
+}
+
+TEST(CellSetTest, InsertEraseContains) {
+  CellSet s{Mesh2D(4, 4)};
+  s.insert({1, 2});
+  EXPECT_TRUE(s.contains({1, 2}));
+  EXPECT_EQ(s.size(), 1u);
+  s.insert({1, 2});  // idempotent
+  EXPECT_EQ(s.size(), 1u);
+  s.erase({1, 2});
+  EXPECT_FALSE(s.contains({1, 2}));
+  EXPECT_TRUE(s.empty());
+  s.erase({1, 2});  // idempotent
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(CellSetTest, InitializerListConstructor) {
+  const CellSet s{Mesh2D(5, 5), {{0, 0}, {2, 3}, {4, 4}}};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains({2, 3}));
+  EXPECT_FALSE(s.contains({3, 2}));
+}
+
+TEST(CellSetTest, OutOfMeshIsNeverMember) {
+  const CellSet s{Mesh2D(3, 3), {{0, 0}}};
+  EXPECT_FALSE(s.contains({-1, 0}));
+  EXPECT_FALSE(s.contains({3, 0}));
+}
+
+TEST(CellSetTest, ToVectorIsRowMajor) {
+  const CellSet s{Mesh2D(4, 4), {{3, 2}, {0, 0}, {1, 0}, {2, 1}}};
+  const std::vector<Coord> expected = {{0, 0}, {1, 0}, {2, 1}, {3, 2}};
+  EXPECT_EQ(s.to_vector(), expected);
+}
+
+TEST(CellSetTest, ForEachVisitsEveryMemberOnce) {
+  const CellSet s{Mesh2D(6, 6), {{1, 1}, {5, 0}, {0, 5}}};
+  std::size_t visits = 0;
+  s.for_each([&](Coord c) {
+    EXPECT_TRUE(s.contains(c));
+    ++visits;
+  });
+  EXPECT_EQ(visits, 3u);
+}
+
+TEST(CellSetTest, UnionDifferenceIntersection) {
+  const Mesh2D m(4, 4);
+  CellSet a{m, {{0, 0}, {1, 1}}};
+  const CellSet b{m, {{1, 1}, {2, 2}}};
+
+  CellSet u = a;
+  u |= b;
+  EXPECT_EQ(u.size(), 3u);
+  EXPECT_TRUE(u.contains({0, 0}));
+  EXPECT_TRUE(u.contains({2, 2}));
+
+  CellSet d = a;
+  d -= b;
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d.contains({0, 0}));
+  EXPECT_FALSE(d.contains({1, 1}));
+
+  CellSet i = a;
+  i &= b;
+  EXPECT_EQ(i.size(), 1u);
+  EXPECT_TRUE(i.contains({1, 1}));
+}
+
+TEST(CellSetTest, ClearResets) {
+  CellSet s{Mesh2D(4, 4), {{0, 0}, {3, 3}}};
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains({0, 0}));
+}
+
+TEST(CellSetTest, EqualityIsValueBased) {
+  const Mesh2D m(4, 4);
+  const CellSet a{m, {{1, 2}}};
+  const CellSet b{m, {{1, 2}}};
+  const CellSet c{m, {{2, 1}}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace ocp::grid

@@ -1,0 +1,113 @@
+#include "grid/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ocp::grid {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+using mesh::Topology;
+
+TEST(ConnectivityTest, EmptySetHasNoComponents) {
+  const CellSet s{Mesh2D(4, 4)};
+  EXPECT_TRUE(connected_components(s).empty());
+}
+
+TEST(ConnectivityTest, SingleCellIsOneComponent) {
+  const CellSet s{Mesh2D(4, 4), {{2, 2}}};
+  const auto comps = connected_components(s);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].region.size(), 1u);
+  EXPECT_TRUE(comps[0].region.contains({2, 2}));
+}
+
+TEST(ConnectivityTest, FourConnectivitySeparatesDiagonals) {
+  const CellSet s{Mesh2D(4, 4), {{0, 0}, {1, 1}}};
+  EXPECT_EQ(connected_components(s, Connectivity::Four).size(), 2u);
+  EXPECT_EQ(connected_components(s, Connectivity::Eight).size(), 1u);
+}
+
+TEST(ConnectivityTest, LShapedComponentIsOnePiece) {
+  const CellSet s{Mesh2D(5, 5), {{1, 1}, {1, 2}, {1, 3}, {2, 1}, {3, 1}}};
+  const auto comps = connected_components(s);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].region.size(), 5u);
+}
+
+TEST(ConnectivityTest, TwoSeparateClusters) {
+  const CellSet s{Mesh2D(8, 8), {{0, 0}, {1, 0}, {6, 6}, {6, 7}}};
+  const auto comps = connected_components(s);
+  ASSERT_EQ(comps.size(), 2u);
+  // Deterministic row-major seed order: the (0,0) cluster comes first.
+  EXPECT_TRUE(comps[0].region.contains({0, 0}));
+  EXPECT_TRUE(comps[1].region.contains({6, 6}));
+}
+
+TEST(ConnectivityTest, MeshCellsEqualRegionCellsOnMesh) {
+  const CellSet s{Mesh2D(6, 6), {{2, 2}, {3, 2}, {2, 3}}};
+  const auto comps = connected_components(s);
+  ASSERT_EQ(comps.size(), 1u);
+  const auto region_cells = comps[0].region.cells();
+  ASSERT_EQ(comps[0].mesh_cells.size(), region_cells.size());
+  for (std::size_t i = 0; i < region_cells.size(); ++i) {
+    EXPECT_EQ(comps[0].mesh_cells[i], region_cells[i]);
+  }
+}
+
+TEST(ConnectivityTest, TorusComponentCrossesWraparound) {
+  const Mesh2D m(6, 6, Topology::Torus);
+  // Cells straddling the x = 0 / x = 5 seam form one component on a torus.
+  const CellSet s{m, {{5, 2}, {0, 2}, {1, 2}}};
+  const auto comps = connected_components(s);
+  ASSERT_EQ(comps.size(), 1u);
+  // The unwrapped frame is one contiguous horizontal run of three cells.
+  const auto& r = comps[0].region;
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.bounding_box().width(), 3);
+  EXPECT_EQ(r.bounding_box().height(), 1);
+}
+
+TEST(ConnectivityTest, SameCellsOnMeshStaySplitAcrossSeam) {
+  const Mesh2D m(6, 6, Topology::Mesh);
+  const CellSet s{m, {{5, 2}, {0, 2}, {1, 2}}};
+  EXPECT_EQ(connected_components(s).size(), 2u);
+}
+
+TEST(ConnectivityTest, TorusUnwrappedFrameMapsBackToMeshCells) {
+  const Mesh2D m(5, 5, Topology::Torus);
+  const CellSet s{m, {{4, 0}, {0, 0}, {4, 4}, {0, 4}}};  // 2x2 across corner
+  const auto comps = connected_components(s, Connectivity::Four);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].region.size(), 4u);
+  EXPECT_TRUE(comps[0].region.is_rectangle());
+  // Every frame cell wraps back to a member of the original set.
+  for (Coord cell : comps[0].mesh_cells) {
+    EXPECT_TRUE(s.contains(cell));
+  }
+}
+
+TEST(ConnectivityTest, ComponentRegionsConvenienceMatches) {
+  const CellSet s{Mesh2D(8, 8), {{0, 0}, {1, 0}, {5, 5}}};
+  const auto comps = connected_components(s);
+  const auto regions = component_regions(s);
+  ASSERT_EQ(comps.size(), regions.size());
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    EXPECT_EQ(comps[i].region, regions[i]);
+  }
+}
+
+TEST(ConnectivityTest, ComponentSizesSumToSetSize) {
+  const CellSet s{Mesh2D(10, 10),
+                  {{1, 1}, {1, 2}, {4, 4}, {9, 9}, {9, 8}, {8, 8}, {0, 9}}};
+  std::size_t total = 0;
+  for (const auto& comp : connected_components(s)) {
+    total += comp.region.size();
+  }
+  EXPECT_EQ(total, s.size());
+}
+
+}  // namespace
+}  // namespace ocp::grid

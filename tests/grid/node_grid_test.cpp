@@ -1,0 +1,50 @@
+#include "grid/node_grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocp::grid {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(NodeGridTest, InitializesWithDefault) {
+  const Mesh2D m(4, 3);
+  const NodeGrid<int> g(m, 7);
+  EXPECT_EQ(g.size(), 12u);
+  for (int v : g) EXPECT_EQ(v, 7);
+}
+
+TEST(NodeGridTest, CoordinateAccess) {
+  const Mesh2D m(4, 3);
+  NodeGrid<int> g(m);
+  g[{2, 1}] = 42;
+  EXPECT_EQ((g[{2, 1}]), 42);
+  EXPECT_EQ((g[{1, 2}]), 0);
+}
+
+TEST(NodeGridTest, IndexAccessMatchesCoordAccess) {
+  const Mesh2D m(5, 5);
+  NodeGrid<int> g(m);
+  g[{3, 2}] = 9;
+  EXPECT_EQ(g.at_index(m.index({3, 2})), 9);
+}
+
+TEST(NodeGridTest, FillOverwritesEverything) {
+  const Mesh2D m(3, 3);
+  NodeGrid<int> g(m, 1);
+  g.fill(5);
+  for (int v : g) EXPECT_EQ(v, 5);
+}
+
+TEST(NodeGridTest, EqualityIsValueBased) {
+  const Mesh2D m(3, 3);
+  NodeGrid<int> a(m, 1);
+  NodeGrid<int> b(m, 1);
+  EXPECT_EQ(a, b);
+  b[{0, 0}] = 2;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ocp::grid

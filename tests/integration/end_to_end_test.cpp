@@ -1,0 +1,133 @@
+// Full-stack scenarios: fault injection -> two-phase labeling -> region
+// extraction -> fault-tolerant routing, on one machine in one test.
+#include <gtest/gtest.h>
+
+#include "analysis/ablation.hpp"
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "fault/shapes.hpp"
+#include "geometry/convexity.hpp"
+#include "routing/traffic.hpp"
+
+namespace ocp {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(EndToEnd, LabeledMachineSupportsFullConnectivityRouting) {
+  const Mesh2D m(20, 20);
+  stats::Rng rng(2024);
+  const auto faults = fault::uniform_random(m, 24, rng);
+  const auto result = labeling::run_pipeline(faults);
+
+  // Every disabled region is convex, so ring routing over the enabled nodes
+  // is total.
+  const auto blocked = labeling::disabled_cells(result.activation);
+  const routing::FaultRingRouter router(m, blocked);
+  const auto traffic = routing::run_all_pairs(router, blocked);
+  EXPECT_DOUBLE_EQ(traffic.delivery_rate(), 1.0);
+  EXPECT_GE(traffic.stretch.mean(), 0.0);
+}
+
+TEST(EndToEnd, ShapedFaultClustersAreConvexified) {
+  // Inject the paper's section 2 gallery of shapes as *faults* and verify
+  // the pipeline produces convex disabled regions covering them.
+  const Mesh2D m(40, 40);
+  const std::vector<geom::Region> shapes = {
+      fault::make_u_shape({3, 3}, 5, 4),
+      fault::make_h_shape({15, 3}, 5, 5),
+      fault::make_l_shape({28, 3}, 6, 2),
+      fault::make_t_shape({3, 20}, 5, 3),
+      fault::make_plus_shape({20, 25}, 3),
+  };
+  const auto faults = fault::to_fault_set(m, shapes);
+  const auto result = labeling::run_pipeline(faults);
+
+  for (const auto& region : result.regions) {
+    EXPECT_TRUE(geom::is_orthogonal_convex(region.region()));
+  }
+  // All faults covered by regions.
+  std::size_t covered = 0;
+  for (const auto& region : result.regions) covered += region.fault_count;
+  EXPECT_EQ(covered, faults.size());
+
+  // The concave U and H clusters force some nonfaulty nodes to stay
+  // disabled (their pockets), unlike the convex L/T/+ clusters.
+  EXPECT_GT(result.disabled_nonfaulty_total(), 0u);
+}
+
+TEST(EndToEnd, ConvexShapedClustersSacrificeNothing) {
+  const Mesh2D m(40, 40);
+  const std::vector<geom::Region> shapes = {
+      fault::make_l_shape({3, 3}, 6, 2),
+      fault::make_t_shape({20, 3}, 5, 3),
+      fault::make_plus_shape({10, 25}, 3),
+  };
+  const auto faults = fault::to_fault_set(m, shapes);
+  const auto result = labeling::run_pipeline(faults);
+  // Orthogonal convex fault clusters are their own minimal cover: phase two
+  // re-enables every nonfaulty node.
+  EXPECT_EQ(result.disabled_nonfaulty_total(), 0u);
+  for (const auto& region : result.regions) {
+    EXPECT_EQ(region.disabled_nonfaulty_count, 0u);
+  }
+}
+
+TEST(EndToEnd, DenseFaultFieldStillSatisfiesAllInvariants) {
+  // 10% node failures: large irregular blocks, heavy merging.
+  const Mesh2D m(30, 30);
+  stats::Rng rng(99);
+  const auto faults = fault::uniform_random(m, 90, rng);
+  const auto result = labeling::run_pipeline(faults);
+
+  std::size_t region_cells = 0;
+  for (const auto& region : result.regions) {
+    EXPECT_TRUE(geom::is_orthogonal_convex(region.region()));
+    region_cells += region.size();
+  }
+  EXPECT_EQ(region_cells, labeling::disabled_cells(result.activation).size());
+  for (const auto& block : result.blocks) {
+    EXPECT_TRUE(block.region().is_rectangle());
+  }
+}
+
+TEST(EndToEnd, BernoulliFaultModelWorksThroughPipeline) {
+  const Mesh2D m(30, 30);
+  stats::Rng rng(5);
+  const auto faults = fault::bernoulli(m, 0.05, rng);
+  const auto result = labeling::run_pipeline(faults);
+  std::size_t fault_total = 0;
+  for (const auto& block : result.blocks) fault_total += block.fault_count;
+  EXPECT_EQ(fault_total, faults.size());
+}
+
+TEST(EndToEnd, ClusteredFaultModelWorksThroughPipeline) {
+  const Mesh2D m(40, 40);
+  stats::Rng rng(6);
+  const auto faults = fault::clustered(m, 4, 12, rng);
+  const auto result = labeling::run_pipeline(faults);
+  for (const auto& region : result.regions) {
+    EXPECT_TRUE(geom::is_orthogonal_convex(region.region()));
+  }
+}
+
+TEST(EndToEnd, EnabledNodesStrictlyDominateRectangleModel) {
+  // Aggregated over several instances: the disabled-region model keeps
+  // at least as many nonfaulty nodes as the faulty-block model on every
+  // instance, and strictly more in aggregate.
+  const Mesh2D m(32, 32);
+  std::size_t total_unsafe_nonfaulty = 0;
+  std::size_t total_still_disabled = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    stats::Rng rng(seed);
+    const auto faults = fault::uniform_random(m, 40, rng);
+    const auto result = labeling::run_pipeline(faults);
+    total_unsafe_nonfaulty += result.unsafe_nonfaulty_total();
+    total_still_disabled += result.disabled_nonfaulty_total();
+  }
+  EXPECT_LT(total_still_disabled, total_unsafe_nonfaulty);
+}
+
+}  // namespace
+}  // namespace ocp

@@ -1,0 +1,85 @@
+// Torus-specific integration: wraparound labeling has no ghost boundary and
+// components may straddle the seams (the paper's footnote: the boundary
+// problem does not exist in 2-D tori).
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "geometry/convexity.hpp"
+
+namespace ocp {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+using mesh::Topology;
+
+TEST(TorusIntegration, SeamStraddlingBlockIsOneRectangle) {
+  const Mesh2D m(10, 10, Topology::Torus);
+  // Diagonal fault pair across the x-seam: (9,4) and (0,5).
+  const grid::CellSet faults{m, {{9, 4}, {0, 5}}};
+  const auto result = labeling::run_pipeline(faults);
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.blocks[0].size(), 4u);
+  EXPECT_TRUE(result.blocks[0].region().is_rectangle());
+  // Both bridging cells get re-enabled.
+  EXPECT_EQ(result.enabled_total(), 2u);
+}
+
+TEST(TorusIntegration, CornerStraddlingBlockAcrossBothSeams) {
+  const Mesh2D m(12, 12, Topology::Torus);
+  const grid::CellSet faults{m, {{11, 11}, {0, 0}}};  // diagonal across corner
+  const auto result = labeling::run_pipeline(faults);
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.blocks[0].size(), 4u);
+  EXPECT_TRUE(result.blocks[0].region().is_rectangle());
+}
+
+TEST(TorusIntegration, TheoremsHoldAcrossSeams) {
+  const Mesh2D m(16, 16, Topology::Torus);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    stats::Rng rng(seed * 3 + 1);
+    const auto faults = fault::uniform_random(m, 25, rng);
+    const auto result = labeling::run_pipeline(faults);
+    for (const auto& block : result.blocks) {
+      ASSERT_TRUE(block.region().is_rectangle());
+    }
+    for (const auto& region : result.regions) {
+      ASSERT_TRUE(geom::is_orthogonal_convex(region.region()));
+    }
+  }
+}
+
+TEST(TorusIntegration, MeshCornerPairVersusTorusCornerPair) {
+  // On a mesh, faults at opposite corners are two separate blocks; on a
+  // torus they are diagonal neighbors and merge.
+  const grid::CellSet mesh_faults{Mesh2D(8, 8), {{0, 0}, {7, 7}}};
+  const grid::CellSet torus_faults{Mesh2D(8, 8, Topology::Torus),
+                                   {{0, 0}, {7, 7}}};
+  EXPECT_EQ(labeling::run_pipeline(mesh_faults).blocks.size(), 2u);
+  EXPECT_EQ(labeling::run_pipeline(torus_faults).blocks.size(), 1u);
+}
+
+TEST(TorusIntegration, NoFaultsAllSafe) {
+  const Mesh2D m(9, 9, Topology::Torus);
+  const auto result = labeling::run_pipeline(grid::CellSet(m));
+  EXPECT_TRUE(result.blocks.empty());
+  EXPECT_EQ(result.safety_stats.rounds_to_quiesce, 0);
+}
+
+TEST(TorusIntegration, EquatorRingOfFaultsDisablesRing) {
+  // A full ring of faults around the torus: one block that wraps a whole
+  // dimension. Degenerate but must not crash or mislabel.
+  const Mesh2D m(8, 8, Topology::Torus);
+  grid::CellSet faults(m);
+  for (std::int32_t x = 0; x < 8; ++x) faults.insert({x, 4});
+  const auto result = labeling::run_pipeline(faults);
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.blocks[0].size(), 8u);
+  EXPECT_EQ(result.enabled_total(), 0u);
+  ASSERT_EQ(result.regions.size(), 1u);
+  EXPECT_EQ(result.regions[0].fault_count, 8u);
+}
+
+}  // namespace
+}  // namespace ocp

@@ -1,0 +1,89 @@
+#include "mesh/coord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ocp::mesh {
+namespace {
+
+TEST(CoordTest, StepMovesOneInOneDimension) {
+  const Coord c{3, 4};
+  EXPECT_EQ(c.step(Dir::East), (Coord{4, 4}));
+  EXPECT_EQ(c.step(Dir::West), (Coord{2, 4}));
+  EXPECT_EQ(c.step(Dir::North), (Coord{3, 5}));
+  EXPECT_EQ(c.step(Dir::South), (Coord{3, 3}));
+}
+
+TEST(CoordTest, StepThenOppositeIsIdentity) {
+  const Coord c{7, -2};
+  for (Dir d : kAllDirs) {
+    EXPECT_EQ(c.step(d).step(opposite(d)), c) << to_string(d);
+  }
+}
+
+TEST(CoordTest, DimOfClassifiesDirections) {
+  EXPECT_EQ(dim_of(Dir::East), Dim::X);
+  EXPECT_EQ(dim_of(Dir::West), Dim::X);
+  EXPECT_EQ(dim_of(Dir::North), Dim::Y);
+  EXPECT_EQ(dim_of(Dir::South), Dim::Y);
+}
+
+TEST(CoordTest, IndexOperatorSelectsComponent) {
+  const Coord c{5, 9};
+  EXPECT_EQ(c[Dim::X], 5);
+  EXPECT_EQ(c[Dim::Y], 9);
+}
+
+TEST(CoordTest, ManhattanDistance) {
+  EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(manhattan({1, 1}, {4, 5}), 7);
+  EXPECT_EQ(manhattan({4, 5}, {1, 1}), 7);
+  EXPECT_EQ(manhattan({-2, 3}, {2, -3}), 10);
+}
+
+TEST(CoordTest, AdjacencyIsDistanceOne) {
+  EXPECT_TRUE(adjacent({2, 2}, {3, 2}));
+  EXPECT_TRUE(adjacent({2, 2}, {2, 1}));
+  EXPECT_FALSE(adjacent({2, 2}, {3, 3}));  // diagonal
+  EXPECT_FALSE(adjacent({2, 2}, {2, 2}));  // self
+  EXPECT_FALSE(adjacent({2, 2}, {4, 2}));
+}
+
+TEST(CoordTest, ArithmeticOperators) {
+  EXPECT_EQ((Coord{1, 2} + Coord{3, 4}), (Coord{4, 6}));
+  EXPECT_EQ((Coord{3, 4} - Coord{1, 2}), (Coord{2, 2}));
+}
+
+TEST(CoordTest, OrderingIsLexicographic) {
+  EXPECT_LT((Coord{1, 5}), (Coord{2, 0}));
+  EXPECT_LT((Coord{1, 2}), (Coord{1, 3}));
+  EXPECT_EQ((Coord{1, 2}), (Coord{1, 2}));
+}
+
+TEST(CoordTest, HashDistinguishesNearbyCells) {
+  std::unordered_set<Coord> set;
+  for (int x = -10; x <= 10; ++x) {
+    for (int y = -10; y <= 10; ++y) {
+      set.insert({x, y});
+    }
+  }
+  EXPECT_EQ(set.size(), 21u * 21u);
+}
+
+TEST(CoordTest, ToStringFormats) {
+  EXPECT_EQ(to_string(Coord{3, -1}), "(3, -1)");
+  EXPECT_STREQ(to_string(Dir::East), "E");
+  EXPECT_STREQ(to_string(Dir::South), "S");
+}
+
+TEST(CoordTest, OppositeIsInvolution) {
+  for (Dir d : kAllDirs) {
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_NE(opposite(d), d);
+    EXPECT_EQ(dim_of(opposite(d)), dim_of(d));
+  }
+}
+
+}  // namespace
+}  // namespace ocp::mesh

@@ -1,0 +1,154 @@
+#include "mesh/mesh2d.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocp::mesh {
+namespace {
+
+TEST(Mesh2DTest, BasicProperties) {
+  const Mesh2D m(5, 3);
+  EXPECT_EQ(m.width(), 5);
+  EXPECT_EQ(m.height(), 3);
+  EXPECT_EQ(m.node_count(), 15);
+  EXPECT_FALSE(m.is_torus());
+  EXPECT_EQ(m.describe(), "5x3 mesh");
+}
+
+TEST(Mesh2DTest, SquareFactory) {
+  const Mesh2D m = Mesh2D::square(100);
+  EXPECT_EQ(m.width(), 100);
+  EXPECT_EQ(m.height(), 100);
+  EXPECT_EQ(m.diameter(), 198);  // 2(n-1), paper section 2
+}
+
+TEST(Mesh2DTest, TorusDiameter) {
+  EXPECT_EQ(Mesh2D::square(100, Topology::Torus).diameter(), 100);
+  EXPECT_EQ(Mesh2D(8, 6, Topology::Torus).diameter(), 7);
+}
+
+TEST(Mesh2DTest, ContainsIsExact) {
+  const Mesh2D m(4, 4);
+  EXPECT_TRUE(m.contains({0, 0}));
+  EXPECT_TRUE(m.contains({3, 3}));
+  EXPECT_FALSE(m.contains({4, 0}));
+  EXPECT_FALSE(m.contains({0, 4}));
+  EXPECT_FALSE(m.contains({-1, 0}));
+  EXPECT_FALSE(m.contains({0, -1}));
+}
+
+TEST(Mesh2DTest, IndexRoundTrips) {
+  const Mesh2D m(7, 5);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count()); ++i) {
+    EXPECT_EQ(m.index(m.coord(i)), i);
+  }
+}
+
+TEST(Mesh2DTest, InteriorNodeHasFourNeighbors) {
+  const Mesh2D m(5, 5);
+  const auto nbrs = m.neighbors({2, 2});
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(Mesh2DTest, CornerNodeHasTwoNeighbors) {
+  const Mesh2D m(5, 5);
+  EXPECT_EQ(m.neighbors({0, 0}).size(), 2u);
+  EXPECT_EQ(m.neighbors({4, 4}).size(), 2u);
+  EXPECT_EQ(m.neighbors({4, 0}).size(), 2u);
+  EXPECT_EQ(m.neighbors({0, 4}).size(), 2u);
+}
+
+TEST(Mesh2DTest, EdgeNodeHasThreeNeighbors) {
+  const Mesh2D m(5, 5);
+  EXPECT_EQ(m.neighbors({2, 0}).size(), 3u);
+  EXPECT_EQ(m.neighbors({0, 2}).size(), 3u);
+  EXPECT_EQ(m.neighbors({4, 2}).size(), 3u);
+  EXPECT_EQ(m.neighbors({2, 4}).size(), 3u);
+}
+
+TEST(Mesh2DTest, TorusEveryNodeHasFourNeighbors) {
+  const Mesh2D m(5, 5, Topology::Torus);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count()); ++i) {
+    EXPECT_EQ(m.neighbors(m.coord(i)).size(), 4u);
+  }
+}
+
+TEST(Mesh2DTest, TorusWraparoundNeighbors) {
+  const Mesh2D m(5, 5, Topology::Torus);
+  EXPECT_EQ(m.neighbor({0, 0}, Dir::West), (Coord{4, 0}));
+  EXPECT_EQ(m.neighbor({0, 0}, Dir::South), (Coord{0, 4}));
+  EXPECT_EQ(m.neighbor({4, 4}, Dir::East), (Coord{0, 4}));
+  EXPECT_EQ(m.neighbor({4, 4}, Dir::North), (Coord{4, 0}));
+}
+
+TEST(Mesh2DTest, MeshBoundaryNeighborIsNullopt) {
+  const Mesh2D m(5, 5);
+  EXPECT_FALSE(m.neighbor({0, 0}, Dir::West).has_value());
+  EXPECT_FALSE(m.neighbor({0, 0}, Dir::South).has_value());
+  EXPECT_TRUE(m.neighbor({0, 0}, Dir::East).has_value());
+}
+
+TEST(Mesh2DTest, GhostFrameIsOneCellWideMinusCorners) {
+  const Mesh2D m(3, 3);
+  EXPECT_TRUE(m.is_ghost({-1, 0}));
+  EXPECT_TRUE(m.is_ghost({3, 2}));
+  EXPECT_TRUE(m.is_ghost({1, -1}));
+  EXPECT_TRUE(m.is_ghost({1, 3}));
+  // Frame corners touch no mesh node.
+  EXPECT_FALSE(m.is_ghost({-1, -1}));
+  EXPECT_FALSE(m.is_ghost({3, 3}));
+  // Interior and far-away cells are not ghosts.
+  EXPECT_FALSE(m.is_ghost({1, 1}));
+  EXPECT_FALSE(m.is_ghost({5, 0}));
+}
+
+TEST(Mesh2DTest, TorusHasNoGhosts) {
+  const Mesh2D m(3, 3, Topology::Torus);
+  EXPECT_FALSE(m.is_ghost({-1, 0}));
+  EXPECT_FALSE(m.is_ghost({3, 2}));
+}
+
+TEST(Mesh2DTest, WrapNormalizesOnTorus) {
+  const Mesh2D m(5, 4, Topology::Torus);
+  EXPECT_EQ(m.wrap({-1, -1}), (Coord{4, 3}));
+  EXPECT_EQ(m.wrap({5, 4}), (Coord{0, 0}));
+  EXPECT_EQ(m.wrap({12, 9}), (Coord{2, 1}));
+  EXPECT_EQ(m.wrap({2, 2}), (Coord{2, 2}));
+}
+
+TEST(Mesh2DTest, MeshDistanceIsManhattan) {
+  const Mesh2D m(10, 10);
+  EXPECT_EQ(m.distance({0, 0}, {9, 9}), 18);
+  EXPECT_EQ(m.distance({3, 4}, {3, 4}), 0);
+}
+
+TEST(Mesh2DTest, TorusDistanceUsesWraparound) {
+  const Mesh2D m(10, 10, Topology::Torus);
+  EXPECT_EQ(m.distance({0, 0}, {9, 9}), 2);  // one wrap hop per dimension
+  EXPECT_EQ(m.distance({0, 0}, {5, 5}), 10);
+  EXPECT_EQ(m.distance({1, 0}, {8, 0}), 3);
+}
+
+TEST(Mesh2DTest, LinkedMatchesNeighborRelation) {
+  const Mesh2D torus(6, 6, Topology::Torus);
+  EXPECT_TRUE(torus.linked({0, 0}, {5, 0}));
+  const Mesh2D mesh(6, 6);
+  EXPECT_FALSE(mesh.linked({0, 0}, {5, 0}));
+  EXPECT_TRUE(mesh.linked({0, 0}, {1, 0}));
+}
+
+TEST(Mesh2DTest, NeighborsAreAllLinked) {
+  for (Topology t : {Topology::Mesh, Topology::Torus}) {
+    const Mesh2D m(6, 4, t);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count());
+         ++i) {
+      const Coord c = m.coord(i);
+      for (const Link& l : m.neighbors(c)) {
+        EXPECT_TRUE(m.linked(c, l.to)) << m.describe();
+        EXPECT_TRUE(m.contains(l.to));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ocp::mesh

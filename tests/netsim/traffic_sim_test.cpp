@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "netsim/traffic_sim.hpp"
+
+namespace ocp::netsim {
+namespace {
+
+using mesh::Mesh2D;
+
+TEST(TrafficSimTest, LightLoadDrainsCompletely) {
+  const Mesh2D m(12, 12);
+  const grid::CellSet blocked(m);
+  const routing::XYRouter router(m, blocked);
+  TrafficSimConfig config;
+  config.injection_rate = 0.002;
+  config.warm_cycles = 256;
+  config.num_vcs = 1;
+  const auto result = run_traffic_sim(m, blocked, router, config);
+  EXPECT_GT(result.offered_packets, 0u);
+  EXPECT_EQ(result.delivered_packets, result.offered_packets);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_GT(result.accepted_flits_per_node_cycle, 0.0);
+}
+
+TEST(TrafficSimTest, DeterministicForSeed) {
+  const Mesh2D m(10, 10);
+  const grid::CellSet blocked(m);
+  const routing::XYRouter router(m, blocked);
+  TrafficSimConfig config;
+  config.seed = 42;
+  config.warm_cycles = 128;
+  const auto a = run_traffic_sim(m, blocked, router, config);
+  const auto b = run_traffic_sim(m, blocked, router, config);
+  EXPECT_EQ(a.offered_packets, b.offered_packets);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+}
+
+TEST(TrafficSimTest, LatencyRisesWithLoad) {
+  const Mesh2D m(12, 12);
+  const grid::CellSet blocked(m);
+  const routing::XYRouter router(m, blocked);
+  TrafficSimConfig light;
+  light.injection_rate = 0.001;
+  light.warm_cycles = 512;
+  light.num_vcs = 1;
+  TrafficSimConfig heavy = light;
+  heavy.injection_rate = 0.02;
+  const auto l = run_traffic_sim(m, blocked, router, light);
+  const auto h = run_traffic_sim(m, blocked, router, heavy);
+  ASSERT_FALSE(l.deadlocked);
+  ASSERT_FALSE(h.deadlocked);
+  EXPECT_GT(h.latency.mean(), l.latency.mean());
+  EXPECT_GT(h.accepted_flits_per_node_cycle,
+            l.accepted_flits_per_node_cycle);
+}
+
+TEST(TrafficSimTest, FaultTolerantLoadOverLabeledRegions) {
+  const Mesh2D m(16, 16);
+  stats::Rng rng(7);
+  const auto faults = fault::uniform_random(m, 16, rng);
+  const auto labeled = labeling::run_pipeline(
+      faults, {.engine = labeling::Engine::Reference});
+  const auto blocked = labeling::disabled_cells(labeled.activation);
+  const routing::FaultRingRouter router(m, blocked);
+  TrafficSimConfig config;
+  config.injection_rate = 0.004;
+  config.warm_cycles = 384;
+  config.num_vcs = 2;  // detours on the escape channel
+  const auto result = run_traffic_sim(m, blocked, router, config);
+  EXPECT_GT(result.offered_packets, 0u);
+  EXPECT_EQ(result.delivered_packets, result.offered_packets);
+  EXPECT_FALSE(result.deadlocked);
+}
+
+TEST(TrafficSimTest, MessageClassSchemeNeedsFourVcs) {
+  const Mesh2D m(8, 8);
+  const grid::CellSet blocked(m);
+  const routing::XYRouter router(m, blocked);
+  TrafficSimConfig config;
+  config.vc_scheme = VcScheme::MessageClass;
+  config.num_vcs = 2;
+  EXPECT_THROW(static_cast<void>(run_traffic_sim(m, blocked, router, config)),
+               std::invalid_argument);
+}
+
+TEST(TrafficSimTest, MessageClassSchemeDrainsModerateFaultyLoad) {
+  // The load level where the naive escape scheme already struggles on this
+  // instance: class separation keeps it deadlock-free.
+  const Mesh2D m(16, 16);
+  stats::Rng rng(21);
+  const auto faults = fault::clustered(m, 2, 8, rng);
+  const auto labeled = labeling::run_pipeline(
+      faults, {.engine = labeling::Engine::Reference});
+  const auto blocked = labeling::disabled_cells(labeled.activation);
+  const routing::FaultRingRouter router(m, blocked);
+  TrafficSimConfig config;
+  config.vc_scheme = VcScheme::MessageClass;
+  config.num_vcs = 4;
+  config.injection_rate = 0.006;
+  config.warm_cycles = 384;
+  const auto result = run_traffic_sim(m, blocked, router, config);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered_packets, result.offered_packets);
+}
+
+TEST(TrafficSimTest, FullyBlockedMachineIsVacuous) {
+  const Mesh2D m(4, 4);
+  grid::CellSet blocked(m);
+  for (std::size_t i = 0; i < 16; ++i) blocked.insert(m.coord(i));
+  const routing::XYRouter router(m, blocked);
+  const auto result = run_traffic_sim(m, blocked, router, {});
+  EXPECT_EQ(result.offered_packets, 0u);
+  EXPECT_EQ(result.delivered_packets, 0u);
+}
+
+}  // namespace
+}  // namespace ocp::netsim

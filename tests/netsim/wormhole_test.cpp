@@ -1,0 +1,286 @@
+// Wormhole simulator tests: pipelining, channel contention, the classic
+// four-worm turn-cycle deadlock, and its resolution by virtual channels.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "fault/shapes.hpp"
+#include "netsim/wormhole.hpp"
+#include "routing/traffic.hpp"
+
+namespace ocp::netsim {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+PacketSpec straight_worm(std::int32_t y, std::int32_t x0, std::int32_t x1,
+                         std::int32_t flits, std::int64_t when = 0) {
+  PacketSpec spec;
+  for (std::int32_t x = x0; x <= x1; ++x) spec.path.push_back({x, y});
+  spec.vcs.assign(spec.path.size() - 1, 0);
+  spec.length_flits = flits;
+  spec.inject_cycle = when;
+  return spec;
+}
+
+TEST(WormholeTest, SingleWormPipelinesAcrossTheMesh) {
+  const Mesh2D m(10, 10);
+  WormholeSim sim(m, {.num_vcs = 1, .vc_buffer_flits = 2});
+  sim.submit(straight_worm(0, 0, 9, 4));
+  const auto result = sim.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 1u);
+  EXPECT_EQ(result.stuck, 0u);
+  // Wormhole pipelining: latency ~ hops + flits, far below hops * flits.
+  EXPECT_GE(result.latency.mean(), 9.0);
+  EXPECT_LE(result.latency.mean(), 9.0 + 4.0 + 4.0);
+}
+
+TEST(WormholeTest, UncontendedLatencyIsHopsPlusFlitsMinusOne) {
+  // The textbook wormhole pipeline law: with no contention a worm's tail is
+  // absorbed hops + flits - 1 cycles after injection, independent of the
+  // virtual-channel buffer depth. Swept over hop counts, lengths and
+  // buffer sizes.
+  const Mesh2D m(12, 2);
+  for (int hops : {1, 3, 4, 9}) {
+    for (int flits : {1, 2, 4, 8}) {
+      for (int buffer : {1, 2, 4}) {
+        WormholeSim sim(m, {.num_vcs = 1,
+                            .vc_buffer_flits = static_cast<std::int32_t>(
+                                buffer)});
+        PacketSpec spec;
+        for (int x = 0; x <= hops; ++x) spec.path.push_back({x, 0});
+        spec.vcs.assign(spec.path.size() - 1, 0);
+        spec.length_flits = flits;
+        sim.submit(std::move(spec));
+        const auto result = sim.run();
+        ASSERT_EQ(result.delivered, 1u);
+        EXPECT_EQ(result.packets[0].latency(), hops + flits - 1)
+            << "hops " << hops << " flits " << flits << " buffer " << buffer;
+      }
+    }
+  }
+}
+
+TEST(WormholeTest, ZeroHopWormIsAbsorbedLocally) {
+  const Mesh2D m(4, 4);
+  WormholeSim sim(m, {});
+  PacketSpec spec;
+  spec.path = {{2, 2}};
+  spec.length_flits = 3;
+  sim.submit(spec);
+  const auto result = sim.run();
+  EXPECT_EQ(result.delivered, 1u);
+  EXPECT_FALSE(result.deadlocked);
+}
+
+TEST(WormholeTest, SharedChannelSerializesWorms) {
+  const Mesh2D m(12, 4);
+  WormholeSim sim(m, {.num_vcs = 1, .vc_buffer_flits = 2});
+  // Two worms over the same row segment, same VC: the second waits for the
+  // first to release the channels.
+  sim.submit(straight_worm(1, 0, 10, 6));
+  sim.submit(straight_worm(1, 0, 10, 6));
+  const auto result = sim.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 2u);
+  EXPECT_GT(result.packets[1].latency(), result.packets[0].latency());
+}
+
+TEST(WormholeTest, DisjointWormsDoNotInterfere) {
+  const Mesh2D m(12, 4);
+  WormholeSim sim(m, {});
+  sim.submit(straight_worm(0, 0, 10, 5));
+  sim.submit(straight_worm(2, 0, 10, 5));
+  const auto result = sim.run();
+  EXPECT_EQ(result.delivered, 2u);
+  EXPECT_EQ(result.packets[0].latency(), result.packets[1].latency());
+}
+
+TEST(WormholeTest, InjectCycleDelaysAWorm) {
+  const Mesh2D m(12, 4);
+  WormholeSim sim(m, {});
+  sim.submit(straight_worm(0, 0, 10, 4, /*when=*/100));
+  const auto result = sim.run();
+  EXPECT_EQ(result.delivered, 1u);
+  EXPECT_GE(result.packets[0].finish_cycle, 100 + 10);
+  EXPECT_FALSE(result.deadlocked);
+}
+
+/// The canonical wormhole deadlock: four long worms whose routes form a
+/// directed turn cycle around a square. Each acquires its first leg and
+/// blocks on a channel the next worm holds.
+std::vector<PacketSpec> turn_cycle(std::int32_t flits) {
+  const Coord a{2, 2};
+  const Coord b{6, 2};
+  const Coord c{6, 6};
+  const Coord d{2, 6};
+  const auto leg = [](Coord from, Coord to) {
+    std::vector<Coord> cells;
+    Coord cur = from;
+    cells.push_back(cur);
+    while (cur != to) {
+      if (cur.x != to.x) cur.x += to.x > cur.x ? 1 : -1;
+      else cur.y += to.y > cur.y ? 1 : -1;
+      cells.push_back(cur);
+    }
+    return cells;
+  };
+  const auto two_legs = [&](Coord p, Coord q, Coord r) {
+    auto cells = leg(p, q);
+    auto second = leg(q, r);
+    cells.insert(cells.end(), second.begin() + 1, second.end());
+    PacketSpec spec;
+    spec.path = std::move(cells);
+    spec.vcs.assign(spec.path.size() - 1, 0);
+    spec.length_flits = flits;
+    return spec;
+  };
+  return {two_legs(a, b, c), two_legs(b, c, d), two_legs(c, d, a),
+          two_legs(d, a, b)};
+}
+
+TEST(WormholeTest, TurnCycleDeadlocksOnOneVirtualChannel) {
+  const Mesh2D m(10, 10);
+  WormholeSim sim(m, {.num_vcs = 1, .vc_buffer_flits = 1,
+                      .deadlock_threshold = 64});
+  for (auto& spec : turn_cycle(/*flits=*/32)) sim.submit(std::move(spec));
+  const auto result = sim.run();
+  EXPECT_TRUE(result.deadlocked);
+  EXPECT_EQ(result.stuck, 4u);
+  EXPECT_EQ(result.delivered, 0u);
+}
+
+TEST(WormholeTest, SecondVirtualChannelBreaksTheTurnCycle) {
+  const Mesh2D m(10, 10);
+  WormholeSim sim(m, {.num_vcs = 2, .vc_buffer_flits = 1,
+                      .deadlock_threshold = 64});
+  // Dateline-style assignment: each worm's second leg rides VC 1, so the
+  // channel dependency cycle is cut.
+  auto specs = turn_cycle(/*flits=*/32);
+  for (auto& spec : specs) {
+    for (std::size_t h = spec.vcs.size() / 2; h < spec.vcs.size(); ++h) {
+      spec.vcs[h] = 1;
+    }
+    sim.submit(std::move(spec));
+  }
+  const auto result = sim.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 4u);
+}
+
+TEST(WormholeTest, ShortTurnCycleWormsSlipThrough) {
+  // With short worms (tail releases early) the same cyclic routes complete:
+  // wormhole deadlock needs worms long enough to span their whole leg.
+  const Mesh2D m(10, 10);
+  WormholeSim sim(m, {.num_vcs = 1, .vc_buffer_flits = 4,
+                      .deadlock_threshold = 256});
+  for (auto& spec : turn_cycle(/*flits=*/1)) sim.submit(std::move(spec));
+  const auto result = sim.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered, 4u);
+}
+
+TEST(WormholeTest, XYTrafficNeverDeadlocks) {
+  // Dimension-order routes have an acyclic channel graph: any worm load is
+  // deadlock-free on one virtual channel.
+  const Mesh2D m(12, 12);
+  const grid::CellSet blocked(m);
+  const routing::XYRouter router(m, blocked);
+  WormholeSim sim(m, {.num_vcs = 1, .vc_buffer_flits = 2});
+  stats::Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    const auto src = m.coord(static_cast<std::size_t>(
+        rng.uniform_int(0, m.node_count() - 1)));
+    const auto dst = m.coord(static_cast<std::size_t>(
+        rng.uniform_int(0, m.node_count() - 1)));
+    if (src == dst) continue;
+    sim.submit(make_packet(router.route(src, dst), 1, 6,
+                           rng.uniform_int(0, 40)));
+  }
+  const auto result = sim.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.stuck, 0u);
+}
+
+TEST(WormholeTest, RingDetourTrafficWithEscapeVCDelivers) {
+  // Fault-tolerant routes around labeled convex regions, detour hops on a
+  // dedicated virtual channel: the whole load drains.
+  const Mesh2D m(14, 14);
+  stats::Rng rng(9);
+  const auto faults = fault::uniform_random(m, 12, rng);
+  const auto result_label = labeling::run_pipeline(faults);
+  const auto blocked = labeling::disabled_cells(result_label.activation);
+  const routing::FaultRingRouter router(m, blocked);
+
+  WormholeSim sim(m, {.num_vcs = 2, .vc_buffer_flits = 2});
+  int submitted = 0;
+  for (int i = 0; submitted < 40 && i < 400; ++i) {
+    const auto src = m.coord(static_cast<std::size_t>(
+        rng.uniform_int(0, m.node_count() - 1)));
+    const auto dst = m.coord(static_cast<std::size_t>(
+        rng.uniform_int(0, m.node_count() - 1)));
+    if (src == dst || blocked.contains(src) || blocked.contains(dst)) {
+      continue;
+    }
+    const auto route = router.route(src, dst);
+    if (!route.delivered()) continue;
+    sim.submit(make_packet(route, 2, 4, rng.uniform_int(0, 60)));
+    ++submitted;
+  }
+  ASSERT_GT(submitted, 0);
+  const auto result = sim.run();
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.delivered, static_cast<std::size_t>(submitted));
+}
+
+TEST(WormholeTest, RejectsMalformedSpecs) {
+  const Mesh2D m(6, 6);
+  WormholeSim sim(m, {.num_vcs = 1});
+  PacketSpec empty;
+  EXPECT_THROW(sim.submit(empty), std::invalid_argument);
+
+  PacketSpec teleport;
+  teleport.path = {{0, 0}, {2, 0}};  // not a link
+  teleport.vcs = {0};
+  EXPECT_THROW(sim.submit(teleport), std::invalid_argument);
+
+  PacketSpec bad_vc;
+  bad_vc.path = {{0, 0}, {1, 0}};
+  bad_vc.vcs = {3};  // only vc 0 exists
+  EXPECT_THROW(sim.submit(bad_vc), std::invalid_argument);
+
+  PacketSpec zero_flits;
+  zero_flits.path = {{0, 0}, {1, 0}};
+  zero_flits.vcs = {0};
+  zero_flits.length_flits = 0;
+  EXPECT_THROW(sim.submit(zero_flits), std::invalid_argument);
+}
+
+TEST(WormholeTest, HigherLoadRaisesLatency) {
+  const Mesh2D m(10, 10);
+  const grid::CellSet blocked(m);
+  const routing::XYRouter router(m, blocked);
+  const auto run_load = [&](int packets) {
+    WormholeSim sim(m, {.num_vcs = 1, .vc_buffer_flits = 2});
+    stats::Rng rng(11);
+    for (int i = 0; i < packets; ++i) {
+      const auto src = m.coord(static_cast<std::size_t>(
+          rng.uniform_int(0, m.node_count() - 1)));
+      const auto dst = m.coord(static_cast<std::size_t>(
+          rng.uniform_int(0, m.node_count() - 1)));
+      if (src == dst) continue;
+      sim.submit(make_packet(router.route(src, dst), 1, 8, 0));
+    }
+    return sim.run();
+  };
+  const auto light = run_load(5);
+  const auto heavy = run_load(80);
+  EXPECT_FALSE(light.deadlocked);
+  EXPECT_FALSE(heavy.deadlocked);
+  EXPECT_GT(heavy.latency.mean(), light.latency.mean());
+}
+
+}  // namespace
+}  // namespace ocp::netsim

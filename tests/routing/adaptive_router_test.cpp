@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "fault/shapes.hpp"
+#include "routing/adaptive_router.hpp"
+
+namespace ocp::routing {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(AdaptiveRouterTest, FaultFreeRouteIsMinimal) {
+  const Mesh2D m(10, 10);
+  const grid::CellSet blocked(m);
+  const AdaptiveRouter router(m, blocked);
+  const Route r = router.route({1, 1}, {7, 5});
+  ASSERT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops(), 10);
+  EXPECT_EQ(r.detour_hops(), 0);
+}
+
+TEST(AdaptiveRouterTest, DodgesSingleFaultWithoutDetourPhase) {
+  // XY would hit the fault head-on; adaptive slides around it minimally.
+  const Mesh2D m(10, 10);
+  const grid::CellSet blocked{m, {{4, 1}}};
+  const AdaptiveRouter router(m, blocked);
+  const Route r = router.route({1, 1}, {8, 4});
+  ASSERT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops(), mesh::manhattan({1, 1}, {8, 4}));  // still minimal
+  EXPECT_EQ(r.detour_hops(), 0);
+}
+
+TEST(AdaptiveRouterTest, MinimalAroundRectangleWhenPathsExist) {
+  // Destination diagonal across a blocked rectangle: the minimal-path
+  // rectangle is wide enough to slip around the obstacle with zero stretch.
+  const Mesh2D m(14, 14);
+  const auto blocked =
+      fault::to_fault_set(m, fault::make_rectangle({5, 5}, 3, 3));
+  const AdaptiveRouter router(m, blocked);
+  const Route r = router.route({2, 2}, {11, 11});
+  ASSERT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops(), mesh::manhattan({2, 2}, {11, 11}));
+  EXPECT_EQ(r.detour_hops(), 0);
+}
+
+TEST(AdaptiveRouterTest, FallsBackToDetourWhenWalledIn) {
+  // Straight shot at a wall spanning the whole minimal rectangle: no
+  // minimal path exists, so the router must misroute (detour hops > 0).
+  const Mesh2D m(14, 14);
+  const auto blocked =
+      fault::to_fault_set(m, fault::make_rectangle({6, 4}, 1, 7));
+  const AdaptiveRouter router(m, blocked);
+  const Route r = router.route({2, 7}, {11, 7});
+  ASSERT_TRUE(r.delivered());
+  EXPECT_GT(r.hops(), mesh::manhattan({2, 7}, {11, 7}));
+  EXPECT_GT(r.detour_hops(), 0);
+}
+
+TEST(AdaptiveRouterTest, ShorterThanDeterministicRingRouterInAggregate) {
+  // Per-pair, the adaptive router can very occasionally lose a couple of
+  // hops to the deterministic router (its greedy choice may pick the side
+  // of an obstacle with the longer way around); in aggregate it wins.
+  const Mesh2D m(20, 20);
+  std::int64_t adaptive_hops = 0;
+  std::int64_t ring_hops = 0;
+  std::int64_t adaptive_detours = 0;
+  std::int64_t ring_detours = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    stats::Rng rng(seed);
+    const auto faults = fault::uniform_random(m, 25, rng);
+    const auto result = labeling::run_pipeline(faults);
+    const auto blocked = labeling::disabled_cells(result.activation);
+    const AdaptiveRouter adaptive(m, blocked);
+    const FaultRingRouter ring(m, blocked);
+    stats::Rng pairs(seed + 99);
+    for (int i = 0; i < 40; ++i) {
+      const auto src = m.coord(static_cast<std::size_t>(
+          pairs.uniform_int(0, m.node_count() - 1)));
+      const auto dst = m.coord(static_cast<std::size_t>(
+          pairs.uniform_int(0, m.node_count() - 1)));
+      if (src == dst || blocked.contains(src) || blocked.contains(dst)) {
+        continue;
+      }
+      const Route a = adaptive.route(src, dst);
+      const Route e = ring.route(src, dst);
+      ASSERT_TRUE(a.delivered());
+      ASSERT_TRUE(e.delivered());
+      adaptive_hops += a.hops();
+      ring_hops += e.hops();
+      adaptive_detours += a.detour_hops();
+      ring_detours += e.detour_hops();
+    }
+  }
+  EXPECT_LE(adaptive_hops, ring_hops);
+  EXPECT_LE(adaptive_detours, ring_detours);
+}
+
+TEST(AdaptiveRouterTest, DeliversOnAllPairsOverLabeledRegions) {
+  const Mesh2D m(16, 16);
+  stats::Rng rng(4);
+  const auto faults = fault::uniform_random(m, 20, rng);
+  const auto result = labeling::run_pipeline(faults);
+  const auto blocked = labeling::disabled_cells(result.activation);
+  const AdaptiveRouter router(m, blocked);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count());
+       i += 7) {
+    for (std::size_t j = 0; j < static_cast<std::size_t>(m.node_count());
+         j += 5) {
+      const Coord src = m.coord(i);
+      const Coord dst = m.coord(j);
+      if (src == dst || blocked.contains(src) || blocked.contains(dst)) {
+        continue;
+      }
+      const Route r = router.route(src, dst);
+      ASSERT_TRUE(r.delivered());
+      for (Coord c : r.path) ASSERT_FALSE(blocked.contains(c));
+    }
+  }
+}
+
+TEST(AdaptiveRouterTest, BlockedEndpointsAreInvalid) {
+  const Mesh2D m(8, 8);
+  const grid::CellSet blocked{m, {{3, 3}}};
+  const AdaptiveRouter router(m, blocked);
+  EXPECT_EQ(router.route({3, 3}, {0, 0}).status, RouteStatus::Invalid);
+  EXPECT_EQ(router.route({0, 0}, {3, 3}).status, RouteStatus::Invalid);
+}
+
+TEST(AdaptiveRouterTest, NoRevisitsAroundConvexRegions) {
+  const Mesh2D m(16, 16);
+  const auto blocked =
+      fault::to_fault_set(m, fault::make_plus_shape({8, 8}, 3));
+  const AdaptiveRouter router(m, blocked);
+  const Route r = router.route({1, 8}, {15, 8});
+  ASSERT_TRUE(r.delivered());
+  std::unordered_set<Coord> seen(r.path.begin(), r.path.end());
+  EXPECT_EQ(seen.size(), r.path.size());
+}
+
+}  // namespace
+}  // namespace ocp::routing

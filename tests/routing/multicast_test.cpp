@@ -1,0 +1,137 @@
+#include "routing/multicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "fault/shapes.hpp"
+
+namespace ocp::routing {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+std::vector<Coord> sample_dests(const Mesh2D& m, const grid::CellSet& blocked,
+                                std::size_t count, stats::Rng& rng) {
+  std::vector<Coord> dests;
+  while (dests.size() < count) {
+    const Coord c = m.coord(static_cast<std::size_t>(
+        rng.uniform_int(0, m.node_count() - 1)));
+    if (blocked.contains(c)) continue;
+    if (std::find(dests.begin(), dests.end(), c) != dests.end()) continue;
+    dests.push_back(c);
+  }
+  return dests;
+}
+
+TEST(MulticastTest, EmptyDestinationSet) {
+  const Mesh2D m(8, 8);
+  const grid::CellSet blocked(m);
+  const FaultRingRouter router(m, blocked);
+  EXPECT_TRUE(separate_unicast(router, {0, 0}, {}).complete());
+  EXPECT_TRUE(path_multicast(router, {0, 0}, {}).complete());
+  EXPECT_TRUE(tree_multicast(router, m, {0, 0}, {}).complete());
+}
+
+TEST(MulticastTest, AllSchemesReachEveryDestinationFaultFree) {
+  const Mesh2D m(10, 10);
+  const grid::CellSet blocked(m);
+  const FaultRingRouter router(m, blocked);
+  stats::Rng rng(1);
+  const auto dests = sample_dests(m, blocked, 8, rng);
+  for (const Multicast& result :
+       {separate_unicast(router, {5, 5}, dests),
+        path_multicast(router, {5, 5}, dests),
+        tree_multicast(router, m, {5, 5}, dests)}) {
+    EXPECT_TRUE(result.complete());
+    EXPECT_EQ(result.requested, 8u);
+    EXPECT_GT(result.traffic, 0);
+    EXPECT_GT(result.depth, 0);
+  }
+}
+
+TEST(MulticastTest, AllSchemesCompleteOverLabeledRegions) {
+  const Mesh2D m(20, 20);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    stats::Rng rng(seed);
+    const auto faults = fault::uniform_random(m, 24, rng);
+    const auto labeled = labeling::run_pipeline(
+        faults, {.engine = labeling::Engine::Reference});
+    const auto blocked = labeling::disabled_cells(labeled.activation);
+    if (blocked.contains({10, 10})) continue;
+    const FaultRingRouter router(m, blocked);
+    const auto dests = sample_dests(m, blocked, 10, rng);
+    EXPECT_TRUE(separate_unicast(router, {10, 10}, dests).complete());
+    EXPECT_TRUE(path_multicast(router, {10, 10}, dests).complete());
+    EXPECT_TRUE(tree_multicast(router, m, {10, 10}, dests).complete());
+  }
+}
+
+TEST(MulticastTest, TreeTrafficNeverExceedsSeparateUnicast) {
+  // Prim attaches each destination at distance <= its distance from the
+  // source, so with a well-behaved router tree traffic is bounded by the
+  // unicast total.
+  const Mesh2D m(16, 16);
+  const grid::CellSet blocked(m);
+  const FaultRingRouter router(m, blocked);
+  stats::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto dests = sample_dests(m, blocked, 12, rng);
+    const auto unicast = separate_unicast(router, {8, 8}, dests);
+    const auto tree = tree_multicast(router, m, {8, 8}, dests);
+    ASSERT_TRUE(unicast.complete());
+    ASSERT_TRUE(tree.complete());
+    EXPECT_LE(tree.traffic, unicast.traffic);
+  }
+}
+
+TEST(MulticastTest, PathMulticastUsesAtMostTwoChains) {
+  // Traffic of the dual-path scheme is the two chain lengths; its depth can
+  // exceed a single unicast but each destination is visited exactly once.
+  const Mesh2D m(12, 12);
+  const grid::CellSet blocked(m);
+  const FaultRingRouter router(m, blocked);
+  const std::vector<Coord> dests = {{1, 1}, {1, 10}, {10, 1}, {10, 10}};
+  const auto result = path_multicast(router, {6, 6}, dests);
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.legs.size(), 4u);
+  // Every leg starts where the previous leg of its chain ended.
+  // (Checked indirectly: total reached equals requested and traffic is the
+  // sum of leg hops.)
+  std::int64_t hops = 0;
+  for (const auto& leg : result.legs) hops += leg.hops();
+  EXPECT_EQ(result.traffic, hops);
+}
+
+TEST(MulticastTest, DepthIsAtLeastFarthestDestination) {
+  const Mesh2D m(12, 12);
+  const grid::CellSet blocked(m);
+  const FaultRingRouter router(m, blocked);
+  const std::vector<Coord> dests = {{11, 11}, {0, 11}};
+  for (const Multicast& result :
+       {separate_unicast(router, {0, 0}, dests),
+        path_multicast(router, {0, 0}, dests),
+        tree_multicast(router, m, {0, 0}, dests)}) {
+    EXPECT_GE(result.depth, 22);  // manhattan((0,0),(11,11))
+  }
+}
+
+TEST(MulticastTest, UnreachableDestinationIsReportedNotLost) {
+  const Mesh2D m(10, 10);
+  // Box in a destination completely.
+  grid::CellSet blocked(m);
+  const geom::Region ring = fault::make_rectangle({4, 4}, 3, 3);
+  for (Coord c : ring.cells()) {
+    if (c != Coord{5, 5}) blocked.insert(c);
+  }
+  const FaultRingRouter router(m, blocked);
+  const std::vector<Coord> dests = {{5, 5}, {9, 9}};
+  const auto result = separate_unicast(router, {0, 0}, dests);
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.reached, 1u);
+  EXPECT_EQ(result.requested, 2u);
+}
+
+}  // namespace
+}  // namespace ocp::routing

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "fault/shapes.hpp"
+#include "routing/router.hpp"
+
+namespace ocp::routing {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+grid::CellSet blocked_from_region(const Mesh2D& m, const geom::Region& r) {
+  return fault::to_fault_set(m, r);
+}
+
+TEST(FaultRingRouterTest, FaultFreeBehavesLikeXY) {
+  const Mesh2D m(10, 10);
+  const grid::CellSet blocked(m);
+  const FaultRingRouter ring(m, blocked);
+  const XYRouter xy(m, blocked);
+  const Route a = ring.route({1, 2}, {8, 7});
+  const Route b = xy.route({1, 2}, {8, 7});
+  ASSERT_TRUE(a.delivered());
+  EXPECT_EQ(a.path, b.path);
+  EXPECT_EQ(a.detour_hops(), 0);
+}
+
+TEST(FaultRingRouterTest, DetoursAroundRectangle) {
+  const Mesh2D m(12, 12);
+  const auto blocked =
+      blocked_from_region(m, fault::make_rectangle({4, 3}, 3, 4));
+  const FaultRingRouter router(m, blocked);
+  const Route r = router.route({1, 4}, {10, 4});
+  ASSERT_TRUE(r.delivered());
+  EXPECT_GT(r.detour_hops(), 0);
+  for (Coord c : r.path) EXPECT_FALSE(blocked.contains(c));
+}
+
+TEST(FaultRingRouterTest, BothHandsDeliverAroundRectangle) {
+  const Mesh2D m(12, 12);
+  const auto blocked =
+      blocked_from_region(m, fault::make_rectangle({4, 4}, 4, 4));
+  for (Hand hand : {Hand::Left, Hand::Right}) {
+    const FaultRingRouter router(m, blocked, hand);
+    const Route r = router.route({2, 6}, {10, 6});
+    ASSERT_TRUE(r.delivered());
+    EXPECT_GE(r.hops(), 8);
+  }
+}
+
+TEST(FaultRingRouterTest, DeliversAroundOrthogonalConvexShapes) {
+  const Mesh2D m(16, 16);
+  const geom::Region shapes[] = {
+      fault::make_l_shape({5, 5}, 5, 2),
+      fault::make_t_shape({5, 5}, 5, 3),
+      fault::make_plus_shape({8, 8}, 3),
+  };
+  for (const auto& shape : shapes) {
+    const auto blocked = blocked_from_region(m, shape);
+    const FaultRingRouter router(m, blocked);
+    // All pairs among a set of probe nodes on different sides.
+    const Coord probes[] = {{0, 0}, {15, 15}, {0, 15}, {15, 0},
+                            {8, 0},  {0, 8},  {15, 8}, {8, 15}};
+    for (Coord src : probes) {
+      for (Coord dst : probes) {
+        if (src == dst) continue;
+        const Route r = router.route(src, dst);
+        ASSERT_TRUE(r.delivered())
+            << "from " << mesh::to_string(src) << " to "
+            << mesh::to_string(dst) << "\n"
+            << shape.to_ascii();
+        for (Coord c : r.path) ASSERT_FALSE(blocked.contains(c));
+      }
+    }
+  }
+}
+
+TEST(FaultRingRouterTest, PathNeverRevisitsNodeAroundConvexRegion) {
+  // Progressiveness around orthogonal convex regions: the route never
+  // visits the same node twice (no backtracking).
+  const Mesh2D m(16, 16);
+  const auto blocked = blocked_from_region(m, fault::make_plus_shape({8, 8}, 3));
+  const FaultRingRouter router(m, blocked);
+  const Route r = router.route({1, 8}, {15, 8});
+  ASSERT_TRUE(r.delivered());
+  std::unordered_set<Coord> seen(r.path.begin(), r.path.end());
+  EXPECT_EQ(seen.size(), r.path.size());
+}
+
+TEST(FaultRingRouterTest, RegionTouchingMeshEdge) {
+  // Obstacle flush against the south edge: the detour must go over the top.
+  const Mesh2D m(12, 12);
+  const auto blocked =
+      blocked_from_region(m, fault::make_rectangle({5, 0}, 2, 4));
+  const FaultRingRouter router(m, blocked);
+  const Route r = router.route({2, 1}, {10, 1});
+  ASSERT_TRUE(r.delivered());
+  for (Coord c : r.path) {
+    EXPECT_TRUE(m.contains(c));
+    EXPECT_FALSE(blocked.contains(c));
+  }
+}
+
+TEST(FaultRingRouterTest, DeliversOnLabeledRandomInstances) {
+  // End-to-end guarantee the paper motivates: with disabled regions
+  // (orthogonal convex polygons) as blocked cells, routing always succeeds.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Mesh2D m(24, 24);
+    stats::Rng rng(seed);
+    const auto faults = fault::uniform_random(m, 35, rng);
+    const auto result = labeling::run_pipeline(faults);
+    const auto blocked = labeling::disabled_cells(result.activation);
+    const FaultRingRouter router(m, blocked);
+
+    stats::Rng pair_rng(seed + 1000);
+    for (int i = 0; i < 60; ++i) {
+      const auto src = m.coord(static_cast<std::size_t>(
+          pair_rng.uniform_int(0, m.node_count() - 1)));
+      const auto dst = m.coord(static_cast<std::size_t>(
+          pair_rng.uniform_int(0, m.node_count() - 1)));
+      if (src == dst || blocked.contains(src) || blocked.contains(dst)) {
+        continue;
+      }
+      const Route r = router.route(src, dst);
+      ASSERT_TRUE(r.delivered())
+          << "seed " << seed << " " << mesh::to_string(src) << " -> "
+          << mesh::to_string(dst) << " status " << to_string(r.status);
+    }
+  }
+}
+
+TEST(FaultRingRouterTest, ConcavePocketForcesBacktracking) {
+  // A width-1 dead-end slot aligned with the route: the e-cube hop walks in,
+  // hits the back wall, and the wall-follower must retrace the same corridor
+  // cells to get out — backtracking, which the paper's progressive-routing
+  // argument rules out for *convex* regions (and which our convex-region
+  // tests above show never happens).
+  const Mesh2D m(16, 16);
+  std::vector<Coord> cells;
+  for (std::int32_t x = 5; x <= 10; ++x) {
+    cells.push_back({x, 6});  // slot floor
+    cells.push_back({x, 8});  // slot ceiling
+  }
+  cells.push_back({10, 7});  // back wall; corridor y = 7, x in [5, 9]
+  const auto blocked = blocked_from_region(m, geom::Region(cells));
+  const FaultRingRouter router(m, blocked);
+  const Route r = router.route({2, 7}, {13, 7});
+  ASSERT_TRUE(r.delivered());
+  std::unordered_set<Coord> seen(r.path.begin(), r.path.end());
+  EXPECT_LT(seen.size(), r.path.size())
+      << "expected the dead-end corridor to be retraced";
+}
+
+TEST(FaultRingRouterTest, UnreachableEnclosedDestinationReportsLivelock) {
+  // A destination sealed inside a blocked box can never be reached; the
+  // router must terminate with Livelock instead of spinning forever.
+  const Mesh2D m(12, 12);
+  grid::CellSet blocked(m);
+  const geom::Region box = fault::make_rectangle({4, 4}, 3, 3);
+  for (Coord c : box.cells()) {
+    if (c != Coord{5, 5}) blocked.insert(c);
+  }
+  const FaultRingRouter router(m, blocked);
+  const Route r = router.route({0, 0}, {5, 5});
+  EXPECT_EQ(r.status, RouteStatus::Livelock);
+}
+
+TEST(FaultRingRouterTest, StretchIsBoundedByPerimeter) {
+  const Mesh2D m(20, 20);
+  const geom::Region obstacle = fault::make_rectangle({6, 6}, 6, 6);
+  const auto blocked = blocked_from_region(m, obstacle);
+  const FaultRingRouter router(m, blocked);
+  const Route r = router.route({2, 9}, {17, 9});
+  ASSERT_TRUE(r.delivered());
+  const std::int32_t minimal = mesh::manhattan({2, 9}, {17, 9});
+  EXPECT_LE(r.hops(), minimal + 2 * (6 + 6));
+}
+
+}  // namespace
+}  // namespace ocp::routing

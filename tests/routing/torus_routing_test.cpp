@@ -1,0 +1,109 @@
+// Wraparound routing: e-cube takes the shorter way around each ring and the
+// boundary-following detours may cross the seams.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "routing/router.hpp"
+
+namespace ocp::routing {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+using mesh::Topology;
+
+TEST(TorusRoutingTest, EcubeDirectionUsesShorterArc) {
+  const Mesh2D m(10, 10, Topology::Torus);
+  EXPECT_EQ(ecube_direction(m, {1, 0}, {9, 0}), mesh::Dir::West);  // 2 vs 8
+  EXPECT_EQ(ecube_direction(m, {9, 0}, {1, 0}), mesh::Dir::East);
+  EXPECT_EQ(ecube_direction(m, {0, 1}, {0, 9}), mesh::Dir::South);
+  EXPECT_EQ(ecube_direction(m, {0, 0}, {0, 4}), mesh::Dir::North);
+  EXPECT_EQ(ecube_direction(m, {3, 3}, {3, 3}), std::nullopt);
+  // Exact half: positive direction wins the tie.
+  EXPECT_EQ(ecube_direction(m, {0, 0}, {5, 0}), mesh::Dir::East);
+}
+
+TEST(TorusRoutingTest, MeshVariantIsPlanar) {
+  const Mesh2D m(10, 10);
+  EXPECT_EQ(ecube_direction(m, {1, 0}, {9, 0}), mesh::Dir::East);
+  EXPECT_EQ(ecube_direction(m, {1, 0}, {9, 0}),
+            ecube_direction({1, 0}, {9, 0}));
+}
+
+TEST(TorusRoutingTest, XYRouteWrapsAndIsMinimal) {
+  const Mesh2D m(12, 12, Topology::Torus);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  const Route r = router.route({1, 1}, {11, 11});
+  ASSERT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops(), m.distance({1, 1}, {11, 11}));
+  EXPECT_EQ(r.hops(), 4);  // 2 wrap hops per dimension
+}
+
+TEST(TorusRoutingTest, XYRouteOnMeshUnchanged) {
+  const Mesh2D m(12, 12);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  const Route r = router.route({1, 1}, {11, 11});
+  ASSERT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops(), 20);
+}
+
+TEST(TorusRoutingTest, RingRouterDetoursAcrossSeam) {
+  const Mesh2D m(12, 12, Topology::Torus);
+  // A blocked column segment sitting on the seam path.
+  grid::CellSet blocked(m);
+  for (std::int32_t y = 3; y <= 9; ++y) blocked.insert({0, y});
+  const FaultRingRouter router(m, blocked);
+  const Route r = router.route({10, 6}, {2, 6});  // shortest way wraps x
+  ASSERT_TRUE(r.delivered());
+  for (Coord c : r.path) EXPECT_FALSE(blocked.contains(c));
+  EXPECT_GT(r.hops(), 0);
+}
+
+TEST(TorusRoutingTest, AllPairsDeliveredOverLabeledTorus) {
+  const Mesh2D m(14, 14, Topology::Torus);
+  stats::Rng rng(3);
+  const auto faults = fault::uniform_random(m, 14, rng);
+  const auto result = labeling::run_pipeline(faults);
+  const auto blocked = labeling::disabled_cells(result.activation);
+  const FaultRingRouter router(m, blocked);
+  stats::Rng pair_rng(4);
+  for (int i = 0; i < 150; ++i) {
+    const auto src = m.coord(static_cast<std::size_t>(
+        pair_rng.uniform_int(0, m.node_count() - 1)));
+    const auto dst = m.coord(static_cast<std::size_t>(
+        pair_rng.uniform_int(0, m.node_count() - 1)));
+    if (src == dst || blocked.contains(src) || blocked.contains(dst)) {
+      continue;
+    }
+    const Route r = router.route(src, dst);
+    ASSERT_TRUE(r.delivered())
+        << mesh::to_string(src) << " -> " << mesh::to_string(dst);
+    // Hop validity across the seams.
+    for (std::size_t h = 0; h + 1 < r.path.size(); ++h) {
+      ASSERT_TRUE(m.linked(r.path[h], r.path[h + 1]));
+    }
+  }
+}
+
+TEST(TorusRoutingTest, FaultFreeTorusRoutesAreMinimal) {
+  const Mesh2D m(9, 9, Topology::Torus);
+  const grid::CellSet blocked(m);
+  const FaultRingRouter router(m, blocked);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count());
+       i += 5) {
+    for (std::size_t j = 0; j < static_cast<std::size_t>(m.node_count());
+         j += 7) {
+      const Coord src = m.coord(i);
+      const Coord dst = m.coord(j);
+      const Route r = router.route(src, dst);
+      ASSERT_TRUE(r.delivered());
+      ASSERT_EQ(r.hops(), m.distance(src, dst));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ocp::routing

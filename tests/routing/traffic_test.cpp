@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "fault/shapes.hpp"
+#include "routing/traffic.hpp"
+
+namespace ocp::routing {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(TrafficTest, FaultFreeUniformTrafficAllDelivered) {
+  const Mesh2D m(10, 10);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  stats::Rng rng(1);
+  const auto t = run_uniform_traffic(router, blocked, 500, rng);
+  EXPECT_EQ(t.attempts, 500u);
+  EXPECT_EQ(t.delivered, 500u);
+  EXPECT_DOUBLE_EQ(t.delivery_rate(), 1.0);
+  // XY on a fault-free mesh is minimal: stretch identically zero.
+  EXPECT_DOUBLE_EQ(t.stretch.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(t.stretch.max(), 0.0);
+}
+
+TEST(TrafficTest, SampledEndpointsAreNeverBlocked) {
+  const Mesh2D m(10, 10);
+  const auto blocked =
+      fault::to_fault_set(m, fault::make_rectangle({3, 3}, 3, 3));
+  const FaultRingRouter router(m, blocked);
+  stats::Rng rng(2);
+  const auto t = run_uniform_traffic(router, blocked, 300, rng);
+  // Invalid routes only arise from blocked endpoints; the sampler avoids
+  // them, so everything is either delivered or an honest routing failure.
+  EXPECT_EQ(t.delivered + t.blocked + t.livelocked, t.attempts);
+}
+
+TEST(TrafficTest, RingRouterBeatsXYOnDelivery) {
+  const Mesh2D m(12, 12);
+  const auto blocked =
+      fault::to_fault_set(m, fault::make_rectangle({4, 4}, 3, 3));
+  const XYRouter xy(m, blocked);
+  const FaultRingRouter ring(m, blocked);
+  stats::Rng rng_a(3);
+  stats::Rng rng_b(3);
+  const auto t_xy = run_uniform_traffic(xy, blocked, 400, rng_a);
+  const auto t_ring = run_uniform_traffic(ring, blocked, 400, rng_b);
+  EXPECT_LT(t_xy.delivery_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(t_ring.delivery_rate(), 1.0);
+}
+
+TEST(TrafficTest, AllPairsCountsOrderedPairs) {
+  const Mesh2D m(4, 4);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  const auto t = run_all_pairs(router, blocked);
+  EXPECT_EQ(t.attempts, 16u * 15u);
+  EXPECT_EQ(t.delivered, 16u * 15u);
+}
+
+TEST(TrafficTest, AllPairsSkipsBlockedNodes) {
+  const Mesh2D m(4, 4);
+  const grid::CellSet blocked{m, {{1, 1}, {2, 2}}};
+  const FaultRingRouter router(m, blocked);
+  const auto t = run_all_pairs(router, blocked);
+  EXPECT_EQ(t.attempts, 14u * 13u);
+}
+
+TEST(TrafficTest, EmptyUsableSetIsSafe) {
+  const Mesh2D m(2, 2);
+  grid::CellSet blocked(m);
+  for (std::size_t i = 0; i < 4; ++i) blocked.insert(m.coord(i));
+  const XYRouter router(m, blocked);
+  stats::Rng rng(4);
+  const auto t = run_uniform_traffic(router, blocked, 10, rng);
+  EXPECT_EQ(t.attempts, 0u);
+  EXPECT_DOUBLE_EQ(t.delivery_rate(), 1.0);  // vacuous
+}
+
+TEST(TrafficTest, DetourHopsReportedForRingRoutes) {
+  const Mesh2D m(12, 12);
+  const auto blocked =
+      fault::to_fault_set(m, fault::make_rectangle({4, 4}, 4, 4));
+  const FaultRingRouter router(m, blocked);
+  const auto t = run_all_pairs(router, blocked);
+  EXPECT_DOUBLE_EQ(t.delivery_rate(), 1.0);
+  EXPECT_GT(t.detour_hops.max(), 0.0);
+  EXPECT_GE(t.stretch.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace ocp::routing

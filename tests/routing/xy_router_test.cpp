@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "routing/router.hpp"
+
+namespace ocp::routing {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(EcubeDirectionTest, CorrectsXFirst) {
+  EXPECT_EQ(ecube_direction({0, 0}, {3, 3}), mesh::Dir::East);
+  EXPECT_EQ(ecube_direction({5, 0}, {3, 3}), mesh::Dir::West);
+  EXPECT_EQ(ecube_direction({3, 0}, {3, 3}), mesh::Dir::North);
+  EXPECT_EQ(ecube_direction({3, 5}, {3, 3}), mesh::Dir::South);
+  EXPECT_EQ(ecube_direction({3, 3}, {3, 3}), std::nullopt);
+}
+
+TEST(XYRouterTest, FaultFreeRouteIsMinimalAndLShaped) {
+  const Mesh2D m(10, 10);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  const Route r = router.route({1, 1}, {6, 4});
+  ASSERT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops(), 8);
+  EXPECT_EQ(r.path.front(), (Coord{1, 1}));
+  EXPECT_EQ(r.path.back(), (Coord{6, 4}));
+  // X is corrected before Y.
+  EXPECT_EQ(r.path[1], (Coord{2, 1}));
+  EXPECT_EQ(r.path[5], (Coord{6, 1}));
+  EXPECT_EQ(r.detour_hops(), 0);
+}
+
+TEST(XYRouterTest, SelfRouteIsEmptyDelivered) {
+  const Mesh2D m(5, 5);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  const Route r = router.route({2, 2}, {2, 2});
+  EXPECT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops(), 0);
+}
+
+TEST(XYRouterTest, BlockedEndpointIsInvalid) {
+  const Mesh2D m(5, 5);
+  const grid::CellSet blocked{m, {{2, 2}}};
+  const XYRouter router(m, blocked);
+  EXPECT_EQ(router.route({2, 2}, {4, 4}).status, RouteStatus::Invalid);
+  EXPECT_EQ(router.route({0, 0}, {2, 2}).status, RouteStatus::Invalid);
+  EXPECT_EQ(router.route({9, 9}, {0, 0}).status, RouteStatus::Invalid);
+}
+
+TEST(XYRouterTest, StopsAtBlockedHop) {
+  const Mesh2D m(7, 7);
+  const grid::CellSet blocked{m, {{3, 1}}};
+  const XYRouter router(m, blocked);
+  const Route r = router.route({1, 1}, {5, 1});
+  EXPECT_EQ(r.status, RouteStatus::Blocked);
+  EXPECT_EQ(r.path.back(), (Coord{2, 1}));  // stopped right before the wall
+}
+
+TEST(XYRouterTest, UnaffectedByOffPathFaults) {
+  const Mesh2D m(7, 7);
+  // XY from (0,0) to (6,6) passes along row y = 0 then column x = 6;
+  // these faults sit away from that L.
+  const grid::CellSet blocked{m, {{0, 6}, {3, 3}}};
+  const XYRouter router(m, blocked);
+  const Route r = router.route({0, 0}, {6, 6});
+  ASSERT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops(), 12);
+}
+
+TEST(XYRouterTest, AllPhasesAreZero) {
+  const Mesh2D m(8, 8);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  const Route r = router.route({0, 7}, {7, 0});
+  ASSERT_TRUE(r.delivered());
+  for (std::uint8_t p : r.phase) EXPECT_EQ(p, 0);
+}
+
+}  // namespace
+}  // namespace ocp::routing

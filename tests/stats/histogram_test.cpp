@@ -1,0 +1,104 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace ocp::stats {
+namespace {
+
+TEST(HistogramTest, RejectsBadLayout) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinsCountCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(0.7);
+  h.add(5.5);
+  h.add(9.9);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(5), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.bin(3), 0u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  const Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(HistogramTest, PercentilesOfUniformSamples) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.median(), 0.5, 0.02);
+  EXPECT_NEAR(h.percentile(0.1), 0.1, 0.02);
+  EXPECT_NEAR(h.percentile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.p99(), 0.99, 0.02);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h(0.0, 100.0, 20);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) h.add(rng.uniform() * 100);
+  double prev = -1;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(1.0);
+  b.add(1.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bin(1), 2u);
+  EXPECT_EQ(a.bin(9), 1u);
+}
+
+TEST(HistogramTest, MergeRejectsIncompatible) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  Histogram c(0.0, 20.0, 10);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(HistogramTest, SparklineShape) {
+  Histogram h(0.0, 4.0, 4);
+  const std::string flat = h.sparkline();
+  EXPECT_FALSE(flat.empty());
+  h.add(0.5);
+  h.add(0.6);
+  h.add(2.5);
+  const std::string spark = h.sparkline();
+  // Highest bucket renders the full block.
+  EXPECT_NE(spark.find("█"), std::string::npos);
+}
+
+TEST(HistogramTest, BinLoEdges) {
+  const Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 18.0);
+}
+
+}  // namespace
+}  // namespace ocp::stats

@@ -1,0 +1,106 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ocp::stats {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  bool any_different = false;
+  for (int i = 0; i < 32 && !any_different; ++i) {
+    any_different = a.uniform_int(0, 1 << 30) != b.uniform_int(0, 1 << 30);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(17);
+  const auto sample = rng.sample_without_replacement(100, 40);
+  EXPECT_EQ(sample.size(), 40u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (std::size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(19);
+  auto sample = rng.sample_without_replacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng rng(21);
+  EXPECT_TRUE(rng.sample_without_replacement(10, 0).empty());
+  EXPECT_TRUE(rng.sample_without_replacement(0, 0).empty());
+}
+
+TEST(RngTest, SampleCoversWholeRangeEventually) {
+  Rng rng(23);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (std::size_t v : rng.sample_without_replacement(10, 3)) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, ForkSeedProducesFreshStreams) {
+  Rng parent(31);
+  const auto s1 = parent.fork_seed();
+  const auto s2 = parent.fork_seed();
+  EXPECT_NE(s1, s2);
+  Rng c1(s1);
+  Rng c2(s2);
+  EXPECT_NE(c1.uniform_int(0, 1 << 30), c2.uniform_int(0, 1 << 30));
+}
+
+TEST(RngTest, SeedAccessorReturnsConstructorSeed) {
+  EXPECT_EQ(Rng(77).seed(), 77u);
+}
+
+}  // namespace
+}  // namespace ocp::stats

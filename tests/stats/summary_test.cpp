@@ -1,0 +1,92 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace ocp::stats {
+namespace {
+
+TEST(SummaryTest, EmptySummaryIsSafe) {
+  const Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, KnownMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SummaryTest, MergeMatchesSequential) {
+  Rng rng(5);
+  Summary whole;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform() * 100 - 50;
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  Summary merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(SummaryTest, MergeWithEmptyIsIdentity) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  Summary copy = s;
+  copy.merge(Summary{});
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 2.0);
+
+  Summary empty;
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(SummaryTest, Ci95ShrinksWithSamples) {
+  Rng rng(6);
+  Summary small;
+  Summary large;
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(SummaryTest, WelfordIsStableForLargeOffsets) {
+  Summary s;
+  // Values with a huge common offset; naive sum-of-squares would lose all
+  // precision.
+  for (double v : {1e9 + 4, 1e9 + 7, 1e9 + 13, 1e9 + 16}) s.add(v);
+  EXPECT_NEAR(s.mean(), 1e9 + 10, 1e-3);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ocp::stats

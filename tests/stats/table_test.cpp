@@ -1,0 +1,67 @@
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace ocp::stats {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a     long-header"), std::string::npos);
+  EXPECT_NE(out.find("yyyy  2"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecialCells) {
+  Table t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "2"});
+  t.add_row({"with\"quote", "3"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name,value\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\",2"), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\",3"), std::string::npos);
+}
+
+TEST(TableTest, RowCountAndAccessors) {
+  Table t({"h"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"r"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.header().size(), 1u);
+  EXPECT_EQ(t.rows()[0][0], "r");
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.14159, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(TableTest, FormatMeanCi) {
+  EXPECT_EQ(format_mean_ci(12.345, 0.678, 2), "12.35 ± 0.68");
+}
+
+TEST(TableTest, WriteCsvCreatesFile) {
+  Table t({"x"});
+  t.add_row({"1"});
+  const std::string path = testing::TempDir() + "/ocp_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x");
+}
+
+}  // namespace
+}  // namespace ocp::stats
