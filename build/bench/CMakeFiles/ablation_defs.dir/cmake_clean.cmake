@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_defs.dir/ablation_defs.cpp.o"
+  "CMakeFiles/ablation_defs.dir/ablation_defs.cpp.o.d"
+  "ablation_defs"
+  "ablation_defs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_defs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

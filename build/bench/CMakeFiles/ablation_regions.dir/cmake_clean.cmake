@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regions.dir/ablation_regions.cpp.o"
+  "CMakeFiles/ablation_regions.dir/ablation_regions.cpp.o.d"
+  "ablation_regions"
+  "ablation_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

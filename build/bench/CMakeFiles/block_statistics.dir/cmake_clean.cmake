@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_statistics.dir/block_statistics.cpp.o"
+  "CMakeFiles/block_statistics.dir/block_statistics.cpp.o.d"
+  "block_statistics"
+  "block_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

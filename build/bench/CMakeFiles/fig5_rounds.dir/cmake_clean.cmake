@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_rounds.dir/fig5_rounds.cpp.o"
+  "CMakeFiles/fig5_rounds.dir/fig5_rounds.cpp.o.d"
+  "fig5_rounds"
+  "fig5_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

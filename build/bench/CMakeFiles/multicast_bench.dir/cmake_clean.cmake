@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_bench.dir/multicast_bench.cpp.o"
+  "CMakeFiles/multicast_bench.dir/multicast_bench.cpp.o.d"
+  "multicast_bench"
+  "multicast_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_load.dir/netsim_load.cpp.o"
+  "CMakeFiles/netsim_load.dir/netsim_load.cpp.o.d"
+  "netsim_load"
+  "netsim_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

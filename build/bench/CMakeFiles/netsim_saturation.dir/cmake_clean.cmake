@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_saturation.dir/netsim_saturation.cpp.o"
+  "CMakeFiles/netsim_saturation.dir/netsim_saturation.cpp.o.d"
+  "netsim_saturation"
+  "netsim_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

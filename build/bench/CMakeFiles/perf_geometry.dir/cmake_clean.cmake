@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_geometry.dir/perf_geometry.cpp.o"
+  "CMakeFiles/perf_geometry.dir/perf_geometry.cpp.o.d"
+  "perf_geometry"
+  "perf_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_labeling.dir/perf_labeling.cpp.o"
+  "CMakeFiles/perf_labeling.dir/perf_labeling.cpp.o.d"
+  "perf_labeling"
+  "perf_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

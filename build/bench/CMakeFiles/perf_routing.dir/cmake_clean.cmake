@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_routing.dir/perf_routing.cpp.o"
+  "CMakeFiles/perf_routing.dir/perf_routing.cpp.o.d"
+  "perf_routing"
+  "perf_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_quality.dir/routing_quality.cpp.o"
+  "CMakeFiles/routing_quality.dir/routing_quality.cpp.o.d"
+  "routing_quality"
+  "routing_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

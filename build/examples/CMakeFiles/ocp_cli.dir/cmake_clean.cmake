@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocp_cli.dir/ocp_cli.cpp.o"
+  "CMakeFiles/ocp_cli.dir/ocp_cli.cpp.o.d"
+  "ocp_cli"
+  "ocp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

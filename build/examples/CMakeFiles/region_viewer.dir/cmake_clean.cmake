@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_viewer.dir/region_viewer.cpp.o"
+  "CMakeFiles/region_viewer.dir/region_viewer.cpp.o.d"
+  "region_viewer"
+  "region_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

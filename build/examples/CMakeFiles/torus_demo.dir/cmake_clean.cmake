@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torus_demo.dir/torus_demo.cpp.o"
+  "CMakeFiles/torus_demo.dir/torus_demo.cpp.o.d"
+  "torus_demo"
+  "torus_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torus_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

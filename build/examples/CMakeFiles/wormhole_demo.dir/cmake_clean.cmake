@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_demo.dir/wormhole_demo.cpp.o"
+  "CMakeFiles/wormhole_demo.dir/wormhole_demo.cpp.o.d"
+  "wormhole_demo"
+  "wormhole_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ablation.cpp" "src/CMakeFiles/ocp_analysis.dir/analysis/ablation.cpp.o" "gcc" "src/CMakeFiles/ocp_analysis.dir/analysis/ablation.cpp.o.d"
+  "/root/repo/src/analysis/async_study.cpp" "src/CMakeFiles/ocp_analysis.dir/analysis/async_study.cpp.o" "gcc" "src/CMakeFiles/ocp_analysis.dir/analysis/async_study.cpp.o.d"
+  "/root/repo/src/analysis/block_stats.cpp" "src/CMakeFiles/ocp_analysis.dir/analysis/block_stats.cpp.o" "gcc" "src/CMakeFiles/ocp_analysis.dir/analysis/block_stats.cpp.o.d"
+  "/root/repo/src/analysis/fig5.cpp" "src/CMakeFiles/ocp_analysis.dir/analysis/fig5.cpp.o" "gcc" "src/CMakeFiles/ocp_analysis.dir/analysis/fig5.cpp.o.d"
+  "/root/repo/src/analysis/partition_study.cpp" "src/CMakeFiles/ocp_analysis.dir/analysis/partition_study.cpp.o" "gcc" "src/CMakeFiles/ocp_analysis.dir/analysis/partition_study.cpp.o.d"
+  "/root/repo/src/analysis/render.cpp" "src/CMakeFiles/ocp_analysis.dir/analysis/render.cpp.o" "gcc" "src/CMakeFiles/ocp_analysis.dir/analysis/render.cpp.o.d"
+  "/root/repo/src/analysis/svg.cpp" "src/CMakeFiles/ocp_analysis.dir/analysis/svg.cpp.o" "gcc" "src/CMakeFiles/ocp_analysis.dir/analysis/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

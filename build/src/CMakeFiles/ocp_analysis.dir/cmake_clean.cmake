@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocp_analysis.dir/analysis/ablation.cpp.o"
+  "CMakeFiles/ocp_analysis.dir/analysis/ablation.cpp.o.d"
+  "CMakeFiles/ocp_analysis.dir/analysis/async_study.cpp.o"
+  "CMakeFiles/ocp_analysis.dir/analysis/async_study.cpp.o.d"
+  "CMakeFiles/ocp_analysis.dir/analysis/block_stats.cpp.o"
+  "CMakeFiles/ocp_analysis.dir/analysis/block_stats.cpp.o.d"
+  "CMakeFiles/ocp_analysis.dir/analysis/fig5.cpp.o"
+  "CMakeFiles/ocp_analysis.dir/analysis/fig5.cpp.o.d"
+  "CMakeFiles/ocp_analysis.dir/analysis/partition_study.cpp.o"
+  "CMakeFiles/ocp_analysis.dir/analysis/partition_study.cpp.o.d"
+  "CMakeFiles/ocp_analysis.dir/analysis/render.cpp.o"
+  "CMakeFiles/ocp_analysis.dir/analysis/render.cpp.o.d"
+  "CMakeFiles/ocp_analysis.dir/analysis/svg.cpp.o"
+  "CMakeFiles/ocp_analysis.dir/analysis/svg.cpp.o.d"
+  "libocp_analysis.a"
+  "libocp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fault_distance.cpp" "src/CMakeFiles/ocp_core.dir/core/fault_distance.cpp.o" "gcc" "src/CMakeFiles/ocp_core.dir/core/fault_distance.cpp.o.d"
+  "/root/repo/src/core/maintenance.cpp" "src/CMakeFiles/ocp_core.dir/core/maintenance.cpp.o" "gcc" "src/CMakeFiles/ocp_core.dir/core/maintenance.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/ocp_core.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/ocp_core.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/ocp_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/ocp_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/reference.cpp" "src/CMakeFiles/ocp_core.dir/core/reference.cpp.o" "gcc" "src/CMakeFiles/ocp_core.dir/core/reference.cpp.o.d"
+  "/root/repo/src/core/regions.cpp" "src/CMakeFiles/ocp_core.dir/core/regions.cpp.o" "gcc" "src/CMakeFiles/ocp_core.dir/core/regions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocp_core.dir/core/fault_distance.cpp.o"
+  "CMakeFiles/ocp_core.dir/core/fault_distance.cpp.o.d"
+  "CMakeFiles/ocp_core.dir/core/maintenance.cpp.o"
+  "CMakeFiles/ocp_core.dir/core/maintenance.cpp.o.d"
+  "CMakeFiles/ocp_core.dir/core/partition.cpp.o"
+  "CMakeFiles/ocp_core.dir/core/partition.cpp.o.d"
+  "CMakeFiles/ocp_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/ocp_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/ocp_core.dir/core/reference.cpp.o"
+  "CMakeFiles/ocp_core.dir/core/reference.cpp.o.d"
+  "CMakeFiles/ocp_core.dir/core/regions.cpp.o"
+  "CMakeFiles/ocp_core.dir/core/regions.cpp.o.d"
+  "libocp_core.a"
+  "libocp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/fixtures.cpp" "src/CMakeFiles/ocp_fault.dir/fault/fixtures.cpp.o" "gcc" "src/CMakeFiles/ocp_fault.dir/fault/fixtures.cpp.o.d"
+  "/root/repo/src/fault/generators.cpp" "src/CMakeFiles/ocp_fault.dir/fault/generators.cpp.o" "gcc" "src/CMakeFiles/ocp_fault.dir/fault/generators.cpp.o.d"
+  "/root/repo/src/fault/link_faults.cpp" "src/CMakeFiles/ocp_fault.dir/fault/link_faults.cpp.o" "gcc" "src/CMakeFiles/ocp_fault.dir/fault/link_faults.cpp.o.d"
+  "/root/repo/src/fault/shapes.cpp" "src/CMakeFiles/ocp_fault.dir/fault/shapes.cpp.o" "gcc" "src/CMakeFiles/ocp_fault.dir/fault/shapes.cpp.o.d"
+  "/root/repo/src/fault/trace.cpp" "src/CMakeFiles/ocp_fault.dir/fault/trace.cpp.o" "gcc" "src/CMakeFiles/ocp_fault.dir/fault/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

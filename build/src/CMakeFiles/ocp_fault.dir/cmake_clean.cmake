@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocp_fault.dir/fault/fixtures.cpp.o"
+  "CMakeFiles/ocp_fault.dir/fault/fixtures.cpp.o.d"
+  "CMakeFiles/ocp_fault.dir/fault/generators.cpp.o"
+  "CMakeFiles/ocp_fault.dir/fault/generators.cpp.o.d"
+  "CMakeFiles/ocp_fault.dir/fault/link_faults.cpp.o"
+  "CMakeFiles/ocp_fault.dir/fault/link_faults.cpp.o.d"
+  "CMakeFiles/ocp_fault.dir/fault/shapes.cpp.o"
+  "CMakeFiles/ocp_fault.dir/fault/shapes.cpp.o.d"
+  "CMakeFiles/ocp_fault.dir/fault/trace.cpp.o"
+  "CMakeFiles/ocp_fault.dir/fault/trace.cpp.o.d"
+  "libocp_fault.a"
+  "libocp_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocp_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

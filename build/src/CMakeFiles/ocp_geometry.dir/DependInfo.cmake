@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/boundary.cpp" "src/CMakeFiles/ocp_geometry.dir/geometry/boundary.cpp.o" "gcc" "src/CMakeFiles/ocp_geometry.dir/geometry/boundary.cpp.o.d"
+  "/root/repo/src/geometry/convexity.cpp" "src/CMakeFiles/ocp_geometry.dir/geometry/convexity.cpp.o" "gcc" "src/CMakeFiles/ocp_geometry.dir/geometry/convexity.cpp.o.d"
+  "/root/repo/src/geometry/region.cpp" "src/CMakeFiles/ocp_geometry.dir/geometry/region.cpp.o" "gcc" "src/CMakeFiles/ocp_geometry.dir/geometry/region.cpp.o.d"
+  "/root/repo/src/geometry/staircase.cpp" "src/CMakeFiles/ocp_geometry.dir/geometry/staircase.cpp.o" "gcc" "src/CMakeFiles/ocp_geometry.dir/geometry/staircase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocp_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

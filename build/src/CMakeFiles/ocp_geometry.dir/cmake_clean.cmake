@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocp_geometry.dir/geometry/boundary.cpp.o"
+  "CMakeFiles/ocp_geometry.dir/geometry/boundary.cpp.o.d"
+  "CMakeFiles/ocp_geometry.dir/geometry/convexity.cpp.o"
+  "CMakeFiles/ocp_geometry.dir/geometry/convexity.cpp.o.d"
+  "CMakeFiles/ocp_geometry.dir/geometry/region.cpp.o"
+  "CMakeFiles/ocp_geometry.dir/geometry/region.cpp.o.d"
+  "CMakeFiles/ocp_geometry.dir/geometry/staircase.cpp.o"
+  "CMakeFiles/ocp_geometry.dir/geometry/staircase.cpp.o.d"
+  "libocp_geometry.a"
+  "libocp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

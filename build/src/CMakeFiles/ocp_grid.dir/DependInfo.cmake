@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/cell_set.cpp" "src/CMakeFiles/ocp_grid.dir/grid/cell_set.cpp.o" "gcc" "src/CMakeFiles/ocp_grid.dir/grid/cell_set.cpp.o.d"
+  "/root/repo/src/grid/connectivity.cpp" "src/CMakeFiles/ocp_grid.dir/grid/connectivity.cpp.o" "gcc" "src/CMakeFiles/ocp_grid.dir/grid/connectivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

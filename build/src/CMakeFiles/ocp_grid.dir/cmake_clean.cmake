@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocp_grid.dir/grid/cell_set.cpp.o"
+  "CMakeFiles/ocp_grid.dir/grid/cell_set.cpp.o.d"
+  "CMakeFiles/ocp_grid.dir/grid/connectivity.cpp.o"
+  "CMakeFiles/ocp_grid.dir/grid/connectivity.cpp.o.d"
+  "libocp_grid.a"
+  "libocp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

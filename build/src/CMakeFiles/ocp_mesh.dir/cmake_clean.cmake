@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocp_mesh.dir/mesh/coord.cpp.o"
+  "CMakeFiles/ocp_mesh.dir/mesh/coord.cpp.o.d"
+  "CMakeFiles/ocp_mesh.dir/mesh/mesh2d.cpp.o"
+  "CMakeFiles/ocp_mesh.dir/mesh/mesh2d.cpp.o.d"
+  "libocp_mesh.a"
+  "libocp_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocp_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

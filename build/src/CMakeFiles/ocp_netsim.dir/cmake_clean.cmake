@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocp_netsim.dir/netsim/traffic_sim.cpp.o"
+  "CMakeFiles/ocp_netsim.dir/netsim/traffic_sim.cpp.o.d"
+  "CMakeFiles/ocp_netsim.dir/netsim/wormhole.cpp.o"
+  "CMakeFiles/ocp_netsim.dir/netsim/wormhole.cpp.o.d"
+  "libocp_netsim.a"
+  "libocp_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocp_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

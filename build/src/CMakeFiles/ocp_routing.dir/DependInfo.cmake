@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/adaptive_router.cpp" "src/CMakeFiles/ocp_routing.dir/routing/adaptive_router.cpp.o" "gcc" "src/CMakeFiles/ocp_routing.dir/routing/adaptive_router.cpp.o.d"
+  "/root/repo/src/routing/channel_graph.cpp" "src/CMakeFiles/ocp_routing.dir/routing/channel_graph.cpp.o" "gcc" "src/CMakeFiles/ocp_routing.dir/routing/channel_graph.cpp.o.d"
+  "/root/repo/src/routing/minimal_router.cpp" "src/CMakeFiles/ocp_routing.dir/routing/minimal_router.cpp.o" "gcc" "src/CMakeFiles/ocp_routing.dir/routing/minimal_router.cpp.o.d"
+  "/root/repo/src/routing/multicast.cpp" "src/CMakeFiles/ocp_routing.dir/routing/multicast.cpp.o" "gcc" "src/CMakeFiles/ocp_routing.dir/routing/multicast.cpp.o.d"
+  "/root/repo/src/routing/router.cpp" "src/CMakeFiles/ocp_routing.dir/routing/router.cpp.o" "gcc" "src/CMakeFiles/ocp_routing.dir/routing/router.cpp.o.d"
+  "/root/repo/src/routing/traffic.cpp" "src/CMakeFiles/ocp_routing.dir/routing/traffic.cpp.o" "gcc" "src/CMakeFiles/ocp_routing.dir/routing/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

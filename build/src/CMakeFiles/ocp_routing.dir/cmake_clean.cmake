@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocp_routing.dir/routing/adaptive_router.cpp.o"
+  "CMakeFiles/ocp_routing.dir/routing/adaptive_router.cpp.o.d"
+  "CMakeFiles/ocp_routing.dir/routing/channel_graph.cpp.o"
+  "CMakeFiles/ocp_routing.dir/routing/channel_graph.cpp.o.d"
+  "CMakeFiles/ocp_routing.dir/routing/minimal_router.cpp.o"
+  "CMakeFiles/ocp_routing.dir/routing/minimal_router.cpp.o.d"
+  "CMakeFiles/ocp_routing.dir/routing/multicast.cpp.o"
+  "CMakeFiles/ocp_routing.dir/routing/multicast.cpp.o.d"
+  "CMakeFiles/ocp_routing.dir/routing/router.cpp.o"
+  "CMakeFiles/ocp_routing.dir/routing/router.cpp.o.d"
+  "CMakeFiles/ocp_routing.dir/routing/traffic.cpp.o"
+  "CMakeFiles/ocp_routing.dir/routing/traffic.cpp.o.d"
+  "libocp_routing.a"
+  "libocp_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocp_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

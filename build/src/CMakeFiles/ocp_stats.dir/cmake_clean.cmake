@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocp_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/ocp_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/ocp_stats.dir/stats/rng.cpp.o"
+  "CMakeFiles/ocp_stats.dir/stats/rng.cpp.o.d"
+  "CMakeFiles/ocp_stats.dir/stats/table.cpp.o"
+  "CMakeFiles/ocp_stats.dir/stats/table.cpp.o.d"
+  "libocp_stats.a"
+  "libocp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

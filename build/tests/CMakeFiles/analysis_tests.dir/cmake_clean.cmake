@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/ablation_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/ablation_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/block_stats_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/block_stats_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/fig5_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/fig5_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/render_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/render_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/study_tests.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/study_tests.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/svg_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/svg_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/activation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/activation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/activation_test.cpp.o.d"
+  "/root/repo/tests/core/double_status_test.cpp" "tests/CMakeFiles/core_tests.dir/core/double_status_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/double_status_test.cpp.o.d"
+  "/root/repo/tests/core/exhaustive_small_mesh_test.cpp" "tests/CMakeFiles/core_tests.dir/core/exhaustive_small_mesh_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/exhaustive_small_mesh_test.cpp.o.d"
+  "/root/repo/tests/core/fault_distance_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fault_distance_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fault_distance_test.cpp.o.d"
+  "/root/repo/tests/core/maintenance_test.cpp" "tests/CMakeFiles/core_tests.dir/core/maintenance_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/maintenance_test.cpp.o.d"
+  "/root/repo/tests/core/paper_examples_test.cpp" "tests/CMakeFiles/core_tests.dir/core/paper_examples_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/paper_examples_test.cpp.o.d"
+  "/root/repo/tests/core/partition_test.cpp" "tests/CMakeFiles/core_tests.dir/core/partition_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/partition_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/regions_test.cpp" "tests/CMakeFiles/core_tests.dir/core/regions_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/regions_test.cpp.o.d"
+  "/root/repo/tests/core/safety_test.cpp" "tests/CMakeFiles/core_tests.dir/core/safety_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/safety_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/activation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/activation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/double_status_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/double_status_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/exhaustive_small_mesh_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/exhaustive_small_mesh_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/fault_distance_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/fault_distance_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/maintenance_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/maintenance_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/paper_examples_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/paper_examples_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/partition_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/partition_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/regions_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/regions_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/safety_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/safety_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tests.dir/fault/fixtures_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/fixtures_test.cpp.o.d"
+  "CMakeFiles/fault_tests.dir/fault/generators_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/generators_test.cpp.o.d"
+  "CMakeFiles/fault_tests.dir/fault/link_faults_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/link_faults_test.cpp.o.d"
+  "CMakeFiles/fault_tests.dir/fault/shapes_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/shapes_test.cpp.o.d"
+  "CMakeFiles/fault_tests.dir/fault/trace_test.cpp.o"
+  "CMakeFiles/fault_tests.dir/fault/trace_test.cpp.o.d"
+  "fault_tests"
+  "fault_tests.pdb"
+  "fault_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_tests.dir/geometry/boundary_test.cpp.o"
+  "CMakeFiles/geometry_tests.dir/geometry/boundary_test.cpp.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/closure_test.cpp.o"
+  "CMakeFiles/geometry_tests.dir/geometry/closure_test.cpp.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/convexity_test.cpp.o"
+  "CMakeFiles/geometry_tests.dir/geometry/convexity_test.cpp.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/rect_test.cpp.o"
+  "CMakeFiles/geometry_tests.dir/geometry/rect_test.cpp.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/region_test.cpp.o"
+  "CMakeFiles/geometry_tests.dir/geometry/region_test.cpp.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/staircase_test.cpp.o"
+  "CMakeFiles/geometry_tests.dir/geometry/staircase_test.cpp.o.d"
+  "geometry_tests"
+  "geometry_tests.pdb"
+  "geometry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_tests.dir/grid/cell_set_test.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/cell_set_test.cpp.o.d"
+  "CMakeFiles/grid_tests.dir/grid/connectivity_test.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/connectivity_test.cpp.o.d"
+  "CMakeFiles/grid_tests.dir/grid/node_grid_test.cpp.o"
+  "CMakeFiles/grid_tests.dir/grid/node_grid_test.cpp.o.d"
+  "grid_tests"
+  "grid_tests.pdb"
+  "grid_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

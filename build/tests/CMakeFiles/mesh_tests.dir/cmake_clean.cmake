@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_tests.dir/mesh/coord_test.cpp.o"
+  "CMakeFiles/mesh_tests.dir/mesh/coord_test.cpp.o.d"
+  "CMakeFiles/mesh_tests.dir/mesh/mesh2d_test.cpp.o"
+  "CMakeFiles/mesh_tests.dir/mesh/mesh2d_test.cpp.o.d"
+  "mesh_tests"
+  "mesh_tests.pdb"
+  "mesh_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

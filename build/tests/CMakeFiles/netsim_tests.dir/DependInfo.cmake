@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netsim/traffic_sim_test.cpp" "tests/CMakeFiles/netsim_tests.dir/netsim/traffic_sim_test.cpp.o" "gcc" "tests/CMakeFiles/netsim_tests.dir/netsim/traffic_sim_test.cpp.o.d"
+  "/root/repo/tests/netsim/wormhole_test.cpp" "tests/CMakeFiles/netsim_tests.dir/netsim/wormhole_test.cpp.o" "gcc" "tests/CMakeFiles/netsim_tests.dir/netsim/wormhole_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

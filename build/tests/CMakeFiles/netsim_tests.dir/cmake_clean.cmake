@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_tests.dir/netsim/traffic_sim_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/traffic_sim_test.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/wormhole_test.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/wormhole_test.cpp.o.d"
+  "netsim_tests"
+  "netsim_tests.pdb"
+  "netsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/routing/adaptive_router_test.cpp" "tests/CMakeFiles/routing_tests.dir/routing/adaptive_router_test.cpp.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/adaptive_router_test.cpp.o.d"
+  "/root/repo/tests/routing/channel_graph_test.cpp" "tests/CMakeFiles/routing_tests.dir/routing/channel_graph_test.cpp.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/channel_graph_test.cpp.o.d"
+  "/root/repo/tests/routing/minimal_router_test.cpp" "tests/CMakeFiles/routing_tests.dir/routing/minimal_router_test.cpp.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/minimal_router_test.cpp.o.d"
+  "/root/repo/tests/routing/multicast_test.cpp" "tests/CMakeFiles/routing_tests.dir/routing/multicast_test.cpp.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/multicast_test.cpp.o.d"
+  "/root/repo/tests/routing/ring_router_test.cpp" "tests/CMakeFiles/routing_tests.dir/routing/ring_router_test.cpp.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/ring_router_test.cpp.o.d"
+  "/root/repo/tests/routing/torus_routing_test.cpp" "tests/CMakeFiles/routing_tests.dir/routing/torus_routing_test.cpp.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/torus_routing_test.cpp.o.d"
+  "/root/repo/tests/routing/traffic_test.cpp" "tests/CMakeFiles/routing_tests.dir/routing/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/traffic_test.cpp.o.d"
+  "/root/repo/tests/routing/xy_router_test.cpp" "tests/CMakeFiles/routing_tests.dir/routing/xy_router_test.cpp.o" "gcc" "tests/CMakeFiles/routing_tests.dir/routing/xy_router_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ocp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

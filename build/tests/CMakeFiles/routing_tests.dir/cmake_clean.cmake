@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_tests.dir/routing/adaptive_router_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/adaptive_router_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/channel_graph_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/channel_graph_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/minimal_router_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/minimal_router_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/multicast_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/multicast_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/ring_router_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/ring_router_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/torus_routing_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/torus_routing_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/traffic_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/traffic_test.cpp.o.d"
+  "CMakeFiles/routing_tests.dir/routing/xy_router_test.cpp.o"
+  "CMakeFiles/routing_tests.dir/routing/xy_router_test.cpp.o.d"
+  "routing_tests"
+  "routing_tests.pdb"
+  "routing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

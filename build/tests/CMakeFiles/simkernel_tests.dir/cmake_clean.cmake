@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simkernel_tests.dir/simkernel/async_runner_test.cpp.o"
+  "CMakeFiles/simkernel_tests.dir/simkernel/async_runner_test.cpp.o.d"
+  "CMakeFiles/simkernel_tests.dir/simkernel/sync_runner_test.cpp.o"
+  "CMakeFiles/simkernel_tests.dir/simkernel/sync_runner_test.cpp.o.d"
+  "simkernel_tests"
+  "simkernel_tests.pdb"
+  "simkernel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simkernel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

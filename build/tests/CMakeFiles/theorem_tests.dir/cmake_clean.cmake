@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem_tests.dir/core/theorems_property_test.cpp.o"
+  "CMakeFiles/theorem_tests.dir/core/theorems_property_test.cpp.o.d"
+  "theorem_tests"
+  "theorem_tests.pdb"
+  "theorem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mesh_tests[1]_include.cmake")
+include("/root/repo/build/tests/grid_tests[1]_include.cmake")
+include("/root/repo/build/tests/geometry_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/fault_tests[1]_include.cmake")
+include("/root/repo/build/tests/simkernel_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/theorem_tests[1]_include.cmake")
+include("/root/repo/build/tests/routing_tests[1]_include.cmake")
+include("/root/repo/build/tests/netsim_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
