@@ -1,0 +1,139 @@
+// Compacts google-benchmark JSON output into the stable BENCH_*.json format
+// committed at the repo root.
+//
+// The full benchmark JSON embeds host details (CPU caches, load average,
+// timestamps) that churn on every run and machine, which would make the
+// committed baselines undiffable. This tool keeps only what the perf
+// trajectory needs: benchmark name, real/cpu time in milliseconds, and
+// throughput. Input is read from the file named by argv[1]; the compact JSON
+// goes to stdout.
+//
+// Parsing note: google-benchmark emits one "key": value pair per line inside
+// the "benchmarks" array, so a line-oriented scan is reliable here; this is
+// not a general JSON parser and does not try to be one.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchEntry {
+  std::string name;
+  double real_time = 0;
+  double cpu_time = 0;
+  std::string time_unit = "ns";
+  std::optional<double> items_per_second;
+};
+
+/// Value of `"key": <value>` on `line`, or nullopt when the key is absent.
+std::optional<std::string> field(const std::string& line,
+                                 const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  std::string value = line.substr(pos + needle.size());
+  // Trim whitespace, trailing comma, and surrounding quotes.
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+    value.erase(value.begin());
+  }
+  while (!value.empty() &&
+         (value.back() == ',' || value.back() == ' ' || value.back() == '\r')) {
+    value.pop_back();
+  }
+  if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+    value = value.substr(1, value.size() - 2);
+  }
+  return value;
+}
+
+double to_ms(double value, const std::string& unit) {
+  if (unit == "ns") return value / 1e6;
+  if (unit == "us") return value / 1e3;
+  if (unit == "ms") return value;
+  if (unit == "s") return value * 1e3;
+  return value;
+}
+
+/// JSON-escape for benchmark names (they contain only [\w/:.<>,-] in
+/// practice, but be safe about quotes and backslashes).
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: bench_to_json <google-benchmark-output.json>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "bench_to_json: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+
+  std::vector<BenchEntry> entries;
+  BenchEntry current;
+  bool in_benchmarks = false;
+  bool in_entry = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!in_benchmarks) {
+      if (line.find("\"benchmarks\"") != std::string::npos) {
+        in_benchmarks = true;
+      }
+      continue;
+    }
+    if (!in_entry && line.find('{') != std::string::npos) {
+      in_entry = true;
+      current = BenchEntry{};
+      continue;
+    }
+    if (!in_entry) continue;
+
+    if (const auto v = field(line, "name")) {
+      current.name = *v;
+    } else if (const auto rt = field(line, "real_time")) {
+      current.real_time = std::strtod(rt->c_str(), nullptr);
+    } else if (const auto ct = field(line, "cpu_time")) {
+      current.cpu_time = std::strtod(ct->c_str(), nullptr);
+    } else if (const auto tu = field(line, "time_unit")) {
+      current.time_unit = *tu;
+    } else if (const auto ips = field(line, "items_per_second")) {
+      current.items_per_second = std::strtod(ips->c_str(), nullptr);
+    }
+
+    if (line.find('}') != std::string::npos) {
+      in_entry = false;
+      // Skip aggregate/error rows without a name; keep real measurements.
+      if (!current.name.empty()) entries.push_back(current);
+    }
+  }
+
+  std::ostringstream out;
+  out.precision(6);
+  out << "{\n  \"schema\": \"ocpmesh-bench-v1\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    out << "    {\"name\": \"" << escape(e.name) << "\", \"real_time_ms\": "
+        << to_ms(e.real_time, e.time_unit) << ", \"cpu_time_ms\": "
+        << to_ms(e.cpu_time, e.time_unit);
+    if (e.items_per_second) {
+      out << ", \"items_per_second\": " << *e.items_per_second;
+    }
+    out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << out.str();
+  return 0;
+}

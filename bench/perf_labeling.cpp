@@ -6,6 +6,7 @@
 #include "core/pipeline.hpp"
 #include "core/reference.hpp"
 #include "fault/generators.hpp"
+#include "mesh/adjacency.hpp"
 
 namespace {
 
@@ -48,7 +49,41 @@ void BM_PipelineDistributedDense(benchmark::State& state) {
                           static_cast<std::int64_t>(n) * n);
 }
 BENCHMARK(BM_PipelineDistributedDense)
-    ->ArgsProduct({{32, 64, 100}, {5, 20}})
+    ->ArgsProduct({{32, 64, 100, 200}, {5, 20}})
+    ->Unit(benchmark::kMillisecond);
+
+// Same pipeline with OpenMP-parallel dense rounds; results are bit-identical
+// to the serial engine, only wall-clock changes. Thread count follows
+// OMP_NUM_THREADS.
+void BM_PipelineDistributedDenseParallel(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto faults = make_faults(n, state.range(1), 42);
+  labeling::PipelineOptions opts;
+  opts.engine = labeling::Engine::Distributed;
+  opts.run_mode = sim::RunMode::Dense;
+  opts.parallel = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(labeling::run_pipeline(faults, opts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_PipelineDistributedDenseParallel)
+    ->ArgsProduct({{100, 200, 400}, {5, 20}})
+    ->Unit(benchmark::kMillisecond);
+
+// Cost of building the CSR adjacency table itself (paid once per machine,
+// amortized across both phases and all rounds).
+void BM_AdjacencyTableBuild(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const mesh::Mesh2D m = mesh::Mesh2D::square(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mesh::AdjacencyTable(m));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_AdjacencyTableBuild)->Arg(100)->Arg(200)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineReference(benchmark::State& state) {

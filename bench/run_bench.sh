@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness: runs the google-benchmark suites and writes
+# the compact perf baselines BENCH_labeling.json / BENCH_netsim.json at the
+# repo root. Future PRs rerun this and diff against the committed files to
+# see the perf trajectory.
+#
+# Usage:
+#   bench/run_bench.sh                  # both suites, default settings
+#   BUILD_DIR=out bench/run_bench.sh    # non-default build tree
+#   BENCH_MIN_TIME=0.5 bench/run_bench.sh   # steadier timings (slower)
+#   BENCH_FILTER=Dense bench/run_bench.sh   # subset of benchmarks
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+MIN_TIME="${BENCH_MIN_TIME:-0.1}"
+FILTER="${BENCH_FILTER:-}"
+
+for bin in perf_labeling perf_netsim bench_to_json; do
+  if [ ! -x "$BUILD/bench/$bin" ]; then
+    echo "error: $BUILD/bench/$bin not built." >&2
+    echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+done
+
+run_suite() {
+  local bin="$1" out="$2"
+  local full="$BUILD/bench/$bin.full.json"
+  echo "== $bin -> $out"
+  "$BUILD/bench/$bin" \
+    --benchmark_out="$full" \
+    --benchmark_out_format=json \
+    --benchmark_min_time="$MIN_TIME" \
+    ${FILTER:+--benchmark_filter="$FILTER"} \
+    >&2
+  "$BUILD/bench/bench_to_json" "$full" > "$ROOT/$out"
+}
+
+run_suite perf_labeling BENCH_labeling.json
+run_suite perf_netsim BENCH_netsim.json
+
+echo "wrote $ROOT/BENCH_labeling.json and $ROOT/BENCH_netsim.json"

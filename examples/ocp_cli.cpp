@@ -207,8 +207,9 @@ int cmd_partition(int argc, char** argv) {
     const auto& region = result.regions[i];
     std::vector<mesh::Coord> fcells;
     const auto frame = region.region().cells();
+    const auto phys = region.component.cells();
     for (std::size_t j = 0; j < frame.size(); ++j) {
-      if (faults.contains(region.component.mesh_cells[j])) {
+      if (faults.contains(phys[j])) {
         fcells.push_back(frame[j]);
       }
     }

@@ -1,11 +1,24 @@
 #include "analysis/ablation.hpp"
 
+#include "analysis/trial_pool.hpp"
 #include "fault/generators.hpp"
 #include "routing/router.hpp"
 #include "routing/traffic.hpp"
 #include "stats/rng.hpp"
 
 namespace ocp::analysis {
+
+namespace {
+
+/// Per-trial measurements of the definition ablation, reduced in trial
+/// order after the parallel sweep.
+struct DefTrialRecord {
+  double unsafe_2a = 0, unsafe_2b = 0;
+  double disabled_2a = 0, disabled_2b = 0;
+  double blocks_2a = 0, blocks_2b = 0;
+};
+
+}  // namespace
 
 std::vector<DefinitionAblationRow> run_definition_ablation(
     const DefinitionAblationConfig& config) {
@@ -17,8 +30,11 @@ std::vector<DefinitionAblationRow> run_definition_ablation(
     DefinitionAblationRow& row = rows[fi];
     row.f = config.fault_counts[fi];
     stats::Rng seeder(config.seed + 0x1000 * static_cast<std::uint64_t>(fi));
-    for (std::size_t t = 0; t < config.trials; ++t) {
-      stats::Rng rng(seeder.fork_seed());
+    const auto trial_seeds = fork_trial_seeds(seeder, config.trials);
+
+    std::vector<DefTrialRecord> records(config.trials);
+    for_each_trial(config.trials, [&](std::size_t t) {
+      stats::Rng rng(trial_seeds[t]);
       const grid::CellSet faults = fault::uniform_random(
           machine, static_cast<std::size_t>(row.f), rng);
       // The same fault pattern goes through both definitions so the
@@ -30,16 +46,23 @@ std::vector<DefinitionAblationRow> run_definition_ablation(
       opts.definition = labeling::SafeUnsafeDef::Def2b;
       const auto res_2b = labeling::run_pipeline(faults, opts);
 
-      row.unsafe_nonfaulty_2a.add(
-          static_cast<double>(res_2a.unsafe_nonfaulty_total()));
-      row.unsafe_nonfaulty_2b.add(
-          static_cast<double>(res_2b.unsafe_nonfaulty_total()));
-      row.disabled_nonfaulty_2a.add(
-          static_cast<double>(res_2a.disabled_nonfaulty_total()));
-      row.disabled_nonfaulty_2b.add(
-          static_cast<double>(res_2b.disabled_nonfaulty_total()));
-      row.blocks_2a.add(static_cast<double>(res_2a.blocks.size()));
-      row.blocks_2b.add(static_cast<double>(res_2b.blocks.size()));
+      DefTrialRecord& rec = records[t];
+      rec.unsafe_2a = static_cast<double>(res_2a.unsafe_nonfaulty_total());
+      rec.unsafe_2b = static_cast<double>(res_2b.unsafe_nonfaulty_total());
+      rec.disabled_2a =
+          static_cast<double>(res_2a.disabled_nonfaulty_total());
+      rec.disabled_2b =
+          static_cast<double>(res_2b.disabled_nonfaulty_total());
+      rec.blocks_2a = static_cast<double>(res_2a.blocks.size());
+      rec.blocks_2b = static_cast<double>(res_2b.blocks.size());
+    });
+    for (const DefTrialRecord& rec : records) {
+      row.unsafe_nonfaulty_2a.add(rec.unsafe_2a);
+      row.unsafe_nonfaulty_2b.add(rec.unsafe_2b);
+      row.disabled_nonfaulty_2a.add(rec.disabled_2a);
+      row.disabled_nonfaulty_2b.add(rec.disabled_2b);
+      row.blocks_2a.add(rec.blocks_2a);
+      row.blocks_2b.add(rec.blocks_2b);
     }
   }
   return rows;
@@ -90,6 +113,15 @@ grid::CellSet blocked_for_model(const grid::CellSet& faults,
   return grid::CellSet(m);  // unreachable
 }
 
+/// Per-trial, per-model measurements of the routing ablation.
+struct RoutingTrialRecord {
+  double sacrificed = 0;
+  double delivery = 0;
+  bool has_stretch = false;
+  double stretch = 0;
+  double detour = 0;
+};
+
 }  // namespace
 
 std::vector<RoutingAblationRow> run_routing_ablation(
@@ -111,8 +143,11 @@ std::vector<RoutingAblationRow> run_routing_ablation(
 
   for (std::size_t fi = 0; fi < config.fault_counts.size(); ++fi) {
     stats::Rng seeder(config.seed + 0x1000 * static_cast<std::uint64_t>(fi));
-    for (std::size_t t = 0; t < config.trials; ++t) {
-      stats::Rng rng(seeder.fork_seed());
+    const auto trial_seeds = fork_trial_seeds(seeder, config.trials);
+
+    std::vector<RoutingTrialRecord> records(config.trials * kModels.size());
+    for_each_trial(config.trials, [&](std::size_t t) {
+      stats::Rng rng(trial_seeds[t]);
       const grid::CellSet faults = fault::uniform_random(
           machine, static_cast<std::size_t>(config.fault_counts[fi]), rng);
       labeling::PipelineOptions opts;
@@ -121,7 +156,6 @@ std::vector<RoutingAblationRow> run_routing_ablation(
       const auto result = labeling::run_pipeline(faults, opts);
 
       for (std::size_t mi = 0; mi < kModels.size(); ++mi) {
-        RoutingAblationRow& row = rows[fi * kModels.size() + mi];
         const grid::CellSet blocked =
             blocked_for_model(faults, result, kModels[mi]);
         const routing::FaultRingRouter router(machine, blocked);
@@ -129,12 +163,26 @@ std::vector<RoutingAblationRow> run_routing_ablation(
         const auto traffic = routing::run_uniform_traffic(
             router, blocked, config.pairs, traffic_rng);
 
-        row.sacrificed_nonfaulty.add(
-            static_cast<double>(blocked.size() - faults.size()));
-        row.delivery_rate.add(100.0 * traffic.delivery_rate());
+        RoutingTrialRecord& rec = records[t * kModels.size() + mi];
+        rec.sacrificed =
+            static_cast<double>(blocked.size() - faults.size());
+        rec.delivery = 100.0 * traffic.delivery_rate();
         if (!traffic.stretch.empty()) {
-          row.stretch.add(traffic.stretch.mean());
-          row.detour_hops.add(traffic.detour_hops.mean());
+          rec.has_stretch = true;
+          rec.stretch = traffic.stretch.mean();
+          rec.detour = traffic.detour_hops.mean();
+        }
+      }
+    });
+    for (std::size_t t = 0; t < config.trials; ++t) {
+      for (std::size_t mi = 0; mi < kModels.size(); ++mi) {
+        RoutingAblationRow& row = rows[fi * kModels.size() + mi];
+        const RoutingTrialRecord& rec = records[t * kModels.size() + mi];
+        row.sacrificed_nonfaulty.add(rec.sacrificed);
+        row.delivery_rate.add(rec.delivery);
+        if (rec.has_stretch) {
+          row.stretch.add(rec.stretch);
+          row.detour_hops.add(rec.detour);
         }
       }
     }

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "analysis/trial_pool.hpp"
 #include "fault/generators.hpp"
 #include "stats/rng.hpp"
 
@@ -81,47 +82,29 @@ std::vector<Fig5Row> run_fig5(const Fig5Config& config) {
     // Per-trial seeds are derived deterministically so results do not
     // depend on sweep order or parallel scheduling.
     stats::Rng seeder(config.seed + 0x1000 * static_cast<std::uint64_t>(fi));
-    std::vector<std::uint64_t> trial_seeds(config.trials);
-    for (auto& s : trial_seeds) s = seeder.fork_seed();
+    const auto trial_seeds = fork_trial_seeds(seeder, config.trials);
 
-#ifdef OCP_HAVE_OPENMP
-#pragma omp parallel
-    {
-      Fig5Row local;
-#pragma omp for schedule(dynamic) nowait
-      for (std::int64_t t = 0;
-           t < static_cast<std::int64_t>(config.trials); ++t) {
-        stats::Rng rng(trial_seeds[static_cast<std::size_t>(t)]);
-        const grid::CellSet faults = fault::uniform_random(
-            machine, static_cast<std::size_t>(row.f), rng);
-        labeling::PipelineOptions opts;
-        opts.definition = config.definition;
-        accumulate_trial(local, labeling::run_pipeline(faults, opts),
-                         machine.node_count());
-      }
-#pragma omp critical
-      {
-        row.rounds_blocks.merge(local.rounds_blocks);
-        row.rounds_regions.merge(local.rounds_regions);
-        row.enabled_ratio_per_block.merge(local.enabled_ratio_per_block);
-        row.enabled_ratio_pooled.merge(local.enabled_ratio_pooled);
-        row.block_count.merge(local.block_count);
-        row.region_count.merge(local.region_count);
-        row.max_block_diameter.merge(local.max_block_diameter);
-        row.messages_per_node.merge(local.messages_per_node);
-      }
-    }
-#else
-    for (std::size_t t = 0; t < config.trials; ++t) {
+    std::vector<Fig5Row> trial_rows(config.trials);
+    for_each_trial(config.trials, [&](std::size_t t) {
       stats::Rng rng(trial_seeds[t]);
       const grid::CellSet faults = fault::uniform_random(
           machine, static_cast<std::size_t>(row.f), rng);
       labeling::PipelineOptions opts;
       opts.definition = config.definition;
-      accumulate_trial(row, labeling::run_pipeline(faults, opts),
+      accumulate_trial(trial_rows[t], labeling::run_pipeline(faults, opts),
                        machine.node_count());
+    });
+    // Serial, trial-ordered reduction: bit-identical for any thread count.
+    for (const Fig5Row& tr : trial_rows) {
+      row.rounds_blocks.merge(tr.rounds_blocks);
+      row.rounds_regions.merge(tr.rounds_regions);
+      row.enabled_ratio_per_block.merge(tr.enabled_ratio_per_block);
+      row.enabled_ratio_pooled.merge(tr.enabled_ratio_pooled);
+      row.block_count.merge(tr.block_count);
+      row.region_count.merge(tr.region_count);
+      row.max_block_diameter.merge(tr.max_block_diameter);
+      row.messages_per_node.merge(tr.messages_per_node);
     }
-#endif
   }
   return rows;
 }

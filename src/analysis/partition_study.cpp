@@ -1,11 +1,24 @@
 #include "analysis/partition_study.hpp"
 
+#include "analysis/trial_pool.hpp"
 #include "core/partition.hpp"
 #include "core/pipeline.hpp"
 #include "fault/generators.hpp"
 #include "stats/rng.hpp"
 
 namespace ocp::analysis {
+
+namespace {
+
+/// Per-trial measurements of the partition study, reduced in trial order.
+struct PartitionTrialRecord {
+  double nf_regions = 0, nf_separated = 0, nf_touching = 0, nf_optimal = 0;
+  double polys_regions = 0, polys_touching = 0;
+  bool has_split = false;
+  double split_pct = 0;
+};
+
+}  // namespace
 
 std::vector<PartitionStudyRow> run_partition_study(
     const PartitionStudyConfig& config) {
@@ -16,9 +29,11 @@ std::vector<PartitionStudyRow> run_partition_study(
     PartitionStudyRow& row = rows[fi];
     row.f = config.fault_counts[fi];
     stats::Rng seeder(config.seed + 0x100 * static_cast<std::uint64_t>(fi));
+    const auto trial_seeds = fork_trial_seeds(seeder, config.trials);
 
-    for (std::size_t t = 0; t < config.trials; ++t) {
-      stats::Rng rng(seeder.fork_seed());
+    std::vector<PartitionTrialRecord> records(config.trials);
+    for_each_trial(config.trials, [&](std::size_t t) {
+      stats::Rng rng(trial_seeds[t]);
       const auto faults =
           config.clustered
               ? fault::clustered(machine,
@@ -43,8 +58,9 @@ std::vector<PartitionStudyRow> run_partition_study(
         // Faults of this region, in its planar frame.
         std::vector<mesh::Coord> fcells;
         const auto frame_cells = region.region().cells();
+        const auto phys_cells = region.component.cells();
         for (std::size_t i = 0; i < frame_cells.size(); ++i) {
-          if (faults.contains(region.component.mesh_cells[i])) {
+          if (faults.contains(phys_cells[i])) {
             fcells.push_back(frame_cells[i]);
           }
         }
@@ -68,16 +84,27 @@ std::vector<PartitionStudyRow> run_partition_study(
           nf_optimal += touching.nonfaulty_cells;
         }
       }
-      row.nonfaulty_regions.add(static_cast<double>(nf_regions));
-      row.nonfaulty_separated.add(static_cast<double>(nf_separated));
-      row.nonfaulty_touching.add(static_cast<double>(nf_touching));
-      row.nonfaulty_optimal.add(static_cast<double>(nf_optimal));
-      row.polygons_regions.add(static_cast<double>(polys_regions));
-      row.polygons_touching.add(static_cast<double>(polys_touching));
+      PartitionTrialRecord& rec = records[t];
+      rec.nf_regions = static_cast<double>(nf_regions);
+      rec.nf_separated = static_cast<double>(nf_separated);
+      rec.nf_touching = static_cast<double>(nf_touching);
+      rec.nf_optimal = static_cast<double>(nf_optimal);
+      rec.polys_regions = static_cast<double>(polys_regions);
+      rec.polys_touching = static_cast<double>(polys_touching);
       if (polys_regions > 0) {
-        row.regions_split_pct.add(100.0 * static_cast<double>(splittable) /
-                                  static_cast<double>(polys_regions));
+        rec.has_split = true;
+        rec.split_pct = 100.0 * static_cast<double>(splittable) /
+                        static_cast<double>(polys_regions);
       }
+    });
+    for (const PartitionTrialRecord& rec : records) {
+      row.nonfaulty_regions.add(rec.nf_regions);
+      row.nonfaulty_separated.add(rec.nf_separated);
+      row.nonfaulty_touching.add(rec.nf_touching);
+      row.nonfaulty_optimal.add(rec.nf_optimal);
+      row.polygons_regions.add(rec.polys_regions);
+      row.polygons_touching.add(rec.polys_touching);
+      if (rec.has_split) row.regions_split_pct.add(rec.split_pct);
     }
   }
   return rows;

@@ -17,6 +17,8 @@
 // actual enabled support reaches it from outside the block.
 #pragma once
 
+#include <span>
+
 #include "core/status.hpp"
 #include "grid/cell_set.hpp"
 #include "grid/node_grid.hpp"
@@ -50,6 +52,18 @@ class ActivationProtocol {
     s.activation = s.safety == Safety::Unsafe ? Activation::Disabled
                                               : Activation::Enabled;
     return s;
+  }
+
+  /// Bulk form of `init` over the dense row-major plane (simkernel hook):
+  /// linear passes over the fault bitmap and the safety plane.
+  void init_plane(const mesh::Mesh2D&, std::span<State> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const Safety sf = safety_->at_index(i);
+      out[i] = {faults_->contains_index(i) ? Health::Faulty : Health::Nonfaulty,
+                sf,
+                sf == Safety::Unsafe ? Activation::Disabled
+                                     : Activation::Enabled};
+    }
   }
 
   [[nodiscard]] Message announce(const State& s) const noexcept {

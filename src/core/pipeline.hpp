@@ -28,6 +28,10 @@ struct PipelineOptions {
   SafeUnsafeDef definition = SafeUnsafeDef::Def2b;
   Engine engine = Engine::Distributed;
   sim::RunMode run_mode = sim::RunMode::Frontier;
+  /// Evaluate dense rounds across OpenMP threads (see sim::RunOptions).
+  /// Results, round counts and message counts are identical for any thread
+  /// count; this only changes wall-clock time.
+  bool parallel = false;
 };
 
 /// Everything the two phases produce.

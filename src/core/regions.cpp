@@ -6,20 +6,18 @@
 namespace ocp::labeling {
 
 grid::CellSet unsafe_cells(const grid::NodeGrid<Safety>& safety) {
-  const mesh::Mesh2D& m = safety.topology();
-  grid::CellSet out(m);
+  grid::CellSet out(safety.topology());
   for (std::size_t i = 0; i < safety.size(); ++i) {
-    if (safety.at_index(i) == Safety::Unsafe) out.insert(m.coord(i));
+    if (safety.at_index(i) == Safety::Unsafe) out.insert_index(i);
   }
   return out;
 }
 
 grid::CellSet disabled_cells(const grid::NodeGrid<Activation>& activation) {
-  const mesh::Mesh2D& m = activation.topology();
-  grid::CellSet out(m);
+  grid::CellSet out(activation.topology());
   for (std::size_t i = 0; i < activation.size(); ++i) {
     if (activation.at_index(i) == Activation::Disabled) {
-      out.insert(m.coord(i));
+      out.insert_index(i);
     }
   }
   return out;
@@ -32,7 +30,7 @@ std::vector<FaultyBlock> extract_faulty_blocks(
        grid::connected_components(unsafe_cells(safety),
                                   grid::Connectivity::Four)) {
     FaultyBlock block;
-    for (mesh::Coord cell : comp.mesh_cells) {
+    for (mesh::Coord cell : comp.cells()) {
       if (faults.contains(cell)) {
         ++block.fault_count;
       } else {
@@ -53,7 +51,7 @@ std::vector<DisabledRegion> extract_disabled_regions(
   // Parent lookup: block id per unsafe cell.
   grid::NodeGrid<std::int32_t> block_id(m, -1);
   for (std::size_t b = 0; b < blocks.size(); ++b) {
-    for (mesh::Coord cell : blocks[b].component.mesh_cells) {
+    for (mesh::Coord cell : blocks[b].component.cells()) {
       block_id[cell] = static_cast<std::int32_t>(b);
     }
   }
@@ -62,7 +60,7 @@ std::vector<DisabledRegion> extract_disabled_regions(
   for (auto& comp : grid::connected_components(disabled_cells(activation),
                                                grid::Connectivity::Eight)) {
     DisabledRegion region;
-    const std::int32_t parent = block_id[comp.mesh_cells.front()];
+    const std::int32_t parent = block_id[comp.cells().front()];
     if (parent < 0) {
       // Disabled cells are unsafe by construction; a missing parent means
       // the safety and activation grids do not belong together.
@@ -70,7 +68,7 @@ std::vector<DisabledRegion> extract_disabled_regions(
           "extract_disabled_regions: disabled cell outside any faulty block");
     }
     region.parent_block = static_cast<std::size_t>(parent);
-    for (mesh::Coord cell : comp.mesh_cells) {
+    for (mesh::Coord cell : comp.cells()) {
       assert(block_id[cell] == parent &&
              "a disabled region never spans two faulty blocks");
       if (faults.contains(cell)) {

@@ -14,6 +14,8 @@
 // schedule-independent.
 #pragma once
 
+#include <span>
+
 #include "core/status.hpp"
 #include "grid/cell_set.hpp"
 #include "simkernel/protocol.hpp"
@@ -42,6 +44,16 @@ class SafetyProtocol {
   [[nodiscard]] State init(mesh::Coord c) const {
     if (faults_->contains(c)) return {Health::Faulty, Safety::Unsafe};
     return {Health::Nonfaulty, Safety::Safe};
+  }
+
+  /// Bulk form of `init` over the dense row-major plane (simkernel hook):
+  /// a linear pass over the fault bitmap, no per-node coordinate math.
+  void init_plane(const mesh::Mesh2D&, std::span<State> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = faults_->contains_index(i)
+                   ? State{Health::Faulty, Safety::Unsafe}
+                   : State{Health::Nonfaulty, Safety::Safe};
+    }
   }
 
   [[nodiscard]] Message announce(const State& s) const noexcept {

@@ -20,8 +20,12 @@ constexpr bool row_major_less(mesh::Coord a, mesh::Coord b) noexcept {
 }  // namespace
 
 Region::Region(std::vector<mesh::Coord> cells) : cells_(std::move(cells)) {
-  std::sort(cells_.begin(), cells_.end(), row_major_less);
-  cells_.erase(std::unique(cells_.begin(), cells_.end()), cells_.end());
+  // Singletons are already sorted and unique; fault extraction produces
+  // thousands of them on sparse fault patterns.
+  if (cells_.size() > 1) {
+    std::sort(cells_.begin(), cells_.end(), row_major_less);
+    cells_.erase(std::unique(cells_.begin(), cells_.end()), cells_.end());
+  }
   if (!cells_.empty()) {
     bbox_ = Rect::cell(cells_.front());
     for (mesh::Coord c : cells_) bbox_ = bbox_.expanded(c);

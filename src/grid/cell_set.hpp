@@ -29,9 +29,22 @@ class CellSet {
     return mesh_.contains(c) && bits_[mesh_.index(c)] != 0;
   }
 
+  /// Membership by dense row-major index (no coordinate arithmetic).
+  [[nodiscard]] bool contains_index(std::size_t i) const noexcept {
+    return bits_[i] != 0;
+  }
+
   void insert(mesh::Coord c) noexcept {
     if (bits_[mesh_.index(c)] == 0) {
       bits_[mesh_.index(c)] = 1;
+      ++count_;
+    }
+  }
+
+  /// Insertion by dense row-major index (no coordinate arithmetic).
+  void insert_index(std::size_t i) noexcept {
+    if (bits_[i] == 0) {
+      bits_[i] = 1;
       ++count_;
     }
   }

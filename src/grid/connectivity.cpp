@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <queue>
 #include <utility>
 
 namespace ocp::grid {
@@ -26,6 +25,13 @@ std::vector<Component> connected_components(const CellSet& cells,
   const std::size_t degree = conn == Connectivity::Four ? 4 : 8;
   std::vector<std::uint8_t> seen(static_cast<std::size_t>(m.node_count()), 0);
   std::vector<Component> out;
+  out.reserve(cells.size());  // upper bound: one component per cell
+
+  // BFS scratch, reused across components: `frontier` is a flat vector with
+  // a read cursor (sparse fault patterns produce many small components, and
+  // a fresh std::queue would pay one deque-block allocation for each).
+  std::vector<Visit> frontier;
+  std::vector<std::pair<mesh::Coord, mesh::Coord>> frame_to_cell;
 
   cells.for_each([&](mesh::Coord seed) {
     if (seen[m.index(seed)] != 0) return;
@@ -33,13 +39,12 @@ std::vector<Component> connected_components(const CellSet& cells,
     // we go. A component that wraps all the way around a torus ring revisits
     // cells through `seen` and simply stops expanding there; the frame then
     // covers each physical cell once.
-    std::vector<std::pair<mesh::Coord, mesh::Coord>> frame_to_cell;
-    std::queue<Visit> frontier;
+    frame_to_cell.clear();
+    frontier.clear();
     seen[m.index(seed)] = 1;
-    frontier.push({seed, seed});
-    while (!frontier.empty()) {
-      const Visit v = frontier.front();
-      frontier.pop();
+    frontier.push_back({seed, seed});
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const Visit v = frontier[head];
       frame_to_cell.emplace_back(v.frame, v.cell);
       for (std::size_t i = 0; i < degree; ++i) {
         const mesh::Coord off = kOffsets8[i];
@@ -51,23 +56,27 @@ std::vector<Component> connected_components(const CellSet& cells,
         }
         if (!cells.contains(next) || seen[m.index(next)] != 0) continue;
         seen[m.index(next)] = 1;
-        frontier.push({next, v.frame + off});
+        frontier.push_back({next, v.frame + off});
       }
     }
     // Canonical row-major order on frame coordinates, keeping the physical
     // address of each frame cell aligned with Region's internal sort.
-    std::sort(frame_to_cell.begin(), frame_to_cell.end(),
-              [](const auto& a, const auto& b) {
-                return a.first.y < b.first.y ||
-                       (a.first.y == b.first.y && a.first.x < b.first.x);
-              });
+    if (frame_to_cell.size() > 1) {
+      std::sort(frame_to_cell.begin(), frame_to_cell.end(),
+                [](const auto& a, const auto& b) {
+                  return a.first.y < b.first.y ||
+                         (a.first.y == b.first.y && a.first.x < b.first.x);
+                });
+    }
     Component comp;
     std::vector<mesh::Coord> frame_cells;
     frame_cells.reserve(frame_to_cell.size());
-    comp.mesh_cells.reserve(frame_to_cell.size());
+    // Physical addresses are materialized only when they can differ from the
+    // frame (torus); on a mesh `Component::cells()` reuses the region cells.
+    if (m.is_torus()) comp.mesh_cells.reserve(frame_to_cell.size());
     for (const auto& [frame, cell] : frame_to_cell) {
       frame_cells.push_back(frame);
-      comp.mesh_cells.push_back(cell);
+      if (m.is_torus()) comp.mesh_cells.push_back(cell);
     }
     comp.region = geom::Region(std::move(frame_cells));
     out.push_back(std::move(comp));

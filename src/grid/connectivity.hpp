@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geometry/region.hpp"
@@ -27,9 +28,19 @@ using Connectivity = geom::Connectivity;
 struct Component {
   /// Planar (possibly unwrapped) footprint; use for all geometry.
   geom::Region region;
-  /// The corresponding physical addresses, parallel to `region.cells()`.
-  /// On a mesh these equal the region cells.
+  /// Physical addresses parallel to `region.cells()`, stored only when they
+  /// differ from the frame (torus). Empty on a mesh — use `cells()`, which
+  /// falls back to the region cells. Sparse fault patterns produce thousands
+  /// of components per extraction, so not materializing the duplicate vector
+  /// halves the allocation cost of the common case.
   std::vector<mesh::Coord> mesh_cells;
+
+  /// The physical addresses of the component's cells, parallel to
+  /// `region.cells()`.
+  [[nodiscard]] std::span<const mesh::Coord> cells() const noexcept {
+    return mesh_cells.empty() ? region.cells()
+                              : std::span<const mesh::Coord>(mesh_cells);
+  }
 };
 
 /// Extracts all connected components of `cells` under the given adjacency,

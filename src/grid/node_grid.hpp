@@ -37,6 +37,11 @@ class NodeGrid {
 
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
 
+  /// Raw contiguous storage (row-major). The labeling engines index state
+  /// planes through this to avoid per-access coordinate arithmetic.
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
   void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
 
   [[nodiscard]] auto begin() noexcept { return data_.begin(); }

@@ -39,13 +39,15 @@ struct AsyncResult {
 /// the newest states of already-updated neighbors — an arbitrary asynchronous
 /// interleaving). Stops when one whole sweep changes nothing.
 template <SyncProtocol P>
-AsyncResult<P> run_async(const mesh::Mesh2D& m, const P& proto,
+AsyncResult<P> run_async(const mesh::AdjacencyTable& adj, const P& proto,
                          stats::Rng& rng, std::int32_t max_sweeps = 1 << 20) {
-  const auto node_count = static_cast<std::size_t>(m.node_count());
+  const mesh::Mesh2D& m = adj.mesh();
+  const std::size_t node_count = adj.node_count();
   grid::NodeGrid<typename P::State> states(m);
   for (std::size_t i = 0; i < node_count; ++i) {
     states.at_index(i) = proto.init(m.coord(i));
   }
+  const typename P::Message ghost = proto.ghost_message();
 
   std::vector<std::size_t> order(node_count);
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -61,7 +63,9 @@ AsyncResult<P> run_async(const mesh::Mesh2D& m, const P& proto,
       ++stats.activations;
       // In-place gather: neighbors may already hold this sweep's new states,
       // modelling arbitrary message timing.
-      if (proto.update(s, detail::gather(m, proto, states, m.coord(i)))) {
+      Inbox<typename P::Message> inbox;
+      detail::gather(adj, proto, states.data(), ghost, i, inbox);
+      if (proto.update(s, inbox)) {
         ++stats.state_changes;
         any_change = true;
       }
@@ -70,6 +74,13 @@ AsyncResult<P> run_async(const mesh::Mesh2D& m, const P& proto,
   }
   throw std::runtime_error(
       "run_async: protocol did not quiesce within max_sweeps");
+}
+
+/// Convenience overload that builds the adjacency table for one run.
+template <SyncProtocol P>
+AsyncResult<P> run_async(const mesh::Mesh2D& m, const P& proto,
+                         stats::Rng& rng, std::int32_t max_sweeps = 1 << 20) {
+  return run_async(mesh::AdjacencyTable(m), proto, rng, max_sweeps);
 }
 
 }  // namespace ocp::sim

@@ -37,6 +37,15 @@ struct Inbox {
 
 /// Node-local protocol interface. All methods must be pure functions of
 /// their arguments — the kernel owns scheduling and delivery.
+///
+/// A protocol may additionally provide the optional bulk initializer
+///   void init_plane(const mesh::Mesh2D& m, std::span<State> out) const;
+/// filling `out[i]` (row-major dense index) with exactly `init(m.coord(i))`
+/// for every node. Runners that hold a dense state plane detect the hook
+/// with `if constexpr` and prefer it — a linear fill avoids 2-D coordinate
+/// arithmetic per node — but semantics must match `init` exactly (the
+/// per-coord runners still use `init`, and the equivalence tests compare
+/// their fixpoints).
 template <typename P>
 concept SyncProtocol = requires(const P p, typename P::State s,
                                 const typename P::State cs,
@@ -87,6 +96,12 @@ struct RoundStats {
 /// Kernel knobs.
 struct RunOptions {
   RunMode mode = RunMode::Frontier;
+  /// Evaluate dense rounds across OpenMP threads. Sound because `update` is
+  /// a pure function of the previous-round plane (double-buffered states
+  /// make a round embarrassingly parallel) and all round statistics are
+  /// integer reductions, so results and stats are bit-identical for any
+  /// thread count. Ignored in Frontier mode and without OpenMP.
+  bool parallel = false;
   /// Safety cap; the monotone labeling protocols converge in at most
   /// max-fault-block-diameter rounds, so hitting this cap indicates a bug.
   std::int32_t max_rounds = 1 << 20;

@@ -28,8 +28,8 @@ std::string check_instance(const grid::CellSet& faults, SafeUnsafeDef def) {
   for (std::size_t i = 0; i < result.blocks.size(); ++i) {
     for (std::size_t j = i + 1; j < result.blocks.size(); ++j) {
       std::int32_t dist = std::numeric_limits<std::int32_t>::max();
-      for (Coord u : result.blocks[i].component.mesh_cells) {
-        for (Coord v : result.blocks[j].component.mesh_cells) {
+      for (Coord u : result.blocks[i].component.cells()) {
+        for (Coord v : result.blocks[j].component.cells()) {
           dist = std::min(dist, faults.topology().distance(u, v));
         }
       }
@@ -59,7 +59,7 @@ std::string check_instance(const grid::CellSet& faults, SafeUnsafeDef def) {
     const auto frame = region.region().cells();
     for (std::size_t i = 0; i < frame.size(); ++i) {
       const bool is_fault =
-          faults.contains(region.component.mesh_cells[i]);
+          faults.contains(region.component.cells()[i]);
       if (is_fault) fault_frame.push_back(frame[i]);
       if (geom::is_corner_node(region.region(), frame[i]) && !is_fault) {
         return "nonfaulty corner node";

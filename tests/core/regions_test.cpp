@@ -82,7 +82,7 @@ TEST(RegionsTest, ParentBlockContainsItsRegions) {
   for (const auto& region : result.regions) {
     ASSERT_LT(region.parent_block, result.blocks.size());
     const auto& parent = result.blocks[region.parent_block].region();
-    for (Coord c : region.component.mesh_cells) {
+    for (Coord c : region.component.cells()) {
       EXPECT_TRUE(parent.contains(c));
     }
   }

@@ -66,7 +66,7 @@ class TheoremSweep : public testing::TestWithParam<SweepParams> {
     std::vector<Coord> cells;
     const auto frame_cells = comp.region.cells();
     for (std::size_t i = 0; i < frame_cells.size(); ++i) {
-      if (faults.contains(comp.mesh_cells[i])) {
+      if (faults.contains(comp.cells()[i])) {
         cells.push_back(frame_cells[i]);
       }
     }
@@ -78,8 +78,8 @@ class TheoremSweep : public testing::TestWithParam<SweepParams> {
                                        const grid::Component& a,
                                        const grid::Component& b) {
     std::int32_t best = std::numeric_limits<std::int32_t>::max();
-    for (Coord u : a.mesh_cells) {
-      for (Coord v : b.mesh_cells) {
+    for (Coord u : a.cells()) {
+      for (Coord v : b.cells()) {
         best = std::min(best, m.distance(u, v));
       }
     }
@@ -140,9 +140,9 @@ TEST_P(TheoremSweep, Lemma1CornerNodesAreFaulty) {
       const auto frame_cells = region.region().cells();
       for (std::size_t i = 0; i < frame_cells.size(); ++i) {
         if (geom::is_corner_node(region.region(), frame_cells[i])) {
-          ASSERT_TRUE(faults.contains(region.component.mesh_cells[i]))
+          ASSERT_TRUE(faults.contains(region.component.cells()[i]))
               << "nonfaulty corner node at "
-              << mesh::to_string(region.component.mesh_cells[i]) << " in\n"
+              << mesh::to_string(region.component.cells()[i]) << " in\n"
               << region.region().to_ascii();
         }
       }

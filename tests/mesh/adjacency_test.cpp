@@ -1,0 +1,80 @@
+#include "mesh/adjacency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocp::mesh {
+namespace {
+
+void expect_matches_mesh(const Mesh2D& m) {
+  const AdjacencyTable adj(m);
+  ASSERT_EQ(adj.node_count(), static_cast<std::size_t>(m.node_count()));
+
+  std::uint64_t degree_sum = 0;
+  for (std::size_t i = 0; i < adj.node_count(); ++i) {
+    const Coord c = m.coord(i);
+    std::int32_t expected_degree = 0;
+    for (Dir d : kAllDirs) {
+      const auto n = m.neighbor(c, d);
+      const std::int32_t got = adj.neighbor_index(i, d);
+      if (n) {
+        ++expected_degree;
+        EXPECT_EQ(got, static_cast<std::int32_t>(m.index(*n)))
+            << m.describe() << " node " << i << " dir "
+            << static_cast<int>(d);
+      } else {
+        EXPECT_EQ(got, AdjacencyTable::kGhost);
+      }
+    }
+    EXPECT_EQ(adj.degree(i), expected_degree);
+    degree_sum += static_cast<std::uint64_t>(expected_degree);
+
+    // CSR slice lists exactly the physical neighbors, in kAllDirs order.
+    const auto span = adj.physical_neighbors(i);
+    ASSERT_EQ(span.size(), static_cast<std::size_t>(expected_degree));
+    std::size_t k = 0;
+    for (Dir d : kAllDirs) {
+      if (const auto n = m.neighbor(c, d)) {
+        EXPECT_EQ(span[k++], static_cast<std::int32_t>(m.index(*n)));
+      }
+    }
+  }
+  EXPECT_EQ(adj.total_degree(), degree_sum);
+}
+
+TEST(AdjacencyTableTest, MatchesMesh2DNeighborQueries) {
+  expect_matches_mesh(Mesh2D(1, 1));
+  expect_matches_mesh(Mesh2D(1, 7));
+  expect_matches_mesh(Mesh2D(5, 4));
+  expect_matches_mesh(Mesh2D(9, 9));
+}
+
+TEST(AdjacencyTableTest, MatchesTorusNeighborQueries) {
+  expect_matches_mesh(Mesh2D(5, 4, Topology::Torus));
+  expect_matches_mesh(Mesh2D(3, 3, Topology::Torus));
+  expect_matches_mesh(Mesh2D(8, 2, Topology::Torus));
+}
+
+TEST(AdjacencyTableTest, TorusHasNoGhosts) {
+  const Mesh2D m(6, 5, Topology::Torus);
+  const AdjacencyTable adj(m);
+  for (std::size_t i = 0; i < adj.node_count(); ++i) {
+    EXPECT_EQ(adj.degree(i), 4);
+    for (Dir d : kAllDirs) {
+      EXPECT_NE(adj.neighbor_index(i, d), AdjacencyTable::kGhost);
+    }
+  }
+  EXPECT_EQ(adj.total_degree(), 4u * 30u);
+}
+
+TEST(AdjacencyTableTest, MeshBoundaryDegrees) {
+  // 3x3 mesh: 4 corners of degree 2, 4 edges of degree 3, 1 interior of 4.
+  const Mesh2D m(3, 3);
+  const AdjacencyTable adj(m);
+  EXPECT_EQ(adj.total_degree(), 24u);
+  EXPECT_EQ(adj.degree(m.index({0, 0})), 2);
+  EXPECT_EQ(adj.degree(m.index({1, 0})), 3);
+  EXPECT_EQ(adj.degree(m.index({1, 1})), 4);
+}
+
+}  // namespace
+}  // namespace ocp::mesh

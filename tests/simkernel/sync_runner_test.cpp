@@ -91,6 +91,8 @@ TEST(SyncRunnerTest, DenseAndFrontierAgree) {
   EXPECT_EQ(a.states, b.states);
   EXPECT_EQ(a.stats.rounds_to_quiesce, b.stats.rounds_to_quiesce);
   EXPECT_EQ(a.stats.state_changes, b.stats.state_changes);
+  EXPECT_EQ(a.stats.messages_broadcast, b.stats.messages_broadcast);
+  EXPECT_EQ(a.stats.messages_event_driven, b.stats.messages_event_driven);
 }
 
 TEST(SyncRunnerTest, MessageAccounting) {
@@ -165,6 +167,64 @@ TEST(SyncRunnerTest, NoGhostsOnTorus) {
   const Mesh2D m(5, 4, mesh::Topology::Torus);
   const auto result = run_sync(m, GhostProbeProtocol{});
   for (const auto& s : result.states) EXPECT_FALSE(s.marked);
+}
+
+/// Protocol whose participating set shrinks as the run progresses: a node
+/// starts with a countdown of its x coordinate and participates (and
+/// broadcasts) only while the countdown is positive. Exercises the per-round
+/// broadcast accounting — a single participating set captured from the
+/// initial states would overcount every later round.
+class CountdownProtocol {
+ public:
+  struct State {
+    std::int32_t v = 0;
+    friend constexpr bool operator==(const State&, const State&) = default;
+  };
+  using Message = std::int32_t;
+
+  [[nodiscard]] State init(Coord c) const { return {c.x}; }
+  [[nodiscard]] Message announce(const State& s) const { return s.v; }
+  [[nodiscard]] Message ghost_message() const { return 0; }
+  [[nodiscard]] bool participates(const State& s) const { return s.v > 0; }
+  [[nodiscard]] bool update(State& s, const Inbox<Message>&) const {
+    --s.v;  // participating nodes count down; update is only run while v > 0
+    return true;
+  }
+};
+
+static_assert(SyncProtocol<CountdownProtocol>);
+
+TEST(SyncRunnerTest, BroadcastCountTracksShrinkingParticipation) {
+  const Mesh2D m(6, 4);
+  RunOptions dense{.mode = RunMode::Dense};
+  RunOptions frontier{.mode = RunMode::Frontier};
+  const auto a = run_sync(m, CountdownProtocol{}, dense);
+  const auto b = run_sync(m, CountdownProtocol{}, frontier);
+
+  // A node at column x participates in rounds 1..x; the run quiesces once
+  // the last column reaches zero.
+  EXPECT_EQ(a.stats.rounds_to_quiesce, 5);
+
+  // The paper's broadcast model, recomputed from the states each round: in
+  // round r exactly the nodes with x >= r still broadcast.
+  std::uint64_t expected = 0;
+  for (std::int32_t r = 1; r <= a.stats.rounds_executed; ++r) {
+    for (std::int32_t x = r; x < m.width(); ++x) {
+      for (std::int32_t y = 0; y < m.height(); ++y) {
+        expected += m.neighbors({x, y}).size();
+      }
+    }
+  }
+  EXPECT_EQ(a.stats.messages_broadcast, expected);
+
+  // Dense recomputes the participating set; frontier maintains it
+  // incrementally. They must agree exactly.
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.stats.rounds_to_quiesce, b.stats.rounds_to_quiesce);
+  EXPECT_EQ(a.stats.rounds_executed, b.stats.rounds_executed);
+  EXPECT_EQ(a.stats.state_changes, b.stats.state_changes);
+  EXPECT_EQ(a.stats.messages_broadcast, b.stats.messages_broadcast);
+  EXPECT_EQ(a.stats.messages_event_driven, b.stats.messages_event_driven);
 }
 
 }  // namespace
