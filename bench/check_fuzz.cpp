@@ -1,0 +1,166 @@
+// Seeded, time-boxed fuzzing front end for the ocp_check subsystem.
+//
+// Default run: 200 deterministic instances across mesh/torus topologies and
+// Definitions 2a/2b, each checked by the invariant oracle, the reference
+// engine cross-check, the metamorphic symmetry layer and the
+// schedule-adversarial runners. Failures are shrunk to local-minimal
+// counterexamples, written as replayable fault traces, and a one-line repro
+// command is printed per failure. Exit status is nonzero iff any instance
+// violated an invariant.
+//
+//   check_fuzz --seed 7 --instances 500 --time-box-ms 30000
+//   check_fuzz --replay failure.trace --def 2b
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/fuzzer.hpp"
+#include "check/shrink.hpp"
+#include "fault/trace.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --seed N           master seed (default 1)\n"
+      "  --instances N      instances to run (default 200)\n"
+      "  --time-box-ms N    wall-clock budget, 0 = unbounded (default 0)\n"
+      "  --min-size N       smallest machine extent (default 3)\n"
+      "  --max-size N       largest machine extent (default 24)\n"
+      "  --max-density X    fault density ceiling in [0,1] (default 0.2)\n"
+      "  --no-mesh          skip mesh topologies\n"
+      "  --no-torus         skip torus topologies\n"
+      "  --no-2a            skip Definition 2a\n"
+      "  --no-2b            skip Definition 2b\n"
+      "  --no-cross-engine  skip reference-engine cross-validation\n"
+      "  --no-metamorphic   skip the symmetry layer\n"
+      "  --no-schedules     skip schedule-adversarial runners\n"
+      "  --no-shrink        report failures without delta-debugging them\n"
+      "  --trace-dir DIR    where failing traces are written (default .)\n"
+      "  --replay FILE      check one saved fault trace and exit\n"
+      "  --def 2a|2b        definition for --replay (default 2b)\n",
+      argv0);
+}
+
+int replay(const std::string& path, const std::string& def_name,
+           const ocp::check::FuzzConfig& config) try {
+  const ocp::grid::CellSet faults = ocp::fault::load_trace(path);
+  const auto def = def_name == "2a" ? ocp::labeling::SafeUnsafeDef::Def2a
+                                    : ocp::labeling::SafeUnsafeDef::Def2b;
+  const ocp::check::ViolationReport report =
+      ocp::check::check_instance(faults, def, config);
+  if (report.ok()) {
+    std::printf("replay %s (Def %s): ok\n", path.c_str(), def_name.c_str());
+    return 0;
+  }
+  std::printf("replay %s (Def %s): %zu violation(s)\n%s", path.c_str(),
+              def_name.c_str(), report.size(), report.to_string().c_str());
+  return 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ocp::check::FuzzConfig config;
+  std::string replay_path;
+  std::string def_name = "2b";
+  std::string trace_dir = ".";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--instances") {
+      config.instances = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--time-box-ms") {
+      config.time_box_ms = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--min-size") {
+      config.min_size = static_cast<std::int32_t>(std::atoi(next()));
+    } else if (arg == "--max-size") {
+      config.max_size = static_cast<std::int32_t>(std::atoi(next()));
+    } else if (arg == "--max-density") {
+      config.max_density = std::atof(next());
+    } else if (arg == "--no-mesh") {
+      config.meshes = false;
+    } else if (arg == "--no-torus") {
+      config.tori = false;
+    } else if (arg == "--no-2a") {
+      config.def2a = false;
+    } else if (arg == "--no-2b") {
+      config.def2b = false;
+    } else if (arg == "--no-cross-engine") {
+      config.cross_engine = false;
+    } else if (arg == "--no-metamorphic") {
+      config.metamorphic = false;
+    } else if (arg == "--no-schedules") {
+      config.schedules = false;
+    } else if (arg == "--no-shrink") {
+      config.shrink = false;
+    } else if (arg == "--trace-dir") {
+      trace_dir = next();
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--def") {
+      def_name = next();
+      if (def_name != "2a" && def_name != "2b") {
+        std::fprintf(stderr, "--def must be 2a or 2b (got '%s')\n",
+                     def_name.c_str());
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) return replay(replay_path, def_name, config);
+
+  const ocp::check::FuzzReport report = ocp::check::run_fuzz(config);
+  std::printf("check_fuzz: seed=%llu instances=%zu failures=%zu%s\n",
+              static_cast<unsigned long long>(config.seed),
+              report.instances_run, report.failure_count,
+              report.timed_out ? " (time box hit)" : "");
+
+  std::size_t n = 0;
+  for (const auto& failure : report.failures) {
+    const std::string stem =
+        trace_dir + "/check_fuzz_fail_" + std::to_string(n++);
+    const std::string full_path = stem + ".trace";
+    const std::string min_path = stem + ".min.trace";
+    ocp::fault::save_trace(full_path,
+                           ocp::fault::from_trace_string(failure.trace));
+    std::printf("\nFAIL %s\n%s", failure.description.c_str(),
+                failure.report.to_string().c_str());
+    if (!failure.shrunk_trace.empty()) {
+      ocp::fault::save_trace(
+          min_path, ocp::fault::from_trace_string(failure.shrunk_trace));
+      std::printf("shrunk to local-minimal counterexample (%zu evaluations):\n%s",
+                  failure.shrink_evaluations, failure.shrunk_trace.c_str());
+      std::printf("repro: %s\n",
+                  ocp::check::repro_command(min_path, failure.definition)
+                      .c_str());
+    } else {
+      std::printf("repro: %s\n",
+                  ocp::check::repro_command(full_path, failure.definition)
+                      .c_str());
+    }
+  }
+  return report.ok() ? 0 : 1;
+}

@@ -6,6 +6,8 @@
 #
 # Usage:
 #   bench/run_bench.sh                  # both suites, default settings
+#   bench/run_bench.sh --check          # correctness gate: seeded check_fuzz
+#                                       # smoke before timing anything
 #   BUILD_DIR=out bench/run_bench.sh    # non-default build tree
 #   BENCH_MIN_TIME=0.5 bench/run_bench.sh   # steadier timings (slower)
 #   BENCH_FILTER=Dense bench/run_bench.sh   # subset of benchmarks
@@ -15,6 +17,17 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.1}"
 FILTER="${BENCH_FILTER:-}"
+CHECK=0
+
+for arg in "$@"; do
+  case "$arg" in
+    --check) CHECK=1 ;;
+    *)
+      echo "error: unknown argument '$arg' (supported: --check)" >&2
+      exit 2
+      ;;
+  esac
+done
 
 for bin in perf_labeling perf_netsim bench_to_json; do
   if [ ! -x "$BUILD/bench/$bin" ]; then
@@ -36,6 +49,20 @@ run_suite() {
     >&2
   "$BUILD/bench/bench_to_json" "$full" > "$ROOT/$out"
 }
+
+# --check: vet the labeling engine against the invariant oracle before
+# publishing perf numbers — a fast perf baseline from a miscomputing engine
+# is worthless. Same seeded smoke configuration as the `smoke`-labeled ctest
+# entry, so failures reproduce under either driver.
+if [ "$CHECK" = 1 ]; then
+  if [ ! -x "$BUILD/bench/check_fuzz" ]; then
+    echo "error: $BUILD/bench/check_fuzz not built." >&2
+    exit 1
+  fi
+  echo "== check_fuzz (seeded invariant smoke)"
+  "$BUILD/bench/check_fuzz" --seed 1 --instances 200 --max-size 16 \
+    --trace-dir "$BUILD/bench" >&2
+fi
 
 run_suite perf_labeling BENCH_labeling.json
 run_suite perf_netsim BENCH_netsim.json

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Aggregates a line-coverage summary from an OCP_COVERAGE build tree.
+#
+# Usage: coverage_report.sh <gcc|clang> <build-dir> <source-dir>
+#
+# gcc mode parses `gcov -n` summaries of every .gcda in the build tree and
+# prints a per-file table for first-party sources; clang mode merges the
+# .profraw files the `coverage` target produced and delegates to
+# `llvm-cov report`. Either way the summary lands in <build-dir>/coverage/.
+set -euo pipefail
+
+mode=$1
+build=$2
+src=$3
+out="$build/coverage"
+mkdir -p "$out"
+
+if [ "$mode" = clang ]; then
+  llvm-profdata merge -sparse "$out"/*.profraw -o "$out/merged.profdata"
+  objects=""
+  while IFS= read -r bin; do
+    objects="$objects --object $bin"
+  done < <(find "$build" -maxdepth 2 -type f -perm -111 \
+             \( -name '*_tests' -o -name 'check_fuzz' \))
+  # shellcheck disable=SC2086
+  llvm-cov report --instr-profile "$out/merged.profdata" $objects \
+    "$src/src" | tee "$out/summary.txt"
+  exit 0
+fi
+
+# gcc/gcov: one `gcov -n` pass per object directory, parsed from stdout so
+# header results from different translation units aggregate by max.
+find "$build" -name '*.gcda' -print0 |
+  xargs -0 -I{} sh -c 'gcov -n -r -s "$1" -o "$(dirname "{}")" "{}" 2>/dev/null' _ "$src" |
+  awk -v out="$out/summary.txt" '
+    /^File / { f = $2; gsub(/\x27/, "", f) }
+    /^Lines executed:/ {
+      split($2, a, ":"); pct = a[2] + 0; n = $4 + 0
+      if (f != "" && n >= total[f]) {
+        total[f] = n; hit[f] = int(pct * n / 100 + 0.5)
+      }
+      f = ""
+    }
+    END {
+      th = 0; tt = 0
+      cmd = "sort -k3 | tee " out
+      for (f in total) {
+        printf "%6.1f%%  %5d/%-5d  %s\n",
+               100 * hit[f] / total[f], hit[f], total[f], f | cmd
+        th += hit[f]; tt += total[f]
+      }
+      close(cmd)
+      if (tt > 0) {
+        printf "TOTAL %.1f%% (%d of %d lines)\n", 100 * th / tt, th, tt
+      } else {
+        print "No coverage data found - run ctest in the coverage tree first."
+      }
+    }
+  '

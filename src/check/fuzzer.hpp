@@ -1,0 +1,87 @@
+// Deterministic, time-boxed fuzzing of the full labeling pipeline.
+//
+// Every instance is derived from one master seed (machine shape, topology,
+// definition, fault generator, fault count all come from forked per-instance
+// streams), so a fuzz run is reproducible bit-for-bit from its seed and any
+// failure can be replayed from its printed instance seed or trace. Per
+// instance the harness runs the pipeline, the InvariantOracle, an engine
+// cross-validation against the centralized reference solver, the metamorphic
+// symmetry layer and the schedule-adversarial runners; failures are reduced
+// by the delta-debugging shrinker to local-minimal counterexamples with
+// replayable traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "grid/cell_set.hpp"
+
+namespace ocp::check {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::size_t instances = 200;
+  /// Wall-clock budget; 0 = unbounded. The run stops early (cleanly) when
+  /// exceeded and reports how many instances it completed.
+  std::int64_t time_box_ms = 0;
+  /// Machine extents are drawn uniformly from [min_size, max_size].
+  std::int32_t min_size = 3;
+  std::int32_t max_size = 24;
+  bool meshes = true;
+  bool tori = true;
+  bool def2a = true;
+  bool def2b = true;
+  /// Fault counts are drawn from [0, max_density * nodes].
+  double max_density = 0.2;
+  /// Which layers run per instance.
+  std::uint32_t checks = kAllChecks;
+  bool cross_engine = true;
+  bool metamorphic = true;
+  bool schedules = true;
+  bool shrink = true;
+  /// The "max d(B) rounds" bound is not a worst case off the paper's sparse
+  /// regime, and the fuzzer deliberately generates dense and clustered
+  /// instances — so only the universal progress bound is asserted.
+  RoundBound round_bound = RoundBound::ProgressOnly;
+  /// At most this many failures are recorded (the run keeps counting).
+  std::size_t max_failures = 8;
+};
+
+/// One failing instance, shrunk and ready to replay.
+struct FuzzFailure {
+  /// Seed of the instance's forked stream (regenerates it exactly).
+  std::uint64_t instance_seed = 0;
+  /// "12x9 torus Def2b f=14 uniform" — for humans.
+  std::string description;
+  std::string definition;  // "2a" | "2b"
+  ViolationReport report;
+  /// The failing instance and its local-minimal shrink, as fault traces.
+  std::string trace;
+  std::string shrunk_trace;
+  /// Violations of the shrunk instance (what the minimal repro exhibits).
+  ViolationReport shrunk_report;
+  std::size_t shrink_evaluations = 0;
+};
+
+struct FuzzReport {
+  std::size_t instances_run = 0;
+  std::size_t failure_count = 0;
+  bool timed_out = false;
+  std::vector<FuzzFailure> failures;  // capped at FuzzConfig::max_failures
+
+  [[nodiscard]] bool ok() const noexcept { return failure_count == 0; }
+};
+
+/// Runs every selected layer on one concrete instance and merges the
+/// reports. This is both the fuzzer's per-instance body and the replay
+/// entrypoint for saved traces.
+[[nodiscard]] ViolationReport check_instance(const grid::CellSet& faults,
+                                             labeling::SafeUnsafeDef def,
+                                             const FuzzConfig& config);
+
+/// The deterministic fuzz loop.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzConfig& config);
+
+}  // namespace ocp::check

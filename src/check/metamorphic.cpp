@@ -1,0 +1,147 @@
+#include "check/metamorphic.hpp"
+
+#include <sstream>
+
+namespace ocp::check {
+
+namespace {
+
+using labeling::PipelineResult;
+using mesh::Coord;
+using mesh::Mesh2D;
+
+/// One metamorphic comparison: `base` computed on the domain, `image`
+/// computed on the transformed faults. Appends violations to `report`.
+void compare_results(const Transform& t, const PipelineResult& base,
+                     const PipelineResult& image, ViolationReport& report,
+                     std::size_t max_violations) {
+  const Mesh2D& m = t.domain;
+  std::size_t mismatches = 0;
+  for (std::int32_t y = 0; y < m.height(); ++y) {
+    for (std::int32_t x = 0; x < m.width(); ++x) {
+      const Coord c{x, y};
+      const Coord tc = t.map(c);
+      const bool safety_ok = base.safety[c] == image.safety[tc];
+      const bool activation_ok = base.activation[c] == image.activation[tc];
+      if (safety_ok && activation_ok) continue;
+      if (++mismatches > 4) continue;  // summarized below
+      std::ostringstream os;
+      os << t.name() << ": node " << mesh::to_string(c) << " -> "
+         << mesh::to_string(tc) << " labels differ ("
+         << to_string(base.safety[c]) << "/" << to_string(base.activation[c])
+         << " vs " << to_string(image.safety[tc]) << "/"
+         << to_string(image.activation[tc]) << ")";
+      if (report.violations.size() < max_violations) {
+        report.violations.push_back({kMetamorphic, os.str()});
+      } else {
+        report.truncated = true;
+      }
+    }
+  }
+  if (mismatches > 4) {
+    std::ostringstream os;
+    os << t.name() << ": " << mismatches << " mismatched nodes in total";
+    if (report.violations.size() < max_violations) {
+      report.violations.push_back({kMetamorphic, os.str()});
+    } else {
+      report.truncated = true;
+    }
+  }
+
+  const auto compare_stats = [&](const char* phase,
+                                 const sim::RoundStats& a,
+                                 const sim::RoundStats& b) {
+    if (a.rounds_to_quiesce == b.rounds_to_quiesce &&
+        a.state_changes == b.state_changes &&
+        a.messages_broadcast == b.messages_broadcast) {
+      return;
+    }
+    std::ostringstream os;
+    os << t.name() << ": " << phase << " statistics do not commute (rounds "
+       << a.rounds_to_quiesce << " vs " << b.rounds_to_quiesce
+       << ", changes " << a.state_changes << " vs " << b.state_changes
+       << ", broadcast " << a.messages_broadcast << " vs "
+       << b.messages_broadcast << ")";
+    if (report.violations.size() < max_violations) {
+      report.violations.push_back({kMetamorphic, os.str()});
+    } else {
+      report.truncated = true;
+    }
+  };
+  compare_stats("phase one", base.safety_stats, image.safety_stats);
+  compare_stats("phase two", base.activation_stats, image.activation_stats);
+}
+
+}  // namespace
+
+std::string Transform::name() const {
+  switch (kind) {
+    case Kind::Transpose: return "transpose";
+    case Kind::ReflectX: return "reflect-x";
+    case Kind::ReflectY: return "reflect-y";
+    case Kind::Rotate90: return "rotate-90";
+    case Kind::Rotate180: return "rotate-180";
+    case Kind::Rotate270: return "rotate-270";
+    case Kind::Translate:
+      return "translate(" + std::to_string(dx) + "," + std::to_string(dy) +
+             ")";
+  }
+  return "transform";
+}
+
+Coord Transform::map(Coord c) const noexcept {
+  const std::int32_t w = domain.width();
+  const std::int32_t h = domain.height();
+  switch (kind) {
+    case Kind::Transpose: return {c.y, c.x};
+    case Kind::ReflectX: return {w - 1 - c.x, c.y};
+    case Kind::ReflectY: return {c.x, h - 1 - c.y};
+    case Kind::Rotate90: return {c.y, w - 1 - c.x};
+    case Kind::Rotate180: return {w - 1 - c.x, h - 1 - c.y};
+    case Kind::Rotate270: return {h - 1 - c.y, c.x};
+    case Kind::Translate: return codomain.wrap({c.x + dx, c.y + dy});
+  }
+  return c;
+}
+
+std::vector<Transform> symmetry_transforms(const Mesh2D& m) {
+  const Mesh2D swapped(m.height(), m.width(), m.topology());
+  std::vector<Transform> out = {
+      {Transform::Kind::Transpose, m, swapped},
+      {Transform::Kind::ReflectX, m, m},
+      {Transform::Kind::ReflectY, m, m},
+      {Transform::Kind::Rotate90, m, swapped},
+      {Transform::Kind::Rotate180, m, m},
+      {Transform::Kind::Rotate270, m, swapped},
+  };
+  if (m.is_torus()) {
+    out.push_back({Transform::Kind::Translate, m, m, 1, 0});
+    out.push_back({Transform::Kind::Translate, m, m, 0, 1});
+    out.push_back(
+        {Transform::Kind::Translate, m, m, m.width() / 2, m.height() / 2});
+  }
+  return out;
+}
+
+grid::CellSet transform_faults(const Transform& t,
+                               const grid::CellSet& faults) {
+  grid::CellSet out(t.codomain);
+  faults.for_each([&](Coord c) { out.insert(t.map(c)); });
+  return out;
+}
+
+ViolationReport check_metamorphic(const grid::CellSet& faults,
+                                  const labeling::PipelineOptions& opts) {
+  constexpr std::size_t kMaxViolations = 32;
+  ViolationReport report;
+  const PipelineResult base = labeling::run_pipeline(faults, opts);
+  for (const Transform& t : symmetry_transforms(faults.topology())) {
+    const grid::CellSet image_faults = transform_faults(t, faults);
+    const PipelineResult image = labeling::run_pipeline(image_faults, opts);
+    compare_results(t, base, image, report, kMaxViolations);
+    if (report.truncated) break;
+  }
+  return report;
+}
+
+}  // namespace ocp::check

@@ -1,0 +1,66 @@
+// Metamorphic testing of the labeling pipeline: the paper's protocols are
+// symmetric under the lattice symmetries of the machine, so the full
+// pipeline must commute with them. For a symmetry T and fault set F,
+// `pipeline(T(F))` must equal `T(pipeline(F))` node for node — and the
+// convergence statistics (rounds, state changes, broadcast messages) must be
+// identical, because the protocols' update rules are invariant under
+// transposition, reflection, rotation, and (on a torus) translation.
+//
+// These relations need no expected outputs, which makes them ideal fuzzing
+// oracles: any engine rewrite that breaks a boundary case, a dimension swap
+// or the ghost frame shows up as a commutation failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "core/pipeline.hpp"
+#include "grid/cell_set.hpp"
+#include "mesh/coord.hpp"
+#include "mesh/mesh2d.hpp"
+
+namespace ocp::check {
+
+/// A lattice symmetry of a machine: a bijection from the nodes of `domain`
+/// onto the nodes of `codomain` that maps links to links and preserves the
+/// ghost frame (mesh) or the wraparound structure (torus).
+struct Transform {
+  enum class Kind : std::uint8_t {
+    Transpose,
+    ReflectX,   // mirror across the vertical axis
+    ReflectY,   // mirror across the horizontal axis
+    Rotate90,   // counterclockwise
+    Rotate180,
+    Rotate270,
+    Translate,  // torus only
+  };
+
+  Kind kind = Kind::Transpose;
+  mesh::Mesh2D domain;
+  mesh::Mesh2D codomain;
+  /// Translation offsets (Kind::Translate only).
+  std::int32_t dx = 0;
+  std::int32_t dy = 0;
+
+  [[nodiscard]] std::string name() const;
+  /// Image of a domain node.
+  [[nodiscard]] mesh::Coord map(mesh::Coord c) const noexcept;
+};
+
+/// All symmetries exercised for a machine: the six geometric ones always,
+/// plus three wraparound translations on a torus.
+[[nodiscard]] std::vector<Transform> symmetry_transforms(const mesh::Mesh2D& m);
+
+/// The image of a fault set under a transform.
+[[nodiscard]] grid::CellSet transform_faults(const Transform& t,
+                                             const grid::CellSet& faults);
+
+/// Runs the pipeline on `faults` and on every symmetric image, and reports a
+/// `kMetamorphic` violation for each node whose mapped label differs or each
+/// statistic that fails to commute. Both phases are compared.
+[[nodiscard]] ViolationReport check_metamorphic(
+    const grid::CellSet& faults, const labeling::PipelineOptions& opts = {});
+
+}  // namespace ocp::check

@@ -1,0 +1,43 @@
+// Delta-debugging shrinker for failing fault sets.
+//
+// When the fuzzer finds an instance that violates the oracle (or any other
+// predicate), the raw counterexample typically carries dozens of irrelevant
+// faults. `shrink_faults` reduces it with a ddmin-style pass (drop whole
+// chunks first, then single faults) to a *local-minimal* failing set:
+// removing any one remaining fault makes the failure disappear. The result
+// ships as a replayable `fault::trace` plus a one-line repro command.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "grid/cell_set.hpp"
+
+namespace ocp::check {
+
+/// Predicate driven by the shrinker: true when the fault set still fails.
+using FailurePredicate = std::function<bool(const grid::CellSet&)>;
+
+struct ShrinkResult {
+  /// Local-minimal failing fault set (same machine as the input).
+  grid::CellSet faults;
+  /// Predicate evaluations spent.
+  std::size_t evaluations = 0;
+  /// The minimal instance in `fault::trace` format, ready to save/replay.
+  std::string trace;
+
+  explicit ShrinkResult(grid::CellSet f) : faults(std::move(f)) {}
+};
+
+/// Reduces `failing` (for which `fails` must return true) to a local-minimal
+/// failing subset. Deterministic: chunks and faults are tried in row-major
+/// order, so the same input always shrinks to the same counterexample.
+[[nodiscard]] ShrinkResult shrink_faults(const grid::CellSet& failing,
+                                         const FailurePredicate& fails);
+
+/// One-line command that replays a trace file through the fuzz binary.
+[[nodiscard]] std::string repro_command(const std::string& trace_path,
+                                        const std::string& definition);
+
+}  // namespace ocp::check

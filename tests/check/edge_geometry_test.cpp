@@ -1,0 +1,145 @@
+// Edge-geometry regressions: degenerate machine shapes and extreme fault
+// patterns, validated through every verification layer (oracle, engine
+// cross-check, metamorphic symmetries, adversarial schedules) on mesh and
+// torus under both safe/unsafe definitions.
+#include <gtest/gtest.h>
+
+#include "check/fuzzer.hpp"
+#include "core/pipeline.hpp"
+
+namespace ocp::check {
+namespace {
+
+using labeling::SafeUnsafeDef;
+using mesh::Coord;
+using mesh::Mesh2D;
+using mesh::Topology;
+
+/// Runs the full verification stack on one instance.
+void expect_all_layers_clean(const grid::CellSet& faults) {
+  const FuzzConfig config;
+  for (auto def : {SafeUnsafeDef::Def2a, SafeUnsafeDef::Def2b}) {
+    const auto report = check_instance(faults, def, config);
+    EXPECT_TRUE(report.ok())
+        << faults.topology().describe() << " " << to_string(def) << "\n"
+        << report.to_string();
+  }
+}
+
+TEST(EdgeGeometryTest, SingleNodeMachines) {
+  for (auto topology : {Topology::Mesh, Topology::Torus}) {
+    const Mesh2D m(1, 1, topology);
+    // Healthy singleton.
+    expect_all_layers_clean(grid::CellSet(m));
+    // Faulty singleton: the whole machine is one faulty block.
+    grid::CellSet faults(m);
+    faults.insert({0, 0});
+    expect_all_layers_clean(faults);
+    const auto result = labeling::run_pipeline(faults);
+    ASSERT_EQ(result.blocks.size(), 1u);
+    EXPECT_EQ(result.blocks[0].size(), 1u);
+    EXPECT_EQ(result.enabled_total(), 0u);
+  }
+}
+
+TEST(EdgeGeometryTest, OneDimensionalMachines) {
+  for (auto topology : {Topology::Mesh, Topology::Torus}) {
+    const auto run_case = [&](std::int32_t w, std::int32_t h) {
+      const Mesh2D m(w, h, topology);
+      expect_all_layers_clean(grid::CellSet(m));
+      // A fault at each end and one in the middle.
+      grid::CellSet faults(m);
+      faults.insert({0, 0});
+      faults.insert({(w - 1) / 2, (h - 1) / 2});
+      faults.insert({w - 1, h - 1});
+      expect_all_layers_clean(faults);
+    };
+    run_case(1, 9);
+    run_case(9, 1);
+    run_case(1, 2);
+    run_case(2, 1);
+  }
+}
+
+TEST(EdgeGeometryTest, TwoByTwoMachines) {
+  for (auto topology : {Topology::Mesh, Topology::Torus}) {
+    const Mesh2D m(2, 2, topology);
+    expect_all_layers_clean(grid::CellSet(m));
+    // Diagonal pair: an 8-connected two-cell disabled region.
+    grid::CellSet diagonal(m);
+    diagonal.insert({0, 0});
+    diagonal.insert({1, 1});
+    expect_all_layers_clean(diagonal);
+    // Full machine faulty.
+    grid::CellSet full(m);
+    for (std::int32_t y = 0; y < 2; ++y) {
+      for (std::int32_t x = 0; x < 2; ++x) full.insert({x, y});
+    }
+    expect_all_layers_clean(full);
+  }
+}
+
+TEST(EdgeGeometryTest, ZeroFaultsLeaveEverythingEnabled) {
+  for (auto topology : {Topology::Mesh, Topology::Torus}) {
+    const Mesh2D m(11, 7, topology);
+    const grid::CellSet faults(m);
+    expect_all_layers_clean(faults);
+    const auto result = labeling::run_pipeline(faults);
+    EXPECT_TRUE(result.blocks.empty());
+    EXPECT_TRUE(result.regions.empty());
+    EXPECT_EQ(result.disabled_nonfaulty_total(), 0u);
+    for (std::size_t i = 0; i < result.activation.size(); ++i) {
+      ASSERT_EQ(result.activation.at_index(i), labeling::Activation::Enabled);
+    }
+    EXPECT_EQ(result.safety_stats.rounds_to_quiesce, 0);
+  }
+}
+
+TEST(EdgeGeometryTest, AllFaultyMachineIsOneRegion) {
+  for (auto topology : {Topology::Mesh, Topology::Torus}) {
+    const Mesh2D m(6, 5, topology);
+    grid::CellSet faults(m);
+    for (std::int32_t y = 0; y < m.height(); ++y) {
+      for (std::int32_t x = 0; x < m.width(); ++x) faults.insert({x, y});
+    }
+    expect_all_layers_clean(faults);
+    const auto result = labeling::run_pipeline(faults);
+    ASSERT_EQ(result.blocks.size(), 1u);
+    ASSERT_EQ(result.regions.size(), 1u);
+    EXPECT_EQ(result.enabled_total(), 0u);
+    EXPECT_EQ(result.regions[0].fault_count,
+              static_cast<std::size_t>(m.node_count()));
+    // No participants: both phases quiesce without a single status change.
+    EXPECT_EQ(result.safety_stats.state_changes, 0u);
+  }
+}
+
+TEST(EdgeGeometryTest, FourCornerFaultsOnMeshStaySingletons) {
+  const Mesh2D m(8, 8, Topology::Mesh);
+  grid::CellSet faults(m);
+  for (Coord c : {Coord{0, 0}, {7, 0}, {0, 7}, {7, 7}}) faults.insert(c);
+  expect_all_layers_clean(faults);
+  const auto result = labeling::run_pipeline(faults);
+  // Ghost support keeps each corner an isolated singleton block.
+  EXPECT_EQ(result.blocks.size(), 4u);
+  for (const auto& block : result.blocks) EXPECT_EQ(block.size(), 1u);
+}
+
+TEST(EdgeGeometryTest, FourCornerFaultsOnTorusMergeAcrossBothSeams) {
+  const Mesh2D m(8, 8, Topology::Torus);
+  grid::CellSet faults(m);
+  for (Coord c : {Coord{0, 0}, {7, 0}, {0, 7}, {7, 7}}) faults.insert(c);
+  expect_all_layers_clean(faults);
+  const auto result = labeling::run_pipeline(faults);
+  // With wraparound the four corners are one 2x2 square spanning both
+  // seams simultaneously — one block, one region.
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.blocks[0].size(), 4u);
+  EXPECT_EQ(result.blocks[0].fault_count, 4u);
+  EXPECT_TRUE(result.blocks[0].region().is_rectangle());
+  ASSERT_EQ(result.regions.size(), 1u);
+  EXPECT_EQ(result.regions[0].fault_count, 4u);
+}
+
+}  // namespace
+}  // namespace ocp::check

@@ -1,0 +1,74 @@
+// Fuzz-loop tests: determinism from the master seed, clean runs on the
+// genuine pipeline, time-box behavior, degenerate configurations.
+#include <gtest/gtest.h>
+
+#include "check/fuzzer.hpp"
+#include "fault/trace.hpp"
+
+namespace ocp::check {
+namespace {
+
+TEST(FuzzerTest, GenuinePipelinePassesSmokeRun) {
+  FuzzConfig config;
+  config.seed = 2026;
+  config.instances = 80;
+  config.max_size = 12;
+  const auto report = run_fuzz(config);
+  EXPECT_EQ(report.instances_run, 80u);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.timed_out);
+}
+
+TEST(FuzzerTest, RunsAreDeterministicPerSeed) {
+  FuzzConfig config;
+  config.seed = 555;
+  config.instances = 30;
+  config.max_size = 10;
+  const auto a = run_fuzz(config);
+  const auto b = run_fuzz(config);
+  EXPECT_EQ(a.instances_run, b.instances_run);
+  EXPECT_EQ(a.failure_count, b.failure_count);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].instance_seed, b.failures[i].instance_seed);
+    EXPECT_EQ(a.failures[i].trace, b.failures[i].trace);
+  }
+}
+
+TEST(FuzzerTest, TimeBoxStopsLongRuns) {
+  FuzzConfig config;
+  config.instances = 100000000;  // would take hours unboxed
+  config.time_box_ms = 50;
+  const auto report = run_fuzz(config);
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_LT(report.instances_run, config.instances);
+}
+
+TEST(FuzzerTest, EmptyTopologySelectionRunsNothing) {
+  FuzzConfig config;
+  config.meshes = false;
+  config.tori = false;
+  const auto report = run_fuzz(config);
+  EXPECT_EQ(report.instances_run, 0u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(FuzzerTest, CheckInstanceAcceptsReplayedTrace) {
+  // The --replay path of the check_fuzz binary: a trace round-trips through
+  // the fault trace format and checks clean on the genuine pipeline.
+  const auto faults = fault::from_trace_string(
+      "ocpmesh-trace v1\n"
+      "machine 9 7 torus\n"
+      "fault 2 2\n"
+      "fault 6 4\n"
+      "fault 0 6\n");
+  FuzzConfig config;
+  for (auto def :
+       {labeling::SafeUnsafeDef::Def2a, labeling::SafeUnsafeDef::Def2b}) {
+    const auto report = check_instance(faults, def, config);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ocp::check

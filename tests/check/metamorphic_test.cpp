@@ -1,0 +1,133 @@
+// Metamorphic layer tests: the transforms are genuine lattice symmetries
+// (bijective, adjacency-preserving) and the pipeline commutes with them.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "check/metamorphic.hpp"
+#include "fault/fixtures.hpp"
+#include "fault/generators.hpp"
+#include "stats/rng.hpp"
+
+namespace ocp::check {
+namespace {
+
+using labeling::PipelineOptions;
+using labeling::SafeUnsafeDef;
+using mesh::Coord;
+using mesh::Mesh2D;
+using mesh::Topology;
+
+TEST(MetamorphicTest, TransformsAreBijections) {
+  for (auto topology : {Topology::Mesh, Topology::Torus}) {
+    const Mesh2D m(7, 5, topology);
+    for (const Transform& t : symmetry_transforms(m)) {
+      std::set<std::pair<std::int32_t, std::int32_t>> images;
+      for (std::int32_t y = 0; y < m.height(); ++y) {
+        for (std::int32_t x = 0; x < m.width(); ++x) {
+          const Coord im = t.map({x, y});
+          EXPECT_TRUE(t.codomain.contains(im))
+              << t.name() << " maps (" << x << "," << y << ") outside";
+          images.insert({im.x, im.y});
+        }
+      }
+      EXPECT_EQ(images.size(), static_cast<std::size_t>(m.node_count()))
+          << t.name() << " is not injective";
+    }
+  }
+}
+
+TEST(MetamorphicTest, TransformsPreserveAdjacency) {
+  for (auto topology : {Topology::Mesh, Topology::Torus}) {
+    const Mesh2D m(6, 9, topology);
+    for (const Transform& t : symmetry_transforms(m)) {
+      for (std::int32_t y = 0; y < m.height(); ++y) {
+        for (std::int32_t x = 0; x < m.width(); ++x) {
+          const Coord u{x, y};
+          for (mesh::Dir d : mesh::kAllDirs) {
+            const auto v = m.neighbor(u, d);
+            if (!v) continue;  // ghost; the frame maps onto itself
+            EXPECT_EQ(t.codomain.distance(t.map(u), t.map(*v)), 1)
+                << t.name() << " breaks the link " << mesh::to_string(u)
+                << " -> " << mesh::to_string(*v);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MetamorphicTest, TorusGetsTranslations) {
+  const Mesh2D mesh(8, 8, Topology::Mesh);
+  const Mesh2D torus(8, 8, Topology::Torus);
+  std::size_t mesh_translations = 0;
+  for (const auto& t : symmetry_transforms(mesh)) {
+    mesh_translations += t.kind == Transform::Kind::Translate;
+  }
+  std::size_t torus_translations = 0;
+  for (const auto& t : symmetry_transforms(torus)) {
+    torus_translations += t.kind == Transform::Kind::Translate;
+  }
+  EXPECT_EQ(mesh_translations, 0u);
+  EXPECT_GT(torus_translations, 0u);
+}
+
+TEST(MetamorphicTest, TransformFaultsPreservesCardinality) {
+  const Mesh2D m(9, 4, Topology::Torus);
+  stats::Rng rng(5);
+  const auto faults = fault::uniform_random(m, 7, rng);
+  for (const Transform& t : symmetry_transforms(m)) {
+    const auto image = transform_faults(t, faults);
+    EXPECT_EQ(image.size(), faults.size()) << t.name();
+  }
+}
+
+TEST(MetamorphicTest, PipelineCommutesOnFixtures) {
+  for (const auto& fixture :
+       {fault::worked_example(), fault::figure1(), fault::figure2b()}) {
+    for (auto def : {SafeUnsafeDef::Def2a, SafeUnsafeDef::Def2b}) {
+      PipelineOptions popts;
+      popts.definition = def;
+      const auto report = check_metamorphic(fixture.faults, popts);
+      EXPECT_TRUE(report.ok()) << fixture.name << " " << to_string(def)
+                               << "\n"
+                               << report.to_string();
+    }
+  }
+}
+
+TEST(MetamorphicTest, PipelineCommutesOnRandomInstances) {
+  stats::Rng master(23);
+  for (int k = 0; k < 24; ++k) {
+    stats::Rng rng(master.fork_seed());
+    const Mesh2D m(static_cast<std::int32_t>(rng.uniform_int(3, 14)),
+                   static_cast<std::int32_t>(rng.uniform_int(3, 14)),
+                   k % 2 == 0 ? Topology::Mesh : Topology::Torus);
+    const auto f = static_cast<std::size_t>(
+        rng.uniform_int(0, std::max<std::int64_t>(1, m.node_count() / 5)));
+    const auto faults = fault::uniform_random(m, f, rng);
+    PipelineOptions popts;
+    popts.definition =
+        k % 4 < 2 ? SafeUnsafeDef::Def2a : SafeUnsafeDef::Def2b;
+    const auto report = check_metamorphic(faults, popts);
+    EXPECT_TRUE(report.ok()) << m.describe() << "\n" << report.to_string();
+  }
+}
+
+TEST(MetamorphicTest, TransformsActuallyMoveAsymmetricSets) {
+  // Guards against identity-transform bugs: an asymmetric fault set must be
+  // displaced by every non-trivial symmetry, otherwise the layer compares a
+  // run against itself and can never fail.
+  const Mesh2D m(8, 8, Topology::Mesh);
+  grid::CellSet faults(m);
+  faults.insert({0, 1});
+  faults.insert({1, 3});
+  faults.insert({5, 2});
+  for (const Transform& t : symmetry_transforms(m)) {
+    const auto image = transform_faults(t, faults);
+    EXPECT_FALSE(image == faults) << t.name() << " fixes an asymmetric set";
+  }
+}
+
+}  // namespace
+}  // namespace ocp::check

@@ -1,0 +1,204 @@
+// InvariantOracle unit tests: clean labelings pass, tampered labelings are
+// flagged with the right check bit, the report machinery behaves.
+#include <gtest/gtest.h>
+
+#include "check/oracle.hpp"
+#include "core/pipeline.hpp"
+#include "fault/fixtures.hpp"
+#include "fault/generators.hpp"
+#include "stats/rng.hpp"
+
+namespace ocp::check {
+namespace {
+
+using labeling::Activation;
+using labeling::PipelineOptions;
+using labeling::SafeUnsafeDef;
+using labeling::Safety;
+using mesh::Mesh2D;
+using mesh::Topology;
+
+OracleOptions options_for(SafeUnsafeDef def) {
+  OracleOptions opts;
+  opts.definition = def;
+  return opts;
+}
+
+TEST(OracleTest, PaperFixturesPassEveryCheck) {
+  for (const auto& fixture :
+       {fault::worked_example(), fault::figure1(), fault::figure2a(),
+        fault::figure2b()}) {
+    for (auto def : {SafeUnsafeDef::Def2a, SafeUnsafeDef::Def2b}) {
+      PipelineOptions popts;
+      popts.definition = def;
+      const auto result = labeling::run_pipeline(fixture.faults, popts);
+      const auto report =
+          check_pipeline(fixture.faults, result, options_for(def));
+      EXPECT_TRUE(report.ok())
+          << fixture.name << " " << to_string(def) << "\n"
+          << report.to_string();
+    }
+  }
+}
+
+TEST(OracleTest, RandomInstancesPassOnMeshAndTorus) {
+  stats::Rng master(11);
+  for (int k = 0; k < 40; ++k) {
+    stats::Rng rng(master.fork_seed());
+    const Mesh2D m(static_cast<std::int32_t>(rng.uniform_int(4, 20)),
+                   static_cast<std::int32_t>(rng.uniform_int(4, 20)),
+                   k % 2 == 0 ? Topology::Mesh : Topology::Torus);
+    const auto f = static_cast<std::size_t>(
+        rng.uniform_int(0, std::max<std::int64_t>(1, m.node_count() / 5)));
+    const auto faults = fault::uniform_random(m, f, rng);
+    const auto def = k % 4 < 2 ? SafeUnsafeDef::Def2a : SafeUnsafeDef::Def2b;
+    PipelineOptions popts;
+    popts.definition = def;
+    const auto result = labeling::run_pipeline(faults, popts);
+    auto opts = options_for(def);
+    opts.round_bound = RoundBound::ProgressOnly;
+    const auto report = check_pipeline(faults, result, opts);
+    EXPECT_TRUE(report.ok()) << m.describe() << " " << to_string(def) << "\n"
+                             << report.to_string();
+  }
+}
+
+TEST(OracleTest, ReferenceEngineResultsSkipConvergenceChecks) {
+  const Mesh2D m(12, 12);
+  stats::Rng rng(3);
+  const auto faults = fault::uniform_random(m, 10, rng);
+  PipelineOptions popts;
+  popts.engine = labeling::Engine::Reference;
+  const auto result = labeling::run_pipeline(faults, popts);
+  EXPECT_EQ(result.safety_stats.rounds_executed, 0);
+  const auto report = check_pipeline(faults, result, {});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// Tampering with a correct result must produce the matching violation.
+
+TEST(OracleTest, TamperedActivationTripsStatusLattice) {
+  const Mesh2D m(10, 10);
+  grid::CellSet faults(m);
+  faults.insert({4, 4});
+  faults.insert({5, 5});
+  auto result = labeling::run_pipeline(faults);
+  // Disable a safe node: disabled => unsafe breaks.
+  result.activation[{0, 0}] = Activation::Disabled;
+  OracleOptions opts;
+  opts.checks = kStatusLattice;
+  const auto report = check_pipeline(faults, result, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].check, kStatusLattice);
+}
+
+TEST(OracleTest, TamperedSafetyTripsFixpointAndExtraction) {
+  const Mesh2D m(10, 10);
+  grid::CellSet faults(m);
+  faults.insert({4, 4});
+  faults.insert({5, 5});
+  auto result = labeling::run_pipeline(faults);
+  // An isolated unsafe island the final planes cannot justify.
+  result.safety[{0, 0}] = Safety::Unsafe;
+  OracleOptions opts;
+  opts.checks = kFixpoint;
+  auto report = check_pipeline(faults, result, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].check, kFixpoint);
+
+  // Blocks no longer partition the unsafe set either.
+  opts.checks = kExtraction;
+  report = check_pipeline(faults, result, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].check, kExtraction);
+}
+
+TEST(OracleTest, FaultyNodeMislabeledSafeIsFlagged) {
+  const Mesh2D m(8, 8);
+  grid::CellSet faults(m);
+  faults.insert({3, 3});
+  auto result = labeling::run_pipeline(faults);
+  result.safety[{3, 3}] = Safety::Safe;
+  OracleOptions opts;
+  opts.checks = kStatusLattice;
+  const auto report = check_pipeline(faults, result, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].check, kStatusLattice);
+}
+
+TEST(OracleTest, ChecksMaskSelectsInvariants) {
+  const Mesh2D m(8, 8);
+  grid::CellSet faults(m);
+  faults.insert({3, 3});
+  auto result = labeling::run_pipeline(faults);
+  result.safety[{3, 3}] = Safety::Safe;
+  // With the lattice check masked out the tampering goes unreported.
+  OracleOptions opts;
+  opts.checks = kAllChecks & ~(kStatusLattice | kExtraction | kFixpoint |
+                               kBlockFaultContent | kRegionFaultContent);
+  const auto report = check_pipeline(faults, result, opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(OracleTest, MaxViolationsTruncatesReport) {
+  const Mesh2D m(12, 12);
+  grid::CellSet faults(m);
+  auto result = labeling::run_pipeline(faults);
+  // Mass tampering: every node disabled while safe.
+  for (std::size_t i = 0; i < result.activation.size(); ++i) {
+    result.activation.at_index(i) = Activation::Disabled;
+  }
+  OracleOptions opts;
+  opts.checks = kStatusLattice;
+  opts.max_violations = 5;
+  const auto report = check_pipeline(faults, result, opts);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.size(), 5u);
+  EXPECT_NE(report.to_string().find("truncated"), std::string::npos);
+}
+
+TEST(OracleTest, MergeConcatenatesReports) {
+  ViolationReport a;
+  a.violations.push_back({kTheorem1, "one"});
+  ViolationReport b;
+  b.violations.push_back({kLemma1, "two"});
+  b.truncated = true;
+  a.merge(std::move(b));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.truncated);
+  EXPECT_EQ(a.violations[1].check, kLemma1);
+}
+
+TEST(OracleTest, CheckNamesAreUniqueAndKnown) {
+  std::vector<std::string> names;
+  for (std::uint32_t bit = 0; bit < 16; ++bit) {
+    names.emplace_back(check_name(1u << bit));
+  }
+  names.emplace_back(check_name(kMetamorphic));
+  names.emplace_back(check_name(kScheduleIndependence));
+  names.emplace_back(check_name(kEngineEquivalence));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_NE(names[i], "unknown-check") << "bit index " << i;
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST(OracleTest, WrappedTorusRingAcceptedAsBand) {
+  // The EquatorRing scenario: a full ring of faults disables the whole
+  // torus. The planar corner lemmas do not apply to wrapped regions; the
+  // cylinder-form convexity and the bookkeeping checks must still pass.
+  const Mesh2D m(8, 8, Topology::Torus);
+  grid::CellSet faults(m);
+  for (std::int32_t x = 0; x < 8; ++x) faults.insert({x, 4});
+  const auto result = labeling::run_pipeline(faults);
+  ASSERT_EQ(result.regions.size(), 1u);
+  auto opts = options_for(SafeUnsafeDef::Def2b);
+  opts.round_bound = RoundBound::ProgressOnly;
+  const auto report = check_pipeline(faults, result, opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace ocp::check

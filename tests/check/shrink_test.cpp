@@ -1,0 +1,127 @@
+// Delta-debugging shrinker tests: local minimality, determinism, trace
+// round-trips.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "check/shrink.hpp"
+#include "fault/generators.hpp"
+#include "fault/trace.hpp"
+#include "stats/rng.hpp"
+
+namespace ocp::check {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+/// Checks the shrinker's contract: the result still fails, and removing any
+/// single remaining fault makes the predicate pass.
+void expect_local_minimal(const grid::CellSet& shrunk,
+                          const FailurePredicate& fails) {
+  EXPECT_TRUE(fails(shrunk));
+  for (const Coord c : shrunk.to_vector()) {
+    grid::CellSet candidate = shrunk;
+    candidate.erase(c);
+    EXPECT_FALSE(fails(candidate))
+        << "removing " << mesh::to_string(c) << " still fails";
+  }
+}
+
+TEST(ShrinkTest, ReducesToThePlantedCore) {
+  const Mesh2D m(16, 16);
+  grid::CellSet faults(m);
+  // The failure needs exactly the pair {(3,3),(12,12)}; everything else is
+  // noise the shrinker must strip.
+  stats::Rng rng(41);
+  for (int i = 0; i < 30; ++i) {
+    faults.insert({static_cast<std::int32_t>(rng.uniform_int(0, 15)),
+                   static_cast<std::int32_t>(rng.uniform_int(0, 15))});
+  }
+  faults.insert({3, 3});
+  faults.insert({12, 12});
+  const FailurePredicate needs_pair = [](const grid::CellSet& s) {
+    return s.contains({3, 3}) && s.contains({12, 12});
+  };
+  const auto result = shrink_faults(faults, needs_pair);
+  EXPECT_EQ(result.faults.size(), 2u);
+  EXPECT_TRUE(result.faults.contains({3, 3}));
+  EXPECT_TRUE(result.faults.contains({12, 12}));
+  expect_local_minimal(result.faults, needs_pair);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(ShrinkTest, CardinalityPredicateShrinksToThreshold) {
+  const Mesh2D m(10, 10);
+  stats::Rng rng(8);
+  const auto faults = fault::uniform_random(m, 40, rng);
+  const FailurePredicate at_least_five = [](const grid::CellSet& s) {
+    return s.size() >= 5;
+  };
+  const auto result = shrink_faults(faults, at_least_five);
+  EXPECT_EQ(result.faults.size(), 5u);
+  expect_local_minimal(result.faults, at_least_five);
+}
+
+TEST(ShrinkTest, SingleFaultCoreSurvives) {
+  const Mesh2D m(9, 9);
+  stats::Rng rng(2);
+  auto faults = fault::uniform_random(m, 20, rng);
+  faults.insert({4, 4});
+  const FailurePredicate needs_center = [](const grid::CellSet& s) {
+    return s.contains({4, 4});
+  };
+  const auto result = shrink_faults(faults, needs_center);
+  EXPECT_EQ(result.faults.size(), 1u);
+  EXPECT_TRUE(result.faults.contains({4, 4}));
+}
+
+TEST(ShrinkTest, ThrowsWhenInputDoesNotFail) {
+  const Mesh2D m(6, 6);
+  grid::CellSet faults(m);
+  faults.insert({1, 1});
+  EXPECT_THROW(
+      (void)shrink_faults(faults,
+                          [](const grid::CellSet&) { return false; }),
+      std::invalid_argument);
+}
+
+TEST(ShrinkTest, DeterministicAcrossRuns) {
+  const Mesh2D m(12, 12);
+  stats::Rng rng(77);
+  const auto faults = fault::uniform_random(m, 25, rng);
+  // Non-monotone predicate with several minimal sets: determinism matters.
+  const FailurePredicate odd_row_pair = [](const grid::CellSet& s) {
+    std::size_t odd = 0;
+    s.for_each([&](Coord c) { odd += static_cast<std::size_t>(c.y % 2); });
+    return odd >= 2;
+  };
+  const auto a = shrink_faults(faults, odd_row_pair);
+  const auto b = shrink_faults(faults, odd_row_pair);
+  EXPECT_TRUE(a.faults == b.faults);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(ShrinkTest, TraceRoundTripsThroughFaultTrace) {
+  const Mesh2D m(8, 8, mesh::Topology::Torus);
+  grid::CellSet faults(m);
+  faults.insert({0, 0});
+  faults.insert({7, 7});
+  faults.insert({3, 4});
+  const auto result = shrink_faults(
+      faults, [](const grid::CellSet& s) { return s.size() >= 2; });
+  const auto reloaded = fault::from_trace_string(result.trace);
+  EXPECT_TRUE(reloaded == result.faults);
+  EXPECT_TRUE(reloaded.topology().is_torus());
+}
+
+TEST(ShrinkTest, ReproCommandNamesTheBinaryAndTrace) {
+  const auto cmd = repro_command("fail.trace", "2a");
+  EXPECT_NE(cmd.find("check_fuzz"), std::string::npos);
+  EXPECT_NE(cmd.find("--replay fail.trace"), std::string::npos);
+  EXPECT_NE(cmd.find("--def 2a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocp::check

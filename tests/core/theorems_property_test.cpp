@@ -1,21 +1,21 @@
 // Property-based checks of every claim in section 4 of the paper, swept over
 // random fault patterns on meshes and tori, both safe/unsafe definitions and
 // a range of fault densities.
+//
+// Each test asserts exactly one invariant through the ocp_check
+// InvariantOracle (src/check/oracle.hpp) — the same machine-checkable
+// specification the fuzzer, the metamorphic layer and the mutation smoke
+// tests consume — so a failing sweep names the violated claim and carries
+// the oracle's structured diagnostics.
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <limits>
-
+#include "check/oracle.hpp"
 #include "core/pipeline.hpp"
 #include "fault/generators.hpp"
-#include "geometry/convexity.hpp"
-#include "geometry/boundary.hpp"
-#include "geometry/staircase.hpp"
 
 namespace ocp::labeling {
 namespace {
 
-using mesh::Coord;
 using mesh::Mesh2D;
 using mesh::Topology;
 
@@ -46,231 +46,88 @@ std::string sweep_name(const testing::TestParamInfo<SweepParams>& info) {
 
 class TheoremSweep : public testing::TestWithParam<SweepParams> {
  protected:
-  /// Runs `fn(faults, result)` over `trials` random instances.
-  template <typename Fn>
-  void for_each_instance(Fn&& fn) const {
+  /// Runs the oracle restricted to `checks` over `trials` random instances.
+  void sweep_check(std::uint32_t checks) const {
     const auto& p = GetParam();
     const Mesh2D machine(p.nx, p.ny, p.topology);
+    check::OracleOptions oracle;
+    oracle.definition = p.definition;
+    oracle.checks = checks;
+    oracle.round_bound = p.diameter_round_bound
+                             ? check::RoundBound::Strict
+                             : check::RoundBound::ProgressOnly;
     for (std::size_t t = 0; t < p.trials; ++t) {
       stats::Rng rng(0xABCD * (t + 1) + p.faults);
       const auto faults = fault::uniform_random(machine, p.faults, rng);
       PipelineOptions opts{.definition = p.definition};
       const auto result = run_pipeline(faults, opts);
-      fn(faults, result);
+      const auto report = check::check_pipeline(faults, result, oracle);
+      ASSERT_TRUE(report.ok())
+          << "trial " << t << " on " << machine.describe() << ":\n"
+          << report.to_string();
     }
-  }
-
-  /// Faults of a component, in its planar frame coordinates.
-  static geom::Region frame_faults(const grid::Component& comp,
-                                   const grid::CellSet& faults) {
-    std::vector<Coord> cells;
-    const auto frame_cells = comp.region.cells();
-    for (std::size_t i = 0; i < frame_cells.size(); ++i) {
-      if (faults.contains(comp.cells()[i])) {
-        cells.push_back(frame_cells[i]);
-      }
-    }
-    return geom::Region(std::move(cells));
-  }
-
-  /// Minimum machine distance between the cells of two components.
-  static std::int32_t machine_distance(const mesh::Mesh2D& m,
-                                       const grid::Component& a,
-                                       const grid::Component& b) {
-    std::int32_t best = std::numeric_limits<std::int32_t>::max();
-    for (Coord u : a.cells()) {
-      for (Coord v : b.cells()) {
-        best = std::min(best, m.distance(u, v));
-      }
-    }
-    return best;
   }
 };
 
-// Section 3: faulty blocks are disjoint rectangles.
+// Section 3: faulty blocks are disjoint rectangles whose extent is exactly
+// the bounding box of their faults.
 TEST_P(TheoremSweep, FaultyBlocksAreRectangles) {
-  for_each_instance([](const auto&, const PipelineResult& result) {
-    for (const auto& block : result.blocks) {
-      ASSERT_TRUE(block.region().is_rectangle())
-          << "non-rectangular block:\n"
-          << block.region().to_ascii();
-    }
-  });
+  sweep_check(check::kBlockRectangle | check::kBlockFaultContent);
 }
 
 // Section 3: inter-block distance is at least 3 under Definition 2a and at
 // least 2 under Definition 2b.
-TEST_P(TheoremSweep, BlockSeparation) {
-  const std::int32_t min_dist =
-      GetParam().definition == SafeUnsafeDef::Def2a ? 3 : 2;
-  for_each_instance([&](const grid::CellSet& faults,
-                        const PipelineResult& result) {
-    const auto& m = faults.topology();
-    for (std::size_t i = 0; i < result.blocks.size(); ++i) {
-      for (std::size_t j = i + 1; j < result.blocks.size(); ++j) {
-        ASSERT_GE(machine_distance(m, result.blocks[i].component,
-                                   result.blocks[j].component),
-                  min_dist);
-      }
-    }
-  });
-}
+TEST_P(TheoremSweep, BlockSeparation) { sweep_check(check::kBlockSeparation); }
 
 // Theorem 1: every disabled region is an orthogonal convex polygon.
 // Checked with both the definitional test and the O(n) staircase-profile
 // characterization (which must agree).
 TEST_P(TheoremSweep, Theorem1DisabledRegionsAreOrthogonalConvexPolygons) {
-  for_each_instance([](const auto&, const PipelineResult& result) {
-    for (const auto& region : result.regions) {
-      ASSERT_TRUE(geom::is_orthogonal_convex(region.region()))
-          << "concave disabled region:\n"
-          << region.region().to_ascii();
-      ASSERT_TRUE(
-          region.region().is_connected(geom::Connectivity::Eight));
-      ASSERT_TRUE(geom::is_orthogonal_convex_polygon_fast(region.region()));
-    }
-  });
+  sweep_check(check::kTheorem1);
 }
 
 // Lemma 1: every corner node of a disabled region is faulty.
 TEST_P(TheoremSweep, Lemma1CornerNodesAreFaulty) {
-  for_each_instance([this](const grid::CellSet& faults,
-                           const PipelineResult& result) {
-    for (const auto& region : result.regions) {
-      const auto frame_cells = region.region().cells();
-      for (std::size_t i = 0; i < frame_cells.size(); ++i) {
-        if (geom::is_corner_node(region.region(), frame_cells[i])) {
-          ASSERT_TRUE(faults.contains(region.component.cells()[i]))
-              << "nonfaulty corner node at "
-              << mesh::to_string(region.component.cells()[i]) << " in\n"
-              << region.region().to_ascii();
-        }
-      }
-    }
-  });
+  sweep_check(check::kLemma1);
 }
 
 // Lemma 2: for every node of a disabled region, each of the four quadrants
 // anchored at it contains a corner node of the region.
 TEST_P(TheoremSweep, Lemma2EveryQuadrantHasACorner) {
-  for_each_instance([](const auto&, const PipelineResult& result) {
-    for (const auto& region : result.regions) {
-      for (Coord u : region.region().cells()) {
-        for (geom::Quadrant q : geom::kAllQuadrants) {
-          ASSERT_TRUE(geom::quadrant_has_corner(region.region(), u, q))
-              << "missing corner in quadrant, origin "
-              << mesh::to_string(u) << " in\n"
-              << region.region().to_ascii();
-        }
-      }
-    }
-  });
+  sweep_check(check::kLemma2);
 }
 
 // Lemma 3: for a node u outside an orthogonal convex region B, at least one
 // quadrant anchored at u contains no node of B. Exercised with every
 // bounding-box cell just outside each disabled region.
 TEST_P(TheoremSweep, Lemma3OutsideNodeHasEmptyQuadrant) {
-  for_each_instance([](const auto&, const PipelineResult& result) {
-    for (const auto& region : result.regions) {
-      const geom::Rect box = region.region().bounding_box();
-      for (std::int32_t x = box.lo.x - 1; x <= box.hi.x + 1; ++x) {
-        for (std::int32_t y = box.lo.y - 1; y <= box.hi.y + 1; ++y) {
-          const Coord u{x, y};
-          if (region.region().contains(u)) continue;
-          bool some_quadrant_empty = false;
-          for (geom::Quadrant q : geom::kAllQuadrants) {
-            bool any = false;
-            for (Coord c : region.region().cells()) {
-              if (geom::in_quadrant(u, q, c)) {
-                any = true;
-                break;
-              }
-            }
-            if (!any) {
-              some_quadrant_empty = true;
-              break;
-            }
-          }
-          ASSERT_TRUE(some_quadrant_empty)
-              << "node " << mesh::to_string(u)
-              << " sees region cells in all quadrants:\n"
-              << region.region().to_ascii();
-        }
-      }
-    }
-  });
+  sweep_check(check::kLemma3);
 }
 
 // Theorem 2: each disabled region is the smallest orthogonal convex polygon
 // covering the faults it contains — i.e. it equals the rectilinear convex
 // closure of its fault set.
 TEST_P(TheoremSweep, Theorem2RegionsEqualFaultClosure) {
-  for_each_instance([this](const grid::CellSet& faults,
-                           const PipelineResult& result) {
-    for (const auto& region : result.regions) {
-      const geom::Region seed = frame_faults(region.component, faults);
-      ASSERT_EQ(geom::rectilinear_convex_closure(seed), region.region())
-          << "region is not the minimal OCP of its faults:\n"
-          << region.region().to_ascii();
-    }
-  });
+  sweep_check(check::kTheorem2);
 }
 
 // Corollary: per faulty block, the nonfaulty nodes covered by its disabled
 // regions number no more than those inside the smallest orthogonal convex
 // polygon containing all the block's faults.
 TEST_P(TheoremSweep, CorollaryBlockwiseOptimality) {
-  for_each_instance([this](const grid::CellSet& faults,
-                           const PipelineResult& result) {
-    std::vector<std::size_t> disabled_nonfaulty(result.blocks.size(), 0);
-    for (const auto& region : result.regions) {
-      disabled_nonfaulty[region.parent_block] +=
-          region.disabled_nonfaulty_count;
-    }
-    for (std::size_t b = 0; b < result.blocks.size(); ++b) {
-      const geom::Region seed =
-          frame_faults(result.blocks[b].component, faults);
-      const geom::Region closure = geom::rectilinear_convex_closure(seed);
-      const std::size_t closure_nonfaulty = closure.size() - seed.size();
-      ASSERT_LE(disabled_nonfaulty[b], closure_nonfaulty)
-          << "block " << b << " keeps more nonfaulty nodes disabled than "
-          << "the minimal single OCP";
-    }
-  });
+  sweep_check(check::kCorollary);
 }
 
 // Fault rings of disabled regions trace as simple closed walks covering
 // every ring cell — the structure boundary-following routers rely on.
 TEST_P(TheoremSweep, DisabledRegionRingsTraceCleanly) {
-  for_each_instance([](const auto&, const PipelineResult& result) {
-    for (const auto& region : result.regions) {
-      const geom::Region ring = geom::outer_ring(region.region());
-      const auto walk = geom::trace_outer_ring(region.region());
-      ASSERT_EQ(walk.size(), ring.size())
-          << "ring walk missed cells around:\n"
-          << region.region().to_ascii();
-      for (mesh::Coord c : walk) {
-        ASSERT_TRUE(ring.contains(c));
-      }
-    }
-  });
+  sweep_check(check::kRingTrace);
 }
 
 // Disabled regions of one machine are pairwise at distance >= 2 and never
 // 8-adjacent.
 TEST_P(TheoremSweep, RegionSeparation) {
-  for_each_instance([this](const grid::CellSet& faults,
-                           const PipelineResult& result) {
-    const auto& m = faults.topology();
-    for (std::size_t i = 0; i < result.regions.size(); ++i) {
-      for (std::size_t j = i + 1; j < result.regions.size(); ++j) {
-        ASSERT_GE(machine_distance(m, result.regions[i].component,
-                                   result.regions[j].component),
-                  2);
-      }
-    }
-  });
+  sweep_check(check::kRegionSeparation);
 }
 
 // Convergence: both phases quiesce within the largest block diameter in the
@@ -278,42 +135,25 @@ TEST_P(TheoremSweep, RegionSeparation) {
 // universal progress bound (every executed round changes at least one
 // status) holds everywhere.
 TEST_P(TheoremSweep, ConvergenceWithinBlockDiameter) {
-  const bool strict = GetParam().diameter_round_bound;
-  for_each_instance([&](const auto&, const PipelineResult& result) {
-    std::int32_t max_diam = 0;
-    for (const auto& block : result.blocks) {
-      max_diam = std::max(max_diam, block.region().diameter());
-    }
-    if (strict) {
-      ASSERT_LE(result.safety_stats.rounds_to_quiesce, std::max(max_diam, 1));
-      ASSERT_LE(result.activation_stats.rounds_to_quiesce,
-                std::max(max_diam, 1));
-    }
-    ASSERT_LE(
-        static_cast<std::size_t>(result.safety_stats.rounds_to_quiesce),
-        result.unsafe_nonfaulty_total() + 1);
-    ASSERT_LE(
-        static_cast<std::size_t>(result.activation_stats.rounds_to_quiesce),
-        result.enabled_total() + 1);
-  });
+  sweep_check(check::kConvergence);
 }
 
 // Faults never change status: every faulty node is unsafe and disabled;
 // every disabled node is unsafe (the status lattice of section 3).
 TEST_P(TheoremSweep, StatusLatticeInvariants) {
-  for_each_instance([](const grid::CellSet& faults,
-                       const PipelineResult& result) {
-    faults.for_each([&](Coord c) {
-      ASSERT_EQ(result.safety[c], Safety::Unsafe);
-      ASSERT_EQ(result.activation[c], Activation::Disabled);
-    });
-    for (std::size_t i = 0; i < result.safety.size(); ++i) {
-      if (result.activation.at_index(i) == Activation::Disabled) {
-        ASSERT_EQ(result.safety.at_index(i), Safety::Unsafe);
-      }
-    }
-  });
+  sweep_check(check::kStatusLattice);
 }
+
+// The final labeling is a quiesced, locally justified fixpoint of the
+// genuine rules — every status is derivable from the final neighborhood and
+// no further transition is pending.
+TEST_P(TheoremSweep, LabelingIsJustifiedFixpoint) {
+  sweep_check(check::kFixpoint);
+}
+
+// The extraction bookkeeping holds: blocks partition the unsafe set, regions
+// partition the disabled set, parent links resolve, fault totals match.
+TEST_P(TheoremSweep, ExtractionBookkeeping) { sweep_check(check::kExtraction); }
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, TheoremSweep,

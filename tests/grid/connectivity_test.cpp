@@ -95,6 +95,36 @@ TEST(ConnectivityTest, TorusUnwrappedFrameMapsBackToMeshCells) {
   }
 }
 
+TEST(ConnectivityTest, DoubleSeamComponentUnwrapsWithConsistentShift) {
+  // A component spanning the x-seam AND the y-seam simultaneously: cells on
+  // all four sides of the corner. The unwrapped frame must be one planar
+  // translate of the component — (frame - mesh) is a single constant vector
+  // modulo the machine dimensions for every cell, and the frame itself is
+  // connected even though the mesh coordinates are split across both seams.
+  const Mesh2D m(7, 6, Topology::Torus);
+  const CellSet s{m, {{6, 5}, {0, 5}, {6, 0}, {0, 0}, {1, 0}, {6, 1}}};
+  const auto comps = connected_components(s, Connectivity::Four);
+  ASSERT_EQ(comps.size(), 1u);
+  const auto& comp = comps[0];
+  ASSERT_EQ(comp.region.size(), s.size());
+  EXPECT_TRUE(comp.region.is_connected(geom::Connectivity::Four));
+  EXPECT_FALSE(comp.region.is_rectangle());
+  const auto frame = comp.region.cells();
+  const auto cells = comp.cells();
+  const auto wrap = [](std::int32_t v, std::int32_t n) {
+    return ((v % n) + n) % n;
+  };
+  const std::int32_t dx = wrap(frame[0].x - cells[0].x, m.width());
+  const std::int32_t dy = wrap(frame[0].y - cells[0].y, m.height());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_EQ(wrap(frame[i].x - cells[i].x, m.width()), dx)
+        << "inconsistent x-shift at " << mesh::to_string(cells[i]);
+    EXPECT_EQ(wrap(frame[i].y - cells[i].y, m.height()), dy)
+        << "inconsistent y-shift at " << mesh::to_string(cells[i]);
+    EXPECT_TRUE(s.contains(cells[i]));
+  }
+}
+
 TEST(ConnectivityTest, ComponentRegionsConvenienceMatches) {
   const CellSet s{Mesh2D(8, 8), {{0, 0}, {1, 0}, {5, 5}}};
   const auto comps = connected_components(s);

@@ -3,6 +3,9 @@
 // problem does not exist in 2-D tori).
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "check/fuzzer.hpp"
 #include "core/pipeline.hpp"
 #include "fault/generators.hpp"
 #include "geometry/convexity.hpp"
@@ -65,6 +68,39 @@ TEST(TorusIntegration, NoFaultsAllSafe) {
   const auto result = labeling::run_pipeline(grid::CellSet(m));
   EXPECT_TRUE(result.blocks.empty());
   EXPECT_EQ(result.safety_stats.rounds_to_quiesce, 0);
+}
+
+TEST(TorusIntegration, DisabledRegionWrapsBothSeamsSimultaneously) {
+  // A diagonal fault chain through the machine corner: the faulty block and
+  // its disabled region straddle the x-seam AND the y-seam at once. The
+  // unwrapped 3x3 frame stays a planar rectangle while the physical cells
+  // sit on all four corners of the address space.
+  const Mesh2D m(12, 12, Topology::Torus);
+  const grid::CellSet faults{m, {{11, 11}, {0, 0}, {1, 1}}};
+  const auto result = labeling::run_pipeline(faults);
+  ASSERT_EQ(result.blocks.size(), 1u);
+  const auto& block = result.blocks[0];
+  EXPECT_EQ(block.size(), 9u);
+  EXPECT_EQ(block.fault_count, 3u);
+  EXPECT_TRUE(block.region().is_rectangle());
+  std::set<std::int32_t> xs, ys;
+  for (Coord c : block.component.cells()) {
+    xs.insert(c.x);
+    ys.insert(c.y);
+  }
+  EXPECT_EQ(xs, (std::set<std::int32_t>{0, 1, 11}));
+  EXPECT_EQ(ys, (std::set<std::int32_t>{0, 1, 11}));
+  ASSERT_EQ(result.regions.size(), 1u);
+  EXPECT_EQ(result.regions[0].fault_count, 3u);
+  EXPECT_EQ(result.regions[0].parent_block, 0u);
+  // The full verification stack (oracle, engine cross-check, metamorphic
+  // symmetries, adversarial schedules) accepts the instance under both
+  // definitions.
+  for (auto def :
+       {labeling::SafeUnsafeDef::Def2a, labeling::SafeUnsafeDef::Def2b}) {
+    const auto report = check::check_instance(faults, def, check::FuzzConfig{});
+    EXPECT_TRUE(report.ok()) << to_string(def) << "\n" << report.to_string();
+  }
 }
 
 TEST(TorusIntegration, EquatorRingOfFaultsDisablesRing) {
