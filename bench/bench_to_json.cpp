@@ -1,16 +1,29 @@
 // Compacts google-benchmark JSON output into the stable BENCH_*.json format
-// committed at the repo root.
+// committed at the repo root, and diffs fresh runs against those baselines.
 //
 // The full benchmark JSON embeds host details (CPU caches, load average,
 // timestamps) that churn on every run and machine, which would make the
 // committed baselines undiffable. This tool keeps only what the perf
 // trajectory needs: benchmark name, real/cpu time in milliseconds, and
-// throughput. Input is read from the file named by argv[1]; the compact JSON
-// goes to stdout.
+// throughput.
+//
+// Usage:
+//   bench_to_json <google-benchmark-output.json>
+//       Compact JSON to stdout.
+//   bench_to_json <google-benchmark-output.json> --compare <BENCH_x.json>
+//                 [--tolerance <frac>]
+//       Also diff against a committed compact baseline: per-benchmark
+//       real-time ratios go to stderr, and the exit status is 1 when any
+//       benchmark present in both files got slower by more than the
+//       tolerance band (default 0.30 = 30%, generous because these runs
+//       share the machine with the build). Added/removed benchmarks are
+//       reported but never fail the comparison — baselines are refreshed
+//       deliberately, not by accident.
 //
 // Parsing note: google-benchmark emits one "key": value pair per line inside
-// the "benchmarks" array, so a line-oriented scan is reliable here; this is
-// not a general JSON parser and does not try to be one.
+// the "benchmarks" array, and the compact format keeps one entry per line,
+// so a line-oriented scan is reliable for both; this is not a general JSON
+// parser and does not try to be one.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -36,12 +49,14 @@ std::optional<std::string> field(const std::string& line,
   const auto pos = line.find(needle);
   if (pos == std::string::npos) return std::nullopt;
   std::string value = line.substr(pos + needle.size());
-  // Trim whitespace, trailing comma, and surrounding quotes.
+  // Trim whitespace and a trailing comma; stop a one-line entry at the next
+  // field or closing brace.
   while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
     value.erase(value.begin());
   }
-  while (!value.empty() &&
-         (value.back() == ',' || value.back() == ' ' || value.back() == '\r')) {
+  const auto end = value.find_first_of(",}");
+  if (end != std::string::npos) value = value.substr(0, end);
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\r')) {
     value.pop_back();
   }
   if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
@@ -69,19 +84,8 @@ std::string escape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: bench_to_json <google-benchmark-output.json>\n";
-    return 2;
-  }
-  std::ifstream in(argv[1]);
-  if (!in) {
-    std::cerr << "bench_to_json: cannot open " << argv[1] << "\n";
-    return 1;
-  }
-
+/// Parses the full google-benchmark JSON (one field per line).
+std::vector<BenchEntry> parse_full(std::istream& in) {
   std::vector<BenchEntry> entries;
   BenchEntry current;
   bool in_benchmarks = false;
@@ -119,6 +123,99 @@ int main(int argc, char** argv) {
       if (!current.name.empty()) entries.push_back(current);
     }
   }
+  return entries;
+}
+
+/// Parses the compact committed format (one entry per line, ms units).
+std::vector<BenchEntry> parse_compact(std::istream& in) {
+  std::vector<BenchEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto name = field(line, "name");
+    const auto rt = field(line, "real_time_ms");
+    if (!name || !rt) continue;
+    BenchEntry e;
+    e.name = *name;
+    e.real_time = std::strtod(rt->c_str(), nullptr);
+    e.time_unit = "ms";
+    if (const auto ct = field(line, "cpu_time_ms")) {
+      e.cpu_time = std::strtod(ct->c_str(), nullptr);
+    }
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+const BenchEntry* find(const std::vector<BenchEntry>& entries,
+                       const std::string& name) {
+  for (const auto& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+/// Reports per-benchmark real-time ratios; returns the number of
+/// regressions beyond the tolerance band.
+int compare(const std::vector<BenchEntry>& fresh,
+            const std::vector<BenchEntry>& baseline, double tolerance) {
+  int regressions = 0;
+  std::cerr << "== baseline comparison (tolerance +"
+            << static_cast<int>(tolerance * 100) << "%)\n";
+  for (const auto& base : baseline) {
+    const BenchEntry* now = find(fresh, base.name);
+    if (now == nullptr) {
+      std::cerr << "  MISSING  " << base.name
+                << " (in baseline, not in this run)\n";
+      continue;
+    }
+    const double base_ms = to_ms(base.real_time, base.time_unit);
+    const double now_ms = to_ms(now->real_time, now->time_unit);
+    const double ratio = base_ms > 0 ? now_ms / base_ms : 1.0;
+    const bool regressed = ratio > 1.0 + tolerance;
+    if (regressed) ++regressions;
+    std::cerr << (regressed ? "  REGRESSED " : "  ok        ") << base.name
+              << ": " << base_ms << " ms -> " << now_ms << " ms ("
+              << (ratio >= 1.0 ? "+" : "") << (ratio - 1.0) * 100 << "%)\n";
+  }
+  for (const auto& now : fresh) {
+    if (find(baseline, now.name) == nullptr) {
+      std::cerr << "  NEW      " << now.name << ": "
+                << to_ms(now.real_time, now.time_unit) << " ms\n";
+    }
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string baseline_path;
+  double tolerance = 0.30;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--compare" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      input.clear();
+      break;
+    }
+  }
+  if (input.empty()) {
+    std::cerr << "usage: bench_to_json <google-benchmark-output.json> "
+                 "[--compare BENCH_x.json] [--tolerance frac]\n";
+    return 2;
+  }
+  std::ifstream in(input);
+  if (!in) {
+    std::cerr << "bench_to_json: cannot open " << input << "\n";
+    return 1;
+  }
+  const std::vector<BenchEntry> entries = parse_full(in);
 
   std::ostringstream out;
   out.precision(6);
@@ -135,5 +232,27 @@ int main(int argc, char** argv) {
   }
   out << "  ]\n}\n";
   std::cout << out.str();
+
+  if (!baseline_path.empty()) {
+    std::ifstream base_in(baseline_path);
+    if (!base_in) {
+      std::cerr << "bench_to_json: cannot open baseline " << baseline_path
+                << "\n";
+      return 1;
+    }
+    const std::vector<BenchEntry> baseline = parse_compact(base_in);
+    if (baseline.empty()) {
+      std::cerr << "bench_to_json: no entries in baseline " << baseline_path
+                << "\n";
+      return 1;
+    }
+    const int regressions = compare(entries, baseline, tolerance);
+    if (regressions > 0) {
+      std::cerr << regressions << " benchmark(s) regressed beyond the "
+                << "tolerance band\n";
+      return 1;
+    }
+    std::cerr << "no regressions beyond the tolerance band\n";
+  }
   return 0;
 }

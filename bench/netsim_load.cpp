@@ -2,6 +2,7 @@
 // around the labeled fault regions, under the rectangle model vs the
 // orthogonal convex polygon model, plus the turn-cycle deadlock
 // demonstration (1 virtual channel deadlocks, 2 deliver).
+#include <chrono>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -21,6 +22,8 @@ struct LoadPoint {
   std::size_t delivered;
   bool deadlocked;
   std::int64_t cycles;
+  std::int64_t flit_moves;
+  double mflit_moves_per_sec;
 };
 
 LoadPoint run_load(const mesh::Mesh2D& m, const grid::CellSet& blocked,
@@ -44,9 +47,19 @@ LoadPoint run_load(const mesh::Mesh2D& m, const grid::CellSet& blocked,
         rng.uniform_int(0, static_cast<std::int64_t>(packets))));
     ++submitted;
   }
+  const auto t0 = std::chrono::steady_clock::now();
   const auto result = sim.run();
-  return {submitted, result.latency.mean(), result.latency.max(),
-          result.delivered, result.deadlocked, result.cycles};
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return {submitted,
+          result.latency.mean(),
+          result.latency.max(),
+          result.delivered,
+          result.deadlocked,
+          result.cycles,
+          result.flit_moves,
+          sec > 0 ? static_cast<double>(result.flit_moves) / sec / 1e6 : 0.0};
 }
 
 void deadlock_demo(ocp::bench::Options& opts) {
@@ -121,7 +134,8 @@ int main(int argc, char** argv) {
   };
 
   stats::Table table({"model", "packets", "delivered", "mean latency",
-                      "max latency", "cycles", "deadlock"});
+                      "max latency", "cycles", "deadlock", "flit moves",
+                      "Mflit-moves/s"});
   const std::size_t loads[] = {32, 128, opts.quick ? 256u : 512u};
   for (const auto& model : models) {
     for (std::size_t packets : loads) {
@@ -130,7 +144,9 @@ int main(int argc, char** argv) {
                      std::to_string(p.delivered),
                      stats::format_double(p.latency_mean, 1),
                      stats::format_double(p.latency_max, 0),
-                     std::to_string(p.cycles), p.deadlocked ? "yes" : "no"});
+                     std::to_string(p.cycles), p.deadlocked ? "yes" : "no",
+                     std::to_string(p.flit_moves),
+                     stats::format_double(p.mflit_moves_per_sec, 2)});
     }
   }
   bench::emit(opts, "netsim_load", table);

@@ -5,29 +5,46 @@
 # see the perf trajectory.
 #
 # Usage:
-#   bench/run_bench.sh                  # both suites, default settings
+#   bench/run_bench.sh                  # both suites, refresh both baselines
 #   bench/run_bench.sh --check          # correctness gate: seeded check_fuzz
 #                                       # smoke before timing anything
+#   bench/run_bench.sh --netsim         # netsim suite only, compared against
+#                                       # the committed BENCH_netsim.json with
+#                                       # a tolerance band; nonzero exit on
+#                                       # regression; baseline NOT rewritten
 #   BUILD_DIR=out bench/run_bench.sh    # non-default build tree
 #   BENCH_MIN_TIME=0.5 bench/run_bench.sh   # steadier timings (slower)
 #   BENCH_FILTER=Dense bench/run_bench.sh   # subset of benchmarks
+#   BENCH_TOLERANCE=0.5 bench/run_bench.sh --netsim   # wider band
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
-MIN_TIME="${BENCH_MIN_TIME:-0.1}"
 FILTER="${BENCH_FILTER:-}"
+# Generous default band: these runs share one core with whatever else the
+# machine is doing, and short timings swing 30-50% run to run.
+TOLERANCE="${BENCH_TOLERANCE:-0.50}"
 CHECK=0
+NETSIM_ONLY=0
 
 for arg in "$@"; do
   case "$arg" in
     --check) CHECK=1 ;;
+    --netsim) NETSIM_ONLY=1 ;;
     *)
-      echo "error: unknown argument '$arg' (supported: --check)" >&2
+      echo "error: unknown argument '$arg' (supported: --check --netsim)" >&2
       exit 2
       ;;
   esac
 done
+
+# Comparison runs default to longer timings: a regression verdict from a
+# 0.1-second sample is mostly noise.
+if [ "$NETSIM_ONLY" = 1 ]; then
+  MIN_TIME="${BENCH_MIN_TIME:-0.3}"
+else
+  MIN_TIME="${BENCH_MIN_TIME:-0.1}"
+fi
 
 for bin in perf_labeling perf_netsim bench_to_json; do
   if [ ! -x "$BUILD/bench/$bin" ]; then
@@ -37,17 +54,25 @@ for bin in perf_labeling perf_netsim bench_to_json; do
   fi
 done
 
+# Runs one suite; compacts to $3 when given, else compares the fresh run
+# against the committed baseline $4 (exit 1 past the tolerance band).
 run_suite() {
-  local bin="$1" out="$2"
+  local bin="$1" mode="$2" target="$3"
   local full="$BUILD/bench/$bin.full.json"
-  echo "== $bin -> $out"
   "$BUILD/bench/$bin" \
     --benchmark_out="$full" \
     --benchmark_out_format=json \
     --benchmark_min_time="$MIN_TIME" \
     ${FILTER:+--benchmark_filter="$FILTER"} \
     >&2
-  "$BUILD/bench/bench_to_json" "$full" > "$ROOT/$out"
+  if [ "$mode" = write ]; then
+    echo "== $bin -> $target"
+    "$BUILD/bench/bench_to_json" "$full" > "$target"
+  else
+    echo "== $bin vs $target (tolerance +$TOLERANCE)"
+    "$BUILD/bench/bench_to_json" "$full" \
+      --compare "$target" --tolerance "$TOLERANCE" > "$full.compact"
+  fi
 }
 
 # --check: vet the labeling engine against the invariant oracle before
@@ -64,7 +89,14 @@ if [ "$CHECK" = 1 ]; then
     --trace-dir "$BUILD/bench" >&2
 fi
 
-run_suite perf_labeling BENCH_labeling.json
-run_suite perf_netsim BENCH_netsim.json
+if [ "$NETSIM_ONLY" = 1 ]; then
+  run_suite perf_netsim compare "$ROOT/BENCH_netsim.json"
+  echo "netsim within tolerance of the committed baseline"
+  echo "(fresh compact numbers: $BUILD/bench/perf_netsim.full.json.compact)"
+  exit 0
+fi
+
+run_suite perf_labeling write "$ROOT/BENCH_labeling.json"
+run_suite perf_netsim write "$ROOT/BENCH_netsim.json"
 
 echo "wrote $ROOT/BENCH_labeling.json and $ROOT/BENCH_netsim.json"

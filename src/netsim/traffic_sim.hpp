@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "netsim/wormhole.hpp"
+#include "routing/route_cache.hpp"
 #include "routing/router.hpp"
 #include "stats/histogram.hpp"
 #include "stats/rng.hpp"
@@ -36,6 +37,9 @@ struct TrafficSimConfig {
   std::int32_t vc_buffer_flits = 2;
   std::int64_t deadlock_threshold = 1024;
   std::uint64_t seed = 1;
+  /// Wormhole execution kernel (see netsim/wormhole.hpp); both produce
+  /// bit-identical results.
+  SimKernel kernel = SimKernel::Event;
 };
 
 struct TrafficSimResult {
@@ -46,11 +50,17 @@ struct TrafficSimResult {
   std::size_t unroutable_packets = 0;
   bool deadlocked = false;
   std::int64_t cycles = 0;
+  /// Individual flit movements executed by the simulator.
+  std::int64_t flit_moves = 0;
   /// Latency (inject -> tail absorbed) of delivered worms.
   stats::Summary latency;
   /// Latency distribution (cycles, 64 buckets up to 4096) for percentile
   /// queries — the saturation tail a mean hides.
   stats::Histogram latency_hist{0.0, 4096.0, 64};
+  /// Delivered worms whose latency was at or above the histogram range;
+  /// when nonzero, upper percentiles of `latency_hist` are lower bounds,
+  /// not estimates (the samples are clamped into the last bucket).
+  std::uint64_t latency_overflow = 0;
   /// Accepted throughput in flits per node per cycle over the whole run.
   double accepted_flits_per_node_cycle = 0.0;
 };
@@ -62,5 +72,15 @@ struct TrafficSimResult {
                                                const grid::CellSet& blocked,
                                                const routing::Router& router,
                                                const TrafficSimConfig& config);
+
+/// Same, but takes routes from `routes` (a memoizing wrapper over the
+/// intended router and the same machine) so repeated (src, dst) pairs —
+/// steady-state injection, or many trials over one machine — cost a table
+/// lookup instead of a router traversal. Results are identical to the
+/// uncached overload.
+[[nodiscard]] TrafficSimResult run_traffic_sim(const mesh::Mesh2D& machine,
+                                               const grid::CellSet& blocked,
+                                               const TrafficSimConfig& config,
+                                               routing::RouteCache& routes);
 
 }  // namespace ocp::netsim

@@ -15,9 +15,22 @@
 //  * if no flit moves for `deadlock_threshold` consecutive cycles while
 //    worms are in flight, the run reports deadlock and the stuck worms.
 //
+// Two execution kernels share this semantics (see DESIGN.md §8):
+//
+//  * `SimKernel::Sweep` — the reference: every worm is stepped on every
+//    cycle, in submission order. Trivially correct, O(worms) per cycle even
+//    when almost nothing can move.
+//  * `SimKernel::Event` (default) — an event-driven worklist: only worms
+//    that can change state are stepped; a worm blocked on a busy virtual
+//    channel is parked on that channel's wake list and re-activated when
+//    the owning worm releases it, and the clock jumps over quiescent gaps
+//    between injections. Produces a bit-identical `SimResult`.
+//
 // Tests drive the classic scenarios: dimension-order traffic never
 // deadlocks on one virtual channel; a turn cycle of four long worms
-// deadlocks on one virtual channel and is broken by assigning a second one.
+// deadlocks on one virtual channel and is broken by assigning a second one;
+// `tests/netsim/kernel_equivalence_test.cpp` asserts kernel equivalence on
+// seeded random batches.
 #pragma once
 
 #include <cstdint>
@@ -56,10 +69,20 @@ struct PacketSpec {
 /// on VC 0, east-to-west on VC 1, column-only northbound on VC 2 and
 /// southbound on VC 3 (requires num_vcs >= 4). Packets of different classes
 /// can never wait on each other, which removes the cross-class cycles the
-/// naive scheme allows.
+/// naive scheme allows. On a torus the class is still the *planar* address
+/// comparison, so a wrap-crossing message is classed opposite to its travel
+/// direction — which acts as a dateline on single-row/column wrap rings
+/// (exercised in tests/netsim/kernel_equivalence_test.cpp).
 [[nodiscard]] PacketSpec make_packet_class_based(const routing::Route& route,
                                                  std::int32_t length_flits,
                                                  std::int64_t inject_cycle);
+
+/// Which execution kernel `WormholeSim::run` uses. Both produce bit-identical
+/// `SimResult`s; Sweep is the slow, obviously-correct reference.
+enum class SimKernel : std::uint8_t {
+  Event = 0,
+  Sweep = 1,
+};
 
 struct SimConfig {
   std::uint8_t num_vcs = 1;
@@ -69,6 +92,7 @@ struct SimConfig {
   std::int64_t max_cycles = 1 << 20;
   /// Cycles without any flit movement that count as deadlock.
   std::int64_t deadlock_threshold = 256;
+  SimKernel kernel = SimKernel::Event;
 };
 
 struct PacketOutcome {
@@ -88,6 +112,9 @@ struct SimResult {
   std::int64_t cycles = 0;
   std::size_t delivered = 0;
   std::size_t stuck = 0;
+  /// Individual flit movements executed (injections + channel hops +
+  /// ejections) — the natural work unit for throughput reporting.
+  std::int64_t flit_moves = 0;
   /// Latency (inject -> tail absorbed) of delivered worms.
   stats::Summary latency;
   /// Per-packet outcomes, in submission order.
@@ -112,37 +139,51 @@ class WormholeSim {
   [[nodiscard]] SimResult run();
 
  private:
+  /// Per-worm scalar state. Hop data (channel ids and per-channel flit
+  /// occupancy) lives in the shared `channels_` / `occupancy_` arenas at
+  /// [first_hop, first_hop + hops) — no per-worm heap allocations.
   struct Worm {
-    PacketSpec spec;
-    /// Channel ids of the source route, one per hop.
-    std::vector<std::size_t> channels;
-    /// Worm extent: hops [tail_hop, head_hop) are currently owned.
-    std::size_t tail_hop = 0;
-    std::size_t head_hop = 0;
-    /// Flits resident in each owned hop channel (parallel to hop index).
-    std::vector<std::int32_t> occupancy;
+    std::uint32_t first_hop = 0;
+    std::uint32_t hops = 0;
+    /// Worm extent: hops [tail_hop, head_hop) are currently owned
+    /// (indices relative to first_hop).
+    std::uint32_t tail_hop = 0;
+    std::uint32_t head_hop = 0;
     /// Flits not yet injected at the source.
     std::int32_t flits_at_source = 0;
     /// Flits already absorbed at the destination.
     std::int32_t flits_absorbed = 0;
+    std::int32_t length_flits = 0;
+    std::int64_t inject_cycle = 0;
     bool done = false;
-
-    [[nodiscard]] bool in_flight(std::int64_t now) const noexcept {
-      return !done && now >= spec.inject_cycle;
-    }
   };
 
   [[nodiscard]] std::size_t channel_id(mesh::Coord from, mesh::Dir dir,
                                        std::uint8_t vc) const noexcept;
   /// Advances one worm by at most one flit per channel; returns true if
-  /// anything moved.
-  bool step_worm(Worm& worm, std::int64_t now);
+  /// anything moved. `on_release(channel)` fires for every virtual channel
+  /// the worm's tail releases this cycle (the event kernel's wake hook; the
+  /// sweep kernel passes a no-op).
+  template <typename OnRelease>
+  bool step_worm(std::size_t wi, OnRelease&& on_release);
+
+  [[nodiscard]] SimResult run_sweep();
+  [[nodiscard]] SimResult run_event();
 
   mesh::Mesh2D mesh_;
   SimConfig config_;
   std::vector<Worm> worms_;
+  /// Hop arenas shared by all worms (SoA; indexed by Worm::first_hop).
+  std::vector<std::uint32_t> channels_;
+  std::vector<std::int32_t> occupancy_;
   /// Owner worm index per channel, -1 when free.
   std::vector<std::int32_t> owner_;
+  /// Duplicate-channel detection scratch for submit(): channel -> epoch of
+  /// the last submit that touched it (avoids a per-submit hash set).
+  std::vector<std::uint32_t> submit_mark_;
+  std::uint32_t submit_epoch_ = 0;
+  /// Flit movements executed by step_worm during the current run().
+  std::int64_t flit_moves_ = 0;
 };
 
 }  // namespace ocp::netsim

@@ -1,0 +1,38 @@
+#include "routing/route_cache.hpp"
+
+#include <mutex>
+
+namespace ocp::routing {
+
+namespace {
+
+std::uint64_t pair_key(const mesh::Mesh2D& m, mesh::Coord src,
+                       mesh::Coord dst) {
+  return static_cast<std::uint64_t>(m.index(src)) *
+             static_cast<std::uint64_t>(m.node_count()) +
+         static_cast<std::uint64_t>(m.index(dst));
+}
+
+}  // namespace
+
+const Route& RouteCache::lookup(mesh::Coord src, mesh::Coord dst) const {
+  const std::uint64_t key = pair_key(mesh_, src, dst);
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = routes_.find(key); it != routes_.end()) {
+      return it->second;
+    }
+  }
+  // Route outside any lock (wall-following can be slow); insertion races
+  // are benign because both threads computed the identical route.
+  Route route = router_->route(src, dst);
+  std::unique_lock lock(mutex_);
+  return routes_.try_emplace(key, std::move(route)).first->second;
+}
+
+std::size_t RouteCache::size() const {
+  std::shared_lock lock(mutex_);
+  return routes_.size();
+}
+
+}  // namespace ocp::routing

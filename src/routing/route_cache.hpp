@@ -1,0 +1,45 @@
+// Lazy per-(src, dst) route memoization.
+//
+// The routers are pure functions of (src, dst) for a fixed machine and
+// blocked set, so steady-state traffic generation — which keeps asking for
+// routes between the same usable endpoints — can be a table lookup instead
+// of a fresh wall-following traversal per packet. The cache fills lazily:
+// only pairs that are actually requested are ever routed, which keeps the
+// footprint proportional to observed traffic rather than node_count².
+//
+// Thread-safe: the parallel load-sweep driver (netsim/load_sweep) shares one
+// cache across all (load, seed) trials of a sweep, since every trial sees
+// the same machine, blocked set and router. Determinism is unaffected —
+// routing is deterministic, so the cached route equals the recomputed one
+// regardless of which trial populated the entry first.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "routing/router.hpp"
+
+namespace ocp::routing {
+
+class RouteCache {
+ public:
+  RouteCache(const Router& router, const mesh::Mesh2D& machine)
+      : router_(&router), mesh_(machine) {}
+
+  /// The route src -> dst, computed on first request and remembered. The
+  /// returned reference stays valid for the cache's lifetime (node-based
+  /// map; entries are never erased).
+  [[nodiscard]] const Route& lookup(mesh::Coord src, mesh::Coord dst) const;
+
+  /// Number of distinct (src, dst) pairs routed so far.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  const Router* router_;  // non-owning
+  mesh::Mesh2D mesh_;
+  mutable std::shared_mutex mutex_;
+  mutable std::unordered_map<std::uint64_t, Route> routes_;
+};
+
+}  // namespace ocp::routing

@@ -14,6 +14,8 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
+  if (x >= hi_) ++overflow_;
+  else if (x < lo_) ++underflow_;
   const auto raw = static_cast<std::int64_t>((x - lo_) / width_);
   const auto clamped = std::clamp<std::int64_t>(
       raw, 0, static_cast<std::int64_t>(counts_.size()) - 1);
@@ -46,6 +48,8 @@ void Histogram::merge(const Histogram& other) {
     counts_[i] += other.counts_[i];
   }
   total_ += other.total_;
+  overflow_ += other.overflow_;
+  underflow_ += other.underflow_;
 }
 
 std::string Histogram::sparkline() const {

@@ -11,7 +11,10 @@ namespace ocp::stats {
 
 /// Counts samples into `bins` equal-width buckets over [lo, hi); samples
 /// outside the range land in the first/last bucket (clamped). Percentiles
-/// are answered from the counts with linear interpolation inside a bucket.
+/// are answered from the counts with linear interpolation inside a bucket —
+/// so once samples overflow the range, upper percentiles are capped at `hi`
+/// and silently wrong. `overflow()` reports how many samples landed at or
+/// above `hi` so consumers can detect (and widen past) that distortion.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -19,6 +22,11 @@ class Histogram {
   void add(double x) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  /// Samples >= hi; they are clamped into the last bucket but make any
+  /// percentile that lands there a lower bound rather than an estimate.
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  /// Samples < lo (clamped into the first bucket).
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
   [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
   [[nodiscard]] std::size_t bin_count() const noexcept {
     return counts_.size();
@@ -51,6 +59,8 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t underflow_ = 0;
 };
 
 }  // namespace ocp::stats

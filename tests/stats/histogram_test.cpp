@@ -34,6 +34,35 @@ TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
   EXPECT_EQ(h.bin(4), 1u);
 }
 
+TEST(HistogramTest, TracksOverflowAndUnderflowExplicitly) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  h.add(5.0);     // in range
+  h.add(10.0);    // hi is exclusive: counts as overflow
+  h.add(1e9);     // overflow
+  h.add(-0.001);  // underflow
+  h.add(0.0);     // lo is inclusive: in range
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  // Clamped binning is unchanged: out-of-range samples still land in the
+  // edge buckets and keep contributing to percentiles.
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(4), 2u);
+}
+
+TEST(HistogramTest, MergeAddsOverflowCounts) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(50.0);
+  b.add(50.0);
+  b.add(-1.0);
+  a.merge(b);
+  EXPECT_EQ(a.overflow(), 2u);
+  EXPECT_EQ(a.underflow(), 1u);
+}
+
 TEST(HistogramTest, EmptyPercentileIsZero) {
   const Histogram h(0.0, 1.0, 4);
   EXPECT_EQ(h.percentile(0.5), 0.0);
