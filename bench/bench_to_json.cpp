@@ -11,14 +11,17 @@
 //   bench_to_json <google-benchmark-output.json>
 //       Compact JSON to stdout.
 //   bench_to_json <google-benchmark-output.json> --compare <BENCH_x.json>
-//                 [--tolerance <frac>]
+//                 [--tolerance <frac>] [--allow-new]
 //       Also diff against a committed compact baseline: per-benchmark
 //       real-time ratios go to stderr, and the exit status is 1 when any
 //       benchmark present in both files got slower by more than the
 //       tolerance band (default 0.30 = 30%, generous because these runs
-//       share the machine with the build). Added/removed benchmarks are
-//       reported but never fail the comparison — baselines are refreshed
-//       deliberately, not by accident.
+//       share the machine with the build). A benchmark present in the run
+//       but absent from the baseline is an error unless --allow-new is
+//       given — an unknown key usually means the baseline was not
+//       refreshed after adding a benchmark, and silently skipping it would
+//       let the new code ship ungated. Benchmarks missing from the run are
+//       only reported: BENCH_FILTER subsets legitimately produce them.
 //
 // Parsing note: google-benchmark emits one "key": value pair per line inside
 // the "benchmarks" array, and the compact format keeps one entry per line,
@@ -154,11 +157,13 @@ const BenchEntry* find(const std::vector<BenchEntry>& entries,
   return nullptr;
 }
 
-/// Reports per-benchmark real-time ratios; returns the number of
-/// regressions beyond the tolerance band.
+/// Reports per-benchmark real-time ratios; returns the number of failures
+/// (regressions beyond the tolerance band, plus — unless `allow_new` —
+/// benchmarks the baseline has no entry for).
 int compare(const std::vector<BenchEntry>& fresh,
-            const std::vector<BenchEntry>& baseline, double tolerance) {
-  int regressions = 0;
+            const std::vector<BenchEntry>& baseline, double tolerance,
+            bool allow_new) {
+  int failures = 0;
   std::cerr << "== baseline comparison (tolerance +"
             << static_cast<int>(tolerance * 100) << "%)\n";
   for (const auto& base : baseline) {
@@ -172,18 +177,23 @@ int compare(const std::vector<BenchEntry>& fresh,
     const double now_ms = to_ms(now->real_time, now->time_unit);
     const double ratio = base_ms > 0 ? now_ms / base_ms : 1.0;
     const bool regressed = ratio > 1.0 + tolerance;
-    if (regressed) ++regressions;
+    if (regressed) ++failures;
     std::cerr << (regressed ? "  REGRESSED " : "  ok        ") << base.name
               << ": " << base_ms << " ms -> " << now_ms << " ms ("
               << (ratio >= 1.0 ? "+" : "") << (ratio - 1.0) * 100 << "%)\n";
   }
   for (const auto& now : fresh) {
     if (find(baseline, now.name) == nullptr) {
-      std::cerr << "  NEW      " << now.name << ": "
-                << to_ms(now.real_time, now.time_unit) << " ms\n";
+      if (!allow_new) ++failures;
+      std::cerr << (allow_new ? "  NEW      " : "  UNKNOWN  ") << now.name
+                << ": " << to_ms(now.real_time, now.time_unit) << " ms"
+                << (allow_new
+                        ? "\n"
+                        : " (not in baseline; refresh it or pass "
+                          "--allow-new)\n");
     }
   }
-  return regressions;
+  return failures;
 }
 
 }  // namespace
@@ -192,12 +202,15 @@ int main(int argc, char** argv) {
   std::string input;
   std::string baseline_path;
   double tolerance = 0.30;
+  bool allow_new = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--compare" && i + 1 < argc) {
       baseline_path = argv[++i];
     } else if (arg == "--tolerance" && i + 1 < argc) {
       tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--allow-new") {
+      allow_new = true;
     } else if (input.empty()) {
       input = arg;
     } else {
@@ -207,7 +220,7 @@ int main(int argc, char** argv) {
   }
   if (input.empty()) {
     std::cerr << "usage: bench_to_json <google-benchmark-output.json> "
-                 "[--compare BENCH_x.json] [--tolerance frac]\n";
+                 "[--compare BENCH_x.json] [--tolerance frac] [--allow-new]\n";
     return 2;
   }
   std::ifstream in(input);
@@ -246,10 +259,10 @@ int main(int argc, char** argv) {
                 << "\n";
       return 1;
     }
-    const int regressions = compare(entries, baseline, tolerance);
-    if (regressions > 0) {
-      std::cerr << regressions << " benchmark(s) regressed beyond the "
-                << "tolerance band\n";
+    const int failures = compare(entries, baseline, tolerance, allow_new);
+    if (failures > 0) {
+      std::cerr << failures << " benchmark(s) regressed beyond the "
+                << "tolerance band or missing from the baseline\n";
       return 1;
     }
     std::cerr << "no regressions beyond the tolerance band\n";

@@ -1,0 +1,60 @@
+// Summarizes an ocpmesh-trace-v1 JSON-lines trace (obs::TraceSink's
+// write_jsonl output) into per-span / per-instant / counter tables.
+//
+// Usage:
+//   obs_report trace.jsonl
+//   obs_trace --out-dir . && obs_report trace.jsonl
+//   cat trace.jsonl | obs_report
+//
+// Exit status: 0 when the trace contained at least one recognizable line,
+// 1 on an unreadable file or a trace with nothing to summarize (so scripts
+// piping a trace through this tool notice an empty or garbage capture).
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/report.hpp"
+
+int main(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: obs_report [trace.jsonl]  (stdin when omitted)\n";
+      return 0;
+    }
+    if (!path.empty()) {
+      std::cerr << "obs_report: expected at most one trace file\n";
+      return 2;
+    }
+    path = arg;
+  }
+
+  ocp::obs::TraceReport report;
+  if (path.empty()) {
+    report = ocp::obs::summarize_jsonl(std::cin);
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "obs_report: cannot open " << path << "\n";
+      return 1;
+    }
+    report = ocp::obs::summarize_jsonl(in);
+  }
+
+  if (report.spans.empty() && report.instants.empty() &&
+      report.counters.empty()) {
+    std::cerr << "obs_report: no trace events found"
+              << (report.malformed_lines > 0
+                      ? " (input does not look like ocpmesh-trace-v1)"
+                      : " (empty trace)")
+              << "\n";
+    return 1;
+  }
+  if (!report.schema.empty() && report.schema != "ocpmesh-trace-v1") {
+    std::cerr << "obs_report: warning: unknown schema '" << report.schema
+              << "', parsing as ocpmesh-trace-v1\n";
+  }
+  ocp::obs::print_report(report, std::cout);
+  return 0;
+}

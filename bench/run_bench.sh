@@ -7,11 +7,17 @@
 # Usage:
 #   bench/run_bench.sh                  # both suites, refresh both baselines
 #   bench/run_bench.sh --check          # correctness gate: seeded check_fuzz
-#                                       # smoke before timing anything
+#                                       # smoke + traced-run smoke before
+#                                       # timing anything
 #   bench/run_bench.sh --netsim         # netsim suite only, compared against
 #                                       # the committed BENCH_netsim.json with
 #                                       # a tolerance band; nonzero exit on
 #                                       # regression; baseline NOT rewritten
+#   bench/run_bench.sh --trace          # traced pipeline + netsim demo run:
+#                                       # writes trace.jsonl / trace_chrome
+#                                       # .json under $BUILD/bench/trace and
+#                                       # prints the obs_report summary; no
+#                                       # baselines touched
 #   BUILD_DIR=out bench/run_bench.sh    # non-default build tree
 #   BENCH_MIN_TIME=0.5 bench/run_bench.sh   # steadier timings (slower)
 #   BENCH_FILTER=Dense bench/run_bench.sh   # subset of benchmarks
@@ -26,17 +32,43 @@ FILTER="${BENCH_FILTER:-}"
 TOLERANCE="${BENCH_TOLERANCE:-0.50}"
 CHECK=0
 NETSIM_ONLY=0
+TRACE=0
 
 for arg in "$@"; do
   case "$arg" in
     --check) CHECK=1 ;;
     --netsim) NETSIM_ONLY=1 ;;
+    --trace) TRACE=1 ;;
     *)
-      echo "error: unknown argument '$arg' (supported: --check --netsim)" >&2
+      echo "error: unknown argument '$arg'" >&2
+      echo "supported: --check --netsim --trace" >&2
       exit 2
       ;;
   esac
 done
+
+# Runs the traced demo (pipeline + netsim at TraceLevel::Round) and
+# summarizes the capture — the smoke that keeps the instrumentation, the
+# exporters and the report parser agreeing with each other.
+run_trace() {
+  for bin in obs_trace obs_report; do
+    if [ ! -x "$BUILD/bench/$bin" ]; then
+      echo "error: $BUILD/bench/$bin not built." >&2
+      exit 1
+    fi
+  done
+  local out="$BUILD/bench/trace"
+  echo "== obs_trace -> $out"
+  "$BUILD/bench/obs_trace" --out-dir "$out" > /dev/null
+  "$BUILD/bench/obs_report" "$out/trace.jsonl"
+  echo "trace artifacts: $out/trace.jsonl, $out/trace_chrome.json"
+  echo "(load trace_chrome.json in chrome://tracing or ui.perfetto.dev)"
+}
+
+if [ "$TRACE" = 1 ]; then
+  run_trace
+  exit 0
+fi
 
 # Comparison runs default to longer timings: a regression verdict from a
 # 0.1-second sample is mostly noise.
@@ -87,6 +119,9 @@ if [ "$CHECK" = 1 ]; then
   echo "== check_fuzz (seeded invariant smoke)"
   "$BUILD/bench/check_fuzz" --seed 1 --instances 200 --max-size 16 \
     --trace-dir "$BUILD/bench" >&2
+  # Traced-run smoke: the observability layer must keep producing parseable
+  # traces before perf numbers recorded around it are trusted.
+  run_trace >&2
 fi
 
 if [ "$NETSIM_ONLY" = 1 ]; then

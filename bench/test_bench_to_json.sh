@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Fixture test for bench_to_json's --compare gate:
+#   1. matching run vs baseline           -> exit 0
+#   2. regression beyond the tolerance    -> exit 1
+#   3. benchmark unknown to the baseline  -> exit 1 (the bug this guards:
+#      a new benchmark must not slip past the gate just because the
+#      committed baseline predates it)
+#   4. same, with --allow-new             -> exit 0
+#   5. baseline-only benchmark (filtered run) -> exit 0, reported only
+#
+# Usage: test_bench_to_json.sh <path-to-bench_to_json>
+set -u
+
+BIN="${1:?usage: test_bench_to_json.sh <bench_to_json>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+# Minimal google-benchmark-shaped output (one field per line, as the real
+# tool emits) with two benchmarks.
+make_full() {
+  local file="$1" bm1_ns="$2" bm2_ns="$3"
+  cat > "$file" <<EOF
+{
+  "context": {},
+  "benchmarks": [
+    {
+      "name": "BM_One/16",
+      "real_time": $bm1_ns,
+      "cpu_time": $bm1_ns,
+      "time_unit": "ns"
+    },
+    {
+      "name": "BM_Two/32",
+      "real_time": $bm2_ns,
+      "cpu_time": $bm2_ns,
+      "time_unit": "ns"
+    }
+  ]
+}
+EOF
+}
+
+expect() {
+  local label="$1" want="$2"
+  shift 2
+  "$@" > /dev/null 2> "$TMP/stderr.log"
+  local got=$?
+  if [ "$got" != "$want" ]; then
+    echo "FAIL $label: exit $got, expected $want" >&2
+    sed 's/^/    /' "$TMP/stderr.log" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok   $label"
+  fi
+}
+
+make_full "$TMP/run.json" 2000000 3000000
+"$BIN" "$TMP/run.json" > "$TMP/baseline.json" || {
+  echo "FAIL: could not write fixture baseline" >&2
+  exit 1
+}
+
+# 1. Identical run passes.
+expect "matching run" 0 \
+  "$BIN" "$TMP/run.json" --compare "$TMP/baseline.json"
+
+# 2. A 3x slowdown on BM_One fails under the default 30% band.
+make_full "$TMP/slow.json" 6000000 3000000
+expect "regression" 1 \
+  "$BIN" "$TMP/slow.json" --compare "$TMP/baseline.json"
+
+# 3. A benchmark the baseline has never seen fails by default...
+grep -v "BM_Two" "$TMP/baseline.json" > "$TMP/baseline_one.json"
+expect "unknown benchmark" 1 \
+  "$BIN" "$TMP/run.json" --compare "$TMP/baseline_one.json"
+if ! grep -q "UNKNOWN" "$TMP/stderr.log"; then
+  echo "FAIL unknown benchmark: no UNKNOWN line on stderr" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+# 4. ...and passes when explicitly allowed.
+expect "unknown benchmark --allow-new" 0 \
+  "$BIN" "$TMP/run.json" --compare "$TMP/baseline_one.json" --allow-new
+
+# 5. A filtered run (baseline entry missing from the run) only reports.
+make_full "$TMP/full2.json" 2000000 3000000
+grep -v "BM_Two" "$TMP/full2.json" > "$TMP/filtered_raw.json"
+# grep leaves a trailing comma on the BM_One entry; the parser tolerates it.
+expect "baseline-only benchmark" 0 \
+  "$BIN" "$TMP/filtered_raw.json" --compare "$TMP/baseline.json"
+
+if [ "$FAILURES" != 0 ]; then
+  echo "$FAILURES case(s) failed" >&2
+  exit 1
+fi
+echo "all bench_to_json compare cases passed"

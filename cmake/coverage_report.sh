@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Aggregates a line-coverage summary from an OCP_COVERAGE build tree.
+# Aggregates a line-coverage summary from an OCP_COVERAGE build tree and
+# enforces the coverage ratchet: the TOTAL line-coverage percentage must not
+# fall below the baseline committed in cmake/coverage_baseline.txt.
 #
 # Usage: coverage_report.sh <gcc|clang> <build-dir> <source-dir>
 #
@@ -7,6 +9,10 @@
 # prints a per-file table for first-party sources; clang mode merges the
 # .profraw files the `coverage` target produced and delegates to
 # `llvm-cov report`. Either way the summary lands in <build-dir>/coverage/.
+#
+# The ratchet only moves up: when a PR raises coverage, bump the baseline in
+# the same commit. OCP_COVERAGE_BASELINE=<pct> overrides the committed value
+# (e.g. 0 to inspect a partial tree without failing).
 set -euo pipefail
 
 mode=$1
@@ -14,6 +20,21 @@ build=$2
 src=$3
 out="$build/coverage"
 mkdir -p "$out"
+
+baseline_file="$src/cmake/coverage_baseline.txt"
+baseline="${OCP_COVERAGE_BASELINE:-$(cat "$baseline_file" 2>/dev/null || echo 0)}"
+
+# ratchet <total-pct>: exit 1 when the measured total is below the baseline.
+ratchet() {
+  awk -v got="$1" -v want="$baseline" 'BEGIN {
+    if (got + 1e-9 < want) {
+      printf "coverage ratchet: TOTAL %.1f%% fell below the committed " \
+             "baseline %.1f%% (cmake/coverage_baseline.txt)\n", got, want
+      exit 1
+    }
+    printf "coverage ratchet: TOTAL %.1f%% >= baseline %.1f%%\n", got, want
+  }'
+}
 
 if [ "$mode" = clang ]; then
   llvm-profdata merge -sparse "$out"/*.profraw -o "$out/merged.profdata"
@@ -25,6 +46,19 @@ if [ "$mode" = clang ]; then
   # shellcheck disable=SC2086
   llvm-cov report --instr-profile "$out/merged.profdata" $objects \
     "$src/src" | tee "$out/summary.txt"
+  # llvm-cov's TOTAL row reports region, function, line (and, when branch
+  # counting is on, branch) coverage; line coverage is the third percentage.
+  total=$(awk '/^TOTAL/ {
+    n = 0
+    for (i = 1; i <= NF; ++i) {
+      if ($i ~ /%$/) { ++n; if (n == 3) { gsub(/%/, "", $i); print $i } }
+    }
+  }' "$out/summary.txt")
+  if [ -z "$total" ]; then
+    echo "coverage ratchet: no TOTAL line in llvm-cov output" >&2
+    exit 1
+  fi
+  ratchet "$total"
   exit 0
 fi
 
@@ -56,4 +90,11 @@ find "$build" -name '*.gcda' -print0 |
         print "No coverage data found - run ctest in the coverage tree first."
       }
     }
-  '
+  ' | tee "$out/report.txt"
+
+total=$(awk '/^TOTAL / { gsub(/%/, "", $2); print $2 }' "$out/report.txt")
+if [ -z "$total" ]; then
+  echo "coverage ratchet: no coverage data to compare against the baseline" >&2
+  exit 1
+fi
+ratchet "$total"

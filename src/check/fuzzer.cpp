@@ -119,12 +119,15 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
   FuzzReport fuzz;
   if (topologies.empty() || defs.empty()) return fuzz;
 
+  const obs::Span run_span(config.trace, "fuzz.run");
   stats::Rng master(config.seed);
   for (std::size_t k = 0; k < config.instances; ++k) {
     if (out_of_time()) {
       fuzz.timed_out = true;
       break;
     }
+    const obs::Span instance_span(config.trace, "fuzz.instance",
+                                  config.trace.rounds());
     const std::uint64_t instance_seed = master.fork_seed();
     stats::Rng rng(instance_seed);
 
@@ -144,9 +147,11 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
 
     ViolationReport report = check_instance(faults, def, config);
     ++fuzz.instances_run;
+    config.trace.counter("fuzz.instances", 1);
     if (report.ok()) continue;
 
     ++fuzz.failure_count;
+    config.trace.counter("fuzz.failures", 1);
     if (fuzz.failures.size() >= config.max_failures) continue;
 
     FuzzFailure failure;
@@ -169,6 +174,8 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
           });
       failure.shrunk_trace = shrunk.trace;
       failure.shrink_evaluations = shrunk.evaluations;
+      config.trace.counter("fuzz.shrink_steps",
+                           static_cast<std::int64_t>(shrunk.evaluations));
       failure.shrunk_report = check_instance(shrunk.faults, def, config);
     }
     fuzz.failures.push_back(std::move(failure));

@@ -17,6 +17,7 @@
 
 #include "check/oracle.hpp"
 #include "grid/cell_set.hpp"
+#include "obs/trace.hpp"
 
 namespace ocp::check {
 
@@ -47,6 +48,10 @@ struct FuzzConfig {
   RoundBound round_bound = RoundBound::ProgressOnly;
   /// At most this many failures are recorded (the run keeps counting).
   std::size_t max_failures = 8;
+  /// Observability (src/obs): the run is a "fuzz.run" span with instance /
+  /// failure / shrink-step counters; at TraceLevel::Round each instance is
+  /// additionally a "fuzz.instance" span. Disabled by default.
+  obs::TraceConfig trace;
 };
 
 /// One failing instance, shrunk and ready to replay.

@@ -10,6 +10,7 @@
 #include "core/safety_protocol.hpp"
 #include "grid/cell_set.hpp"
 #include "grid/node_grid.hpp"
+#include "obs/trace.hpp"
 #include "simkernel/protocol.hpp"
 
 namespace ocp::labeling {
@@ -32,6 +33,12 @@ struct PipelineOptions {
   /// Results, round counts and message counts are identical for any thread
   /// count; this only changes wall-clock time.
   bool parallel = false;
+  /// Observability (src/obs): disabled by default (null sink). When set,
+  /// the run emits per-phase spans ("pipeline.safety"/"pipeline.activation"/
+  /// "pipeline.extract"), flip/message/frontier counters, and — at
+  /// TraceLevel::Round — per-round spans and frontier/changes instants from
+  /// the sync runner. Never affects results.
+  obs::TraceConfig trace;
 };
 
 /// Everything the two phases produce.

@@ -19,11 +19,13 @@ TrafficSimResult run_traffic_sim_impl(const mesh::Mesh2D& machine,
     throw std::invalid_argument(
         "MessageClass vc scheme needs at least 4 virtual channels");
   }
+  const obs::Span run_span(config.trace, "traffic_sim.run");
   stats::Rng rng(config.seed);
   WormholeSim sim(machine, {.num_vcs = config.num_vcs,
                             .vc_buffer_flits = config.vc_buffer_flits,
                             .deadlock_threshold = config.deadlock_threshold,
-                            .kernel = config.kernel});
+                            .kernel = config.kernel,
+                            .trace = config.trace});
 
   // Usable sources/destinations.
   std::vector<mesh::Coord> nodes;
@@ -101,6 +103,15 @@ TrafficSimResult run_traffic_sim_impl(const mesh::Mesh2D& machine,
     }
   }
   result.latency_overflow = result.latency_hist.overflow();
+  if (config.trace.enabled()) {
+    config.trace.counter("traffic_sim.offered",
+                         static_cast<std::int64_t>(result.offered_packets));
+    config.trace.counter("traffic_sim.delivered",
+                         static_cast<std::int64_t>(result.delivered_packets));
+    config.trace.counter(
+        "traffic_sim.unroutable",
+        static_cast<std::int64_t>(result.unroutable_packets));
+  }
   if (run.cycles > 0) {
     result.accepted_flits_per_node_cycle =
         static_cast<double>(run.delivered) * config.packet_flits /

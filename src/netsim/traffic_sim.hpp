@@ -40,6 +40,10 @@ struct TrafficSimConfig {
   /// Wormhole execution kernel (see netsim/wormhole.hpp); both produce
   /// bit-identical results.
   SimKernel kernel = SimKernel::Event;
+  /// Observability (src/obs): propagated to the wormhole kernel; the run
+  /// itself is a "traffic_sim.run" span with offered/delivered/unroutable
+  /// counters. Disabled (null sink) by default; never affects results.
+  obs::TraceConfig trace;
 };
 
 struct TrafficSimResult {

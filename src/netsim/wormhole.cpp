@@ -217,10 +217,20 @@ bool WormholeSim::step_worm(std::size_t wi, OnRelease&& on_release) {
 }
 
 SimResult WormholeSim::run() {
+  const obs::Span run_span(config_.trace, "wormhole.run");
   flit_moves_ = 0;
+  cycles_jumped_ = 0;
   SimResult result = config_.kernel == SimKernel::Sweep ? run_sweep()
                                                         : run_event();
   result.flit_moves = flit_moves_;
+  if (config_.trace.enabled()) {
+    config_.trace.counter("wormhole.cycles", result.cycles);
+    config_.trace.counter("wormhole.flit_moves", flit_moves_);
+    config_.trace.counter("wormhole.worms_retired",
+                          static_cast<std::int64_t>(result.delivered));
+    config_.trace.counter("wormhole.cycles_jumped", cycles_jumped_);
+    if (result.deadlocked) config_.trace.counter("wormhole.deadlocks", 1);
+  }
   return result;
 }
 
@@ -338,8 +348,12 @@ SimResult WormholeSim::run_event() {
       if (next_inject < n) {
         // Quiescent gap before the next injection: every skipped cycle has
         // a worm waiting on its schedule, so idle accounting is frozen.
-        now = std::max(now,
-                       worms_[by_inject[next_inject]].inject_cycle);
+        const std::int64_t target =
+            worms_[by_inject[next_inject]].inject_cycle;
+        if (target > now) {
+          cycles_jumped_ += target - now;
+          now = target;
+        }
       } else {
         // Only parked worms remain; nothing can ever move again. The idle
         // counter grows by one per cycle until the deadlock verdict or the
@@ -352,6 +366,8 @@ SimResult WormholeSim::run_event() {
         } else {
           result.cycles = config_.max_cycles;
         }
+        // Every cycle between `now` and the verdict was skipped, not run.
+        cycles_jumped_ += std::max<std::int64_t>(0, result.cycles - now);
         result.stuck = remaining;
         return result;
       }

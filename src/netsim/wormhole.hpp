@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "mesh/mesh2d.hpp"
+#include "obs/trace.hpp"
 #include "routing/router.hpp"
 #include "stats/summary.hpp"
 
@@ -93,6 +94,9 @@ struct SimConfig {
   /// Cycles without any flit movement that count as deadlock.
   std::int64_t deadlock_threshold = 256;
   SimKernel kernel = SimKernel::Event;
+  /// Observability: when enabled, run() is a span and reports cycles /
+  /// flit-move / worms-retired / clock-jump counters. Never affects results.
+  obs::TraceConfig trace;
 };
 
 struct PacketOutcome {
@@ -184,6 +188,9 @@ class WormholeSim {
   std::uint32_t submit_epoch_ = 0;
   /// Flit movements executed by step_worm during the current run().
   std::int64_t flit_moves_ = 0;
+  /// Idle cycles the event kernel's clock jumps skipped over in the current
+  /// run() (always 0 under the sweep kernel, which executes them).
+  std::int64_t cycles_jumped_ = 0;
 };
 
 }  // namespace ocp::netsim

@@ -1,0 +1,234 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ocp::obs {
+
+namespace {
+
+/// JSON string escaping for event/counter names. Instrumentation names are
+/// dotted identifiers in practice, but exporters must not emit broken JSON
+/// for any input.
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LatencyRecorder::LatencyRecorder(double lo_ms, double hi_ms, std::size_t bins)
+    : lo_(lo_ms), hi_(hi_ms), bins_(bins) {}
+
+void LatencyRecorder::record(std::string_view name, double ms) {
+  const std::scoped_lock lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), stats::Histogram(lo_, hi_, bins_))
+             .first;
+  }
+  it->second.add(ms);
+}
+
+std::vector<std::pair<std::string, stats::Histogram>>
+LatencyRecorder::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  return {hists_.begin(), hists_.end()};
+}
+
+TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::int64_t TraceSink::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceSink::ThreadState& TraceSink::thread_state() {
+  const auto [it, inserted] =
+      threads_.try_emplace(std::this_thread::get_id());
+  if (inserted) it->second.tid = static_cast<std::uint32_t>(threads_.size() - 1);
+  return it->second;
+}
+
+void TraceSink::span_begin(const char* name) {
+  const std::int64_t ts = now_ns();
+  const std::scoped_lock lock(events_mu_);
+  ThreadState& st = thread_state();
+  events_.push_back({EventKind::SpanBegin, name, ts, st.tid,
+                     static_cast<std::uint32_t>(st.open.size()), 0});
+  st.open.emplace_back(name, ts);
+}
+
+void TraceSink::span_end(const char* name) {
+  const std::int64_t ts = now_ns();
+  std::int64_t duration = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+  {
+    const std::scoped_lock lock(events_mu_);
+    ThreadState& st = thread_state();
+    tid = st.tid;
+    // Pop the matching begin. Mismatched ends (a bug in instrumented code)
+    // still record an event rather than corrupting the stack: unwind to the
+    // matching name if present, else treat as depth-0 with zero duration.
+    std::int64_t begin_ts = ts;
+    auto it = std::find_if(st.open.rbegin(), st.open.rend(),
+                           [&](const auto& p) { return p.first == name ||
+                                 std::string_view(p.first) == name; });
+    if (it != st.open.rend()) {
+      begin_ts = it->second;
+      st.open.erase(std::prev(it.base()), st.open.end());
+    }
+    depth = static_cast<std::uint32_t>(st.open.size());
+    duration = ts - begin_ts;
+    events_.push_back({EventKind::SpanEnd, name, ts, tid, depth, duration});
+  }
+  durations_.record(name, static_cast<double>(duration) / 1e6);
+}
+
+void TraceSink::instant(const char* name, std::int64_t value) {
+  const std::int64_t ts = now_ns();
+  const std::scoped_lock lock(events_mu_);
+  ThreadState& st = thread_state();
+  events_.push_back({EventKind::Instant, name, ts, st.tid,
+                     static_cast<std::uint32_t>(st.open.size()), value});
+}
+
+void TraceSink::counter_add(const char* name, std::int64_t delta) {
+  {
+    const std::shared_lock lock(counters_mu_);
+    if (const auto it = counters_.find(name); it != counters_.end()) {
+      it->second.fetch_add(delta, std::memory_order_relaxed);
+      return;
+    }
+  }
+  const std::unique_lock lock(counters_mu_);
+  // try_emplace: another thread may have created the entry between locks.
+  counters_.try_emplace(name).first->second.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+std::vector<Event> TraceSink::events() const {
+  const std::scoped_lock lock(events_mu_);
+  return events_;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> TraceSink::counters()
+    const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  {
+    const std::shared_lock lock(counters_mu_);
+    out.reserve(counters_.size());
+    for (const auto& [name, value] : counters_) {
+      out.emplace_back(name, value.load(std::memory_order_relaxed));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::int64_t TraceSink::counter_value(std::string_view name) const {
+  const std::shared_lock lock(counters_mu_);
+  const auto it = counters_.find(std::string(name));
+  return it == counters_.end()
+             ? 0
+             : it->second.load(std::memory_order_relaxed);
+}
+
+void TraceSink::write_jsonl(std::ostream& os) const {
+  os << "{\"ev\":\"meta\",\"schema\":\"ocpmesh-trace-v1\","
+        "\"clock\":\"steady_ns\"}\n";
+  for (const Event& e : events()) {
+    switch (e.kind) {
+      case EventKind::SpanBegin:
+        os << "{\"ev\":\"b\",\"name\":\"" << escape(e.name)
+           << "\",\"ts_ns\":" << e.ts_ns << ",\"tid\":" << e.tid
+           << ",\"depth\":" << e.depth << "}\n";
+        break;
+      case EventKind::SpanEnd:
+        os << "{\"ev\":\"e\",\"name\":\"" << escape(e.name)
+           << "\",\"ts_ns\":" << e.ts_ns << ",\"tid\":" << e.tid
+           << ",\"depth\":" << e.depth << ",\"dur_ns\":" << e.value << "}\n";
+        break;
+      case EventKind::Instant:
+        os << "{\"ev\":\"i\",\"name\":\"" << escape(e.name)
+           << "\",\"ts_ns\":" << e.ts_ns << ",\"tid\":" << e.tid
+           << ",\"depth\":" << e.depth << ",\"value\":" << e.value << "}\n";
+        break;
+    }
+  }
+  for (const auto& [name, value] : counters()) {
+    os << "{\"ev\":\"c\",\"name\":\"" << escape(name) << "\",\"value\":"
+       << value << "}\n";
+  }
+  for (const auto& [name, hist] : durations_.snapshot()) {
+    os << "{\"ev\":\"h\",\"name\":\"" << escape(name) << "\",\"count\":"
+       << hist.count() << ",\"p50_ms\":" << hist.median()
+       << ",\"p99_ms\":" << hist.p99() << ",\"overflow\":" << hist.overflow()
+       << "}\n";
+  }
+}
+
+void TraceSink::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  std::int64_t last_ts = 0;
+  for (const Event& e : events()) {
+    last_ts = std::max(last_ts, e.ts_ns);
+    const double ts_us = static_cast<double>(e.ts_ns) / 1e3;
+    switch (e.kind) {
+      case EventKind::SpanBegin:
+        sep();
+        os << "{\"ph\":\"B\",\"pid\":0,\"tid\":" << e.tid << ",\"ts\":"
+           << ts_us << ",\"name\":\"" << escape(e.name) << "\"}";
+        break;
+      case EventKind::SpanEnd:
+        sep();
+        os << "{\"ph\":\"E\",\"pid\":0,\"tid\":" << e.tid << ",\"ts\":"
+           << ts_us << ",\"name\":\"" << escape(e.name) << "\"}";
+        break;
+      case EventKind::Instant:
+        sep();
+        os << "{\"ph\":\"i\",\"pid\":0,\"tid\":" << e.tid << ",\"ts\":"
+           << ts_us << ",\"name\":\"" << escape(e.name)
+           << "\",\"s\":\"t\",\"args\":{\"value\":" << e.value << "}}";
+        break;
+    }
+  }
+  // Final counter values as one Chrome counter sample each, stamped at the
+  // last event so they render at the end of the timeline.
+  for (const auto& [name, value] : counters()) {
+    sep();
+    os << "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":"
+       << static_cast<double>(last_ts) / 1e3 << ",\"name\":\""
+       << escape(name) << "\",\"args\":{\"value\":" << value << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace ocp::obs

@@ -20,11 +20,13 @@ const Route& RouteCache::lookup(mesh::Coord src, mesh::Coord dst) const {
   {
     std::shared_lock lock(mutex_);
     if (const auto it = routes_.find(key); it != routes_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
   // Route outside any lock (wall-following can be slow); insertion races
   // are benign because both threads computed the identical route.
+  misses_.fetch_add(1, std::memory_order_relaxed);
   Route route = router_->route(src, dst);
   std::unique_lock lock(mutex_);
   return routes_.try_emplace(key, std::move(route)).first->second;

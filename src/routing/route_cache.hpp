@@ -14,6 +14,7 @@
 // regardless of which trial populated the entry first.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <shared_mutex>
 #include <unordered_map>
@@ -35,11 +36,24 @@ class RouteCache {
   /// Number of distinct (src, dst) pairs routed so far.
   [[nodiscard]] std::size_t size() const;
 
+  /// Lookups answered from the table / lookups that ran the router. When
+  /// two threads miss the same key concurrently both count a miss (both
+  /// ran the router), so hits + misses == lookups but misses can exceed
+  /// size().
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   const Router* router_;  // non-owning
   mesh::Mesh2D mesh_;
   mutable std::shared_mutex mutex_;
   mutable std::unordered_map<std::uint64_t, Route> routes_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace ocp::routing

@@ -16,6 +16,7 @@
 
 #include "mesh/coord.hpp"
 #include "mesh/mesh2d.hpp"
+#include "obs/trace.hpp"
 
 namespace ocp::sim {
 
@@ -105,6 +106,9 @@ struct RunOptions {
   /// Safety cap; the monotone labeling protocols converge in at most
   /// max-fault-block-diameter rounds, so hitting this cap indicates a bug.
   std::int32_t max_rounds = 1 << 20;
+  /// Observability: disabled by default. At TraceLevel::Round the runner
+  /// emits one "sync.round" span plus frontier/changes instants per round.
+  obs::TraceConfig trace;
 };
 
 }  // namespace ocp::sim

@@ -162,8 +162,14 @@ RunResult<P> run_sync(const mesh::AdjacencyTable& adj, const P& proto,
   std::vector<std::size_t> changed;
   changed.reserve(node_count);
 
+  // Observability: frontier sizes summed over the run (one counter at the
+  // end); per-round spans/instants only at TraceLevel::Round.
+  std::uint64_t nodes_evaluated_total = 0;
+
   for (std::int32_t round = 1; round <= opts.max_rounds; ++round) {
     stats.rounds_executed = round;
+    const obs::Span round_span(opts.trace, "sync.round",
+                               opts.trace.rounds());
 
     if (opts.mode == RunMode::Dense) {
       State* cur = curr.data();
@@ -308,6 +314,15 @@ RunResult<P> run_sync(const mesh::AdjacencyTable& adj, const P& proto,
         std::copy(msg, msg + node_count, msg_out);
       }
 
+      if (opts.trace.enabled()) {
+        const auto frontier = static_cast<std::int64_t>(
+            sparse ? participants.size() : node_count);
+        nodes_evaluated_total += static_cast<std::uint64_t>(frontier);
+        if (opts.trace.rounds()) {
+          opts.trace.instant("sync.frontier", frontier);
+        }
+      }
+
 #ifdef OCP_HAVE_OPENMP
       if (opts.parallel) {
         if (sparse) {
@@ -362,6 +377,10 @@ RunResult<P> run_sync(const mesh::AdjacencyTable& adj, const P& proto,
       } else {
         msgs.swap(msgs_next);
       }
+      if (opts.trace.rounds()) {
+        opts.trace.instant("sync.changes",
+                           static_cast<std::int64_t>(round_changes));
+      }
       stats.messages_broadcast += part_degree;
       if (round == 1) {
         // Round 0 of the event-driven refinement: every initially
@@ -379,6 +398,13 @@ RunResult<P> run_sync(const mesh::AdjacencyTable& adj, const P& proto,
 
     // Frontier mode. Invariant at round start: next == curr, and `active`
     // contains every node whose inbox may differ from the previous round.
+    if (opts.trace.enabled()) {
+      nodes_evaluated_total += active.size();
+      if (opts.trace.rounds()) {
+        opts.trace.instant("sync.frontier",
+                           static_cast<std::int64_t>(active.size()));
+      }
+    }
     stats.messages_broadcast += broadcast_now;
     changed.clear();
     for (std::size_t i : active) {
@@ -389,6 +415,10 @@ RunResult<P> run_sync(const mesh::AdjacencyTable& adj, const P& proto,
       if (proto.update(s, inbox)) changed.push_back(i);
     }
 
+    if (opts.trace.rounds()) {
+      opts.trace.instant("sync.changes",
+                         static_cast<std::int64_t>(changed.size()));
+    }
     if (changed.empty()) break;
     stats.rounds_to_quiesce = round;
     stats.state_changes += changed.size();
@@ -424,6 +454,16 @@ RunResult<P> run_sync(const mesh::AdjacencyTable& adj, const P& proto,
       stats.rounds_to_quiesce == stats.rounds_executed) {
     throw std::runtime_error(
         "run_sync: protocol did not quiesce within max_rounds");
+  }
+  if (opts.trace.enabled()) {
+    opts.trace.counter("sync.rounds", stats.rounds_executed);
+    opts.trace.counter("sync.nodes_flipped",
+                       static_cast<std::int64_t>(stats.state_changes));
+    opts.trace.counter(
+        "sync.messages_broadcast",
+        static_cast<std::int64_t>(stats.messages_broadcast));
+    opts.trace.counter("sync.nodes_evaluated",
+                       static_cast<std::int64_t>(nodes_evaluated_total));
   }
   return RunResult<P>{std::move(curr), stats};
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/pipeline.hpp"
 #include "routing/router.hpp"
 
@@ -126,6 +128,55 @@ TEST(ReductionTest, RoutesNeverUseFailedLinks) {
   }
 }
 
+TEST(ReductionTest, TorusWrapLinksGetAFaultyEndpoint) {
+  const Mesh2D m(6, 6, mesh::Topology::Torus);
+  LinkSet links(m);
+  links.insert({0, 2}, {5, 2});  // horizontal wrap
+  links.insert({3, 0}, {3, 5});  // vertical wrap
+  links.insert({1, 1}, {2, 1});  // ordinary interior link
+  for (auto policy :
+       {LinkReduction::FirstEndpoint, LinkReduction::MostIncident}) {
+    const auto nodes = reduce_to_node_faults(links, grid::CellSet(m), policy);
+    for (const Link& l : links.links()) {
+      EXPECT_TRUE(nodes.contains(l.a) || nodes.contains(l.b));
+    }
+  }
+}
+
+TEST(ReductionTest, TorusWrapStarIsCoveredByItsHub) {
+  // The seam node (0, 0) of a torus has wrap links west and south; greedy
+  // reduction must treat them as incident to the hub like any other link.
+  const Mesh2D m(5, 5, mesh::Topology::Torus);
+  LinkSet links(m);
+  const Coord hub{0, 0};
+  for (mesh::Dir d : mesh::kAllDirs) {
+    links.insert(hub, *m.neighbor(hub, d));  // torus: always present
+  }
+  const auto nodes =
+      reduce_to_node_faults(links, grid::CellSet(m),
+                            LinkReduction::MostIncident);
+  EXPECT_EQ(nodes.size(), 1u);
+  EXPECT_TRUE(nodes.contains(hub));
+}
+
+TEST(ReductionTest, DegenerateSingleRowReduction) {
+  const Mesh2D m(8, 1);
+  LinkSet links(m);
+  links.insert({3, 0}, {4, 0});
+  const auto nodes = reduce_to_node_faults(links, grid::CellSet(m));
+  EXPECT_EQ(nodes.size(), 1u);
+  EXPECT_TRUE(nodes.contains({3, 0}) || nodes.contains({4, 0}));
+}
+
+TEST(LinkSetTest, DegenerateSingleColumnMeshHasOnlyVerticalLinks) {
+  const Mesh2D m(1, 8);
+  LinkSet links(m);
+  links.insert({0, 3}, {0, 4});
+  EXPECT_TRUE(links.contains({0, 4}, {0, 3}));
+  // No horizontal neighbors exist on a 1-wide mesh.
+  EXPECT_THROW(links.insert({0, 0}, {1, 0}), std::invalid_argument);
+}
+
 TEST(RandomLinkFaultsTest, CountAndValidity) {
   const Mesh2D m(10, 10);
   stats::Rng rng(9);
@@ -142,6 +193,34 @@ TEST(RandomLinkFaultsTest, RequestBeyondAllLinksIsClamped) {
   // A 3x3 mesh has 2*3 + 3*2 = 12 links.
   const LinkSet links = random_link_faults(m, 1000, rng);
   EXPECT_EQ(links.size(), 12u);
+}
+
+TEST(RandomLinkFaultsTest, TorusClampCountsWrapLinks) {
+  // A 4x4 torus has 2 links per node (each undirected link shared by two
+  // nodes, 4 incident each): 2 * 16 = 32, including the wrap seams.
+  const Mesh2D m(4, 4, mesh::Topology::Torus);
+  stats::Rng rng(11);
+  const LinkSet links = random_link_faults(m, 1000, rng);
+  EXPECT_EQ(links.size(), 32u);
+  bool saw_wrap = false;
+  for (const Link& l : links.links()) {
+    if (std::abs(l.a.x - l.b.x) > 1 || std::abs(l.a.y - l.b.y) > 1) {
+      saw_wrap = true;
+    }
+  }
+  EXPECT_TRUE(saw_wrap);
+}
+
+TEST(RandomLinkFaultsTest, DegenerateSingleColumnClampsToLineLinks) {
+  const Mesh2D m(1, 8);
+  stats::Rng rng(12);
+  // A 1x8 line has exactly 7 links.
+  const LinkSet links = random_link_faults(m, 100, rng);
+  EXPECT_EQ(links.size(), 7u);
+  for (const Link& l : links.links()) {
+    EXPECT_EQ(l.a.x, 0);
+    EXPECT_EQ(l.b.x, 0);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,206 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ocp::obs {
+namespace {
+
+// Most expectations here require the recording path, which -DOCP_OBS=OFF
+// compiles out; those tests are gated on OCP_OBS_DISABLE. The disabled-mode
+// tests run in every configuration.
+
+#ifndef OCP_OBS_DISABLE
+
+TEST(TraceSinkTest, SpanNestingRecordsDepthsAndOrdering) {
+  TraceSink sink;
+  const TraceConfig trace{&sink, TraceLevel::Round};
+  {
+    const Span outer(trace, "outer");
+    {
+      const Span inner(trace, "inner");
+    }
+    sink.instant("mark", 42);
+  }
+
+  const std::vector<Event> events = sink.events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].kind, EventKind::SpanBegin);
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].kind, EventKind::SpanBegin);
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].kind, EventKind::SpanEnd);
+  EXPECT_STREQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].depth, 1u);  // depth of the span itself
+  EXPECT_EQ(events[3].kind, EventKind::Instant);
+  EXPECT_EQ(events[3].value, 42);
+  EXPECT_EQ(events[3].depth, 1u);  // fired while "outer" was open
+  EXPECT_EQ(events[4].kind, EventKind::SpanEnd);
+  EXPECT_STREQ(events[4].name, "outer");
+  EXPECT_EQ(events[4].depth, 0u);
+
+  // Timestamps are monotone in record order and durations are consistent:
+  // outer fully contains inner.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+  EXPECT_GE(events[2].value, 0);              // inner duration
+  EXPECT_GE(events[4].value, events[2].value);  // outer >= inner
+}
+
+TEST(TraceSinkTest, SpanEndWithoutBeginDoesNotCorruptTheStack) {
+  TraceSink sink;
+  const TraceConfig trace{&sink, TraceLevel::Phase};
+  sink.span_end("never_opened");  // instrumentation bug: still recorded
+  {
+    const Span s(trace, "real");
+  }
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::SpanEnd);
+  EXPECT_EQ(events[0].value, 0);  // no matching begin: zero duration
+  EXPECT_STREQ(events[1].name, "real");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_EQ(events[2].kind, EventKind::SpanEnd);
+}
+
+TEST(TraceSinkTest, SpanGateSuppressesRecording) {
+  TraceSink sink;
+  const TraceConfig trace{&sink, TraceLevel::Phase};
+  EXPECT_FALSE(trace.rounds());  // Phase level: no per-round detail
+  {
+    const Span s(trace, "round", trace.rounds());
+  }
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(TraceSinkTest, ThreadsGetDistinctDenseTids) {
+  TraceSink sink;
+  const TraceConfig trace{&sink, TraceLevel::Round};
+  {
+    const Span main_span(trace, "main");
+    std::thread worker([&] { const Span s(trace, "worker"); });
+    worker.join();
+  }
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  std::uint32_t main_tid = 0;
+  std::uint32_t worker_tid = 0;
+  for (const Event& e : events) {
+    if (std::string_view(e.name) == "main") main_tid = e.tid;
+    if (std::string_view(e.name) == "worker") worker_tid = e.tid;
+  }
+  EXPECT_NE(main_tid, worker_tid);
+  EXPECT_LT(main_tid, 2u);  // dense ids, not hashes
+  EXPECT_LT(worker_tid, 2u);
+  // The worker's span does not see the main thread's open span as a parent.
+  for (const Event& e : events) {
+    if (std::string_view(e.name) == "worker") {
+      EXPECT_EQ(e.depth, 0u);
+    }
+  }
+}
+
+TEST(TraceSinkTest, CountersAggregateAtomicallyAcrossThreads) {
+  TraceSink sink;
+  const TraceConfig trace{&sink, TraceLevel::Phase};
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, t] {
+      for (int i = 0; i < kAdds; ++i) {
+        trace.counter("shared", 1);
+        trace.counter(t % 2 == 0 ? "even" : "odd", 2);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(sink.counter_value("shared"), kThreads * kAdds);
+  EXPECT_EQ(sink.counter_value("even"), kThreads / 2 * kAdds * 2);
+  EXPECT_EQ(sink.counter_value("odd"), kThreads / 2 * kAdds * 2);
+  EXPECT_EQ(sink.counter_value("absent"), 0);
+}
+
+#ifdef OCP_HAVE_OPENMP
+TEST(TraceSinkTest, CountersAggregateAtomicallyUnderOpenMP) {
+  TraceSink sink;
+  const TraceConfig trace{&sink, TraceLevel::Phase};
+  constexpr int kIters = 20000;
+#pragma omp parallel for
+  for (int i = 0; i < kIters; ++i) {
+    trace.counter("omp.shared", 1);
+  }
+  EXPECT_EQ(sink.counter_value("omp.shared"), kIters);
+}
+#endif  // OCP_HAVE_OPENMP
+
+TEST(TraceSinkTest, SpanDurationsFeedTheLatencyRecorder) {
+  TraceSink sink;
+  const TraceConfig trace{&sink, TraceLevel::Phase};
+  for (int i = 0; i < 3; ++i) {
+    const Span s(trace, "work");
+  }
+  const auto hists = sink.span_durations().snapshot();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].first, "work");
+  EXPECT_EQ(hists[0].second.count(), 3u);
+}
+
+TEST(TraceConfigTest, RoundsRequiresRoundLevel) {
+  TraceSink sink;
+  EXPECT_TRUE((TraceConfig{&sink, TraceLevel::Round}).rounds());
+  EXPECT_FALSE((TraceConfig{&sink, TraceLevel::Phase}).rounds());
+  EXPECT_TRUE((TraceConfig{&sink, TraceLevel::Phase}).enabled());
+}
+
+#endif  // OCP_OBS_DISABLE
+
+TEST(TraceConfigTest, DefaultConfigIsDisabledAndAllHooksAreNoOps) {
+  const TraceConfig trace;  // null sink
+  EXPECT_FALSE(trace.enabled());
+  EXPECT_FALSE(trace.rounds());
+  // None of these may touch a sink (there is none to touch).
+  trace.counter("x", 1);
+  trace.instant("y", 2);
+  {
+    const Span s(trace, "z");
+  }
+}
+
+TEST(TraceConfigTest, DisabledTraceLeavesAByStanderSinkUntouched) {
+  TraceSink sink;
+  const TraceConfig disabled;  // does NOT point at `sink`
+  {
+    const Span s(disabled, "ghost");
+  }
+  disabled.counter("ghost", 7);
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_TRUE(sink.counters().empty());
+  EXPECT_EQ(sink.counter_value("ghost"), 0);
+}
+
+TEST(LatencyRecorderTest, RecordsPerNameHistogramsSortedByName) {
+  LatencyRecorder recorder(0.0, 100.0, 10);
+  recorder.record("b", 5.0);
+  recorder.record("a", 15.0);
+  recorder.record("b", 25.0);
+  recorder.record("b", 1000.0);  // beyond hi: counts as overflow
+
+  const auto hists = recorder.snapshot();
+  ASSERT_EQ(hists.size(), 2u);
+  EXPECT_EQ(hists[0].first, "a");
+  EXPECT_EQ(hists[0].second.count(), 1u);
+  EXPECT_EQ(hists[1].first, "b");
+  EXPECT_EQ(hists[1].second.count(), 3u);
+  EXPECT_EQ(hists[1].second.overflow(), 1u);
+}
+
+}  // namespace
+}  // namespace ocp::obs

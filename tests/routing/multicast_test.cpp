@@ -56,8 +56,9 @@ TEST(MulticastTest, AllSchemesCompleteOverLabeledRegions) {
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
     stats::Rng rng(seed);
     const auto faults = fault::uniform_random(m, 24, rng);
-    const auto labeled = labeling::run_pipeline(
-        faults, {.engine = labeling::Engine::Reference});
+    labeling::PipelineOptions label_opts;
+    label_opts.engine = labeling::Engine::Reference;
+    const auto labeled = labeling::run_pipeline(faults, label_opts);
     const auto blocked = labeling::disabled_cells(labeled.activation);
     if (blocked.contains({10, 10})) continue;
     const FaultRingRouter router(m, blocked);
@@ -115,6 +116,66 @@ TEST(MulticastTest, DepthIsAtLeastFarthestDestination) {
         tree_multicast(router, m, {0, 0}, dests)}) {
     EXPECT_GE(result.depth, 22);  // manhattan((0,0),(11,11))
   }
+}
+
+TEST(MulticastTest, TorusWrapShortensEverySchemeAcrossTheSeam) {
+  const Mesh2D torus(12, 12, mesh::Topology::Torus);
+  const grid::CellSet blocked(torus);
+  const XYRouter router(torus, blocked);
+  // All three destinations sit just across a wrap seam from the origin.
+  const std::vector<Coord> dests = {{11, 11}, {0, 11}, {11, 0}};
+
+  const auto unicast = separate_unicast(router, {0, 0}, dests);
+  ASSERT_TRUE(unicast.complete());
+  // Wrap distances: (11,11) -> 2, (0,11) -> 1, (11,0) -> 1. The planar
+  // depth would be 22.
+  EXPECT_EQ(unicast.depth, 2);
+  EXPECT_EQ(unicast.traffic, 4);
+
+  const auto path = path_multicast(router, {0, 0}, dests);
+  ASSERT_TRUE(path.complete());
+  EXPECT_EQ(path.reached, 3u);
+
+  const auto tree = tree_multicast(router, torus, {0, 0}, dests);
+  ASSERT_TRUE(tree.complete());
+  // Prim works on torus distances, so the tree also crosses the seams.
+  EXPECT_LE(tree.traffic, unicast.traffic);
+  EXPECT_LE(tree.depth, 4);
+}
+
+TEST(MulticastTest, DegenerateSingleColumnMesh) {
+  // 1xN line: every scheme degenerates to chains along the one dimension.
+  const Mesh2D m(1, 8);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  const std::vector<Coord> dests = {{0, 7}, {0, 3}, {0, 1}};
+
+  const auto unicast = separate_unicast(router, {0, 0}, dests);
+  ASSERT_TRUE(unicast.complete());
+  EXPECT_EQ(unicast.traffic, 11);  // 7 + 3 + 1
+  EXPECT_EQ(unicast.depth, 7);
+
+  const auto path = path_multicast(router, {0, 0}, dests);
+  ASSERT_TRUE(path.complete());
+
+  const auto tree = tree_multicast(router, m, {0, 0}, dests);
+  ASSERT_TRUE(tree.complete());
+  // On a line the tree is one chain through the destinations in order.
+  EXPECT_EQ(tree.traffic, 7);
+  EXPECT_EQ(tree.depth, 7);
+}
+
+TEST(MulticastTest, DegenerateSingleColumnTorusUsesTheWrapLink) {
+  const Mesh2D ring(1, 6, mesh::Topology::Torus);
+  const grid::CellSet blocked(ring);
+  const XYRouter router(ring, blocked);
+  const std::vector<Coord> dests = {{0, 5}};  // 1 hop across the seam
+  const auto unicast = separate_unicast(router, {0, 0}, dests);
+  ASSERT_TRUE(unicast.complete());
+  EXPECT_EQ(unicast.depth, 1);
+  const auto tree = tree_multicast(router, ring, {0, 0}, dests);
+  ASSERT_TRUE(tree.complete());
+  EXPECT_EQ(tree.traffic, 1);
 }
 
 TEST(MulticastTest, UnreachableDestinationIsReportedNotLost) {

@@ -1,0 +1,132 @@
+#include "routing/route_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ocp::routing {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(RouteCacheTest, CachedRouteEqualsDirectRoute) {
+  const Mesh2D m(12, 12);
+  const grid::CellSet blocked{m, {{5, 5}, {6, 5}}};
+  const FaultRingRouter router(m, blocked);
+  RouteCache cache(router, m);
+
+  const Route& cached = cache.lookup({1, 2}, {9, 8});
+  const Route direct = router.route({1, 2}, {9, 8});
+  EXPECT_EQ(cached.status, direct.status);
+  EXPECT_EQ(cached.path, direct.path);
+  // Second lookup returns the same stored object.
+  EXPECT_EQ(&cache.lookup({1, 2}, {9, 8}), &cached);
+}
+
+TEST(RouteCacheTest, HitMissCountersAreExactSingleThreaded) {
+  const Mesh2D m(8, 8);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  RouteCache cache(router, m);
+
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  (void)cache.lookup({0, 0}, {7, 7});
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  (void)cache.lookup({0, 0}, {7, 7});
+  (void)cache.lookup({0, 0}, {7, 7});
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+  (void)cache.lookup({7, 7}, {0, 0});  // direction matters: a new pair
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// 8 threads hammering ONE key: every lookup must be accounted as exactly one
+// hit or one miss (the counters are atomic), the table ends up with a single
+// entry, and at least one thread took the miss path. Run under
+// OCP_SANITIZE=thread (ctest -L tsan) this also races the shared_mutex fast
+// path against the insert path.
+TEST(RouteCacheTest, ConcurrentSameKeyLookupsAccountEveryLookup) {
+  const Mesh2D m(16, 16);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  RouteCache cache(router, m);
+
+  constexpr int kThreads = 8;
+  constexpr int kLookups = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache] {
+      for (int i = 0; i < kLookups; ++i) {
+        const Route& r = cache.lookup({1, 1}, {14, 13});
+        ASSERT_TRUE(r.delivered());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(cache.size(), 1u);
+  // Concurrent first lookups may each count a miss (both ran the router;
+  // the insert is try_emplace so the table still has one entry), but no
+  // lookup may vanish and no lookup may count twice.
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kLookups);
+  EXPECT_GE(cache.misses(), 1u);
+  EXPECT_LE(cache.misses(), static_cast<std::uint64_t>(kThreads));
+}
+
+// 8 threads over DISTINCT key sets (each thread owns its own sources): the
+// table must hold every pair exactly once and the counter identity
+// hits + misses == lookups must survive concurrent inserts of different
+// keys resizing the map under the unique lock.
+TEST(RouteCacheTest, ConcurrentDistinctKeyLookupsAccountEveryLookup) {
+  const Mesh2D m(16, 16);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  RouteCache cache(router, m);
+
+  constexpr int kThreads = 8;
+  constexpr int kDests = 24;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      const Coord src{t, 2 * t};  // per-thread source: disjoint key sets
+      for (int round = 0; round < kRounds; ++round) {
+        for (int d = 0; d < kDests; ++d) {
+          const Coord dst{15 - d % 4, d / 4 + 8};
+          if (dst == src) continue;
+          (void)cache.lookup(src, dst);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::uint64_t expected_lookups = 0;
+  std::uint64_t expected_pairs = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    const Coord src{t, 2 * t};
+    for (int d = 0; d < kDests; ++d) {
+      const Coord dst{15 - d % 4, d / 4 + 8};
+      if (dst == src) continue;
+      ++expected_pairs;
+      expected_lookups += kRounds;
+    }
+  }
+  EXPECT_EQ(cache.size(), expected_pairs);
+  EXPECT_EQ(cache.hits() + cache.misses(), expected_lookups);
+  // Each distinct pair missed at least once; keys are disjoint across
+  // threads, so there is no cross-thread double-miss and the count is exact.
+  EXPECT_EQ(cache.misses(), expected_pairs);
+  EXPECT_EQ(cache.hits(), expected_lookups - expected_pairs);
+}
+
+}  // namespace
+}  // namespace ocp::routing
