@@ -13,6 +13,9 @@
 #                                       # the committed BENCH_netsim.json with
 #                                       # a tolerance band; nonzero exit on
 #                                       # regression; baseline NOT rewritten
+#   bench/run_bench.sh --svc            # serving-runtime suite only, compared
+#                                       # against the committed BENCH_svc.json
+#                                       # the same way
 #   bench/run_bench.sh --trace          # traced pipeline + netsim demo run:
 #                                       # writes trace.jsonl / trace_chrome
 #                                       # .json under $BUILD/bench/trace and
@@ -32,16 +35,18 @@ FILTER="${BENCH_FILTER:-}"
 TOLERANCE="${BENCH_TOLERANCE:-0.50}"
 CHECK=0
 NETSIM_ONLY=0
+SVC_ONLY=0
 TRACE=0
 
 for arg in "$@"; do
   case "$arg" in
     --check) CHECK=1 ;;
     --netsim) NETSIM_ONLY=1 ;;
+    --svc) SVC_ONLY=1 ;;
     --trace) TRACE=1 ;;
     *)
       echo "error: unknown argument '$arg'" >&2
-      echo "supported: --check --netsim --trace" >&2
+      echo "supported: --check --netsim --svc --trace" >&2
       exit 2
       ;;
   esac
@@ -72,13 +77,13 @@ fi
 
 # Comparison runs default to longer timings: a regression verdict from a
 # 0.1-second sample is mostly noise.
-if [ "$NETSIM_ONLY" = 1 ]; then
+if [ "$NETSIM_ONLY" = 1 ] || [ "$SVC_ONLY" = 1 ]; then
   MIN_TIME="${BENCH_MIN_TIME:-0.3}"
 else
   MIN_TIME="${BENCH_MIN_TIME:-0.1}"
 fi
 
-for bin in perf_labeling perf_netsim bench_to_json; do
+for bin in perf_labeling perf_netsim svc_load bench_to_json; do
   if [ ! -x "$BUILD/bench/$bin" ]; then
     echo "error: $BUILD/bench/$bin not built." >&2
     echo "build first: cmake -B build -S . && cmake --build build -j" >&2
@@ -131,7 +136,15 @@ if [ "$NETSIM_ONLY" = 1 ]; then
   exit 0
 fi
 
+if [ "$SVC_ONLY" = 1 ]; then
+  run_suite svc_load compare "$ROOT/BENCH_svc.json"
+  echo "svc within tolerance of the committed baseline"
+  echo "(fresh compact numbers: $BUILD/bench/svc_load.full.json.compact)"
+  exit 0
+fi
+
 run_suite perf_labeling write "$ROOT/BENCH_labeling.json"
 run_suite perf_netsim write "$ROOT/BENCH_netsim.json"
+run_suite svc_load write "$ROOT/BENCH_svc.json"
 
-echo "wrote $ROOT/BENCH_labeling.json and $ROOT/BENCH_netsim.json"
+echo "wrote $ROOT/BENCH_labeling.json, $ROOT/BENCH_netsim.json and $ROOT/BENCH_svc.json"

@@ -1,0 +1,153 @@
+// Microbenchmarks of the serving runtime (src/svc): ingest churn, the
+// query front's hot paths, and the closed-loop load generator end to end.
+// Throughput is items_per_second where an item is one applied event
+// (ingest) or one delivered answer (queries); the closed-loop benchmarks
+// also export the generator's p50/p99 latency as counters, which is where
+// the committed qps/p99 table in docs/experiments.md comes from.
+#include <benchmark/benchmark.h>
+
+#include "fault/generators.hpp"
+#include "svc/loadgen.hpp"
+
+namespace {
+
+using namespace ocp;
+
+svc::SvcLoadConfig load_config(std::size_t query_threads) {
+  svc::SvcLoadConfig config;
+  config.mesh_side = 32;
+  config.initial_faults = 10;
+  config.events = 128;
+  config.query_threads = query_threads;
+  config.queries_per_thread = 2000;
+  config.seed = 20010423;
+  return config;
+}
+
+// Fault/repair churn through the single-writer engine: constructs the
+// epoch-0 labeling and replays a seeded 256-event stream in 16-event
+// batches. Items are applied events (net fault-set changes).
+void BM_SvcIngestChurn(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const mesh::Mesh2D m = mesh::Mesh2D::square(n);
+  stats::Rng rng(11);
+  const auto initial = fault::uniform_random(m, 10, rng);
+  const auto stream = svc::generate_event_stream(m, initial, 256, 0.45, 13);
+
+  std::int64_t applied = 0;
+  for (auto _ : state) {
+    svc::IngestEngine engine(initial);
+    for (std::size_t at = 0; at < stream.size(); at += 16) {
+      const auto outcome = engine.apply(
+          std::span(stream).subspan(at, std::min<std::size_t>(
+                                            16, stream.size() - at)));
+      applied += static_cast<std::int64_t>(outcome.applied);
+    }
+    benchmark::DoNotOptimize(engine.snapshot());
+  }
+  state.SetItemsProcessed(applied);
+  state.SetLabel("items = applied events");
+}
+BENCHMARK(BM_SvcIngestChurn)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Steady-state single-thread query throughput against a fixed snapshot:
+// the RCU acquire + O(1) status/region answer path.
+void BM_SvcQueryStatus(benchmark::State& state) {
+  const mesh::Mesh2D m = mesh::Mesh2D::square(32);
+  stats::Rng rng(17);
+  svc::Service service(fault::uniform_random(m, 12, rng));
+
+  std::size_t i = 0;
+  std::int64_t answered = 0;
+  for (auto _ : state) {
+    const mesh::Coord c = m.coord(i % static_cast<std::size_t>(m.node_count()));
+    i += 131;  // coprime stride: sweep the machine without an RNG in the loop
+    const auto answer = service.query_status(c);
+    benchmark::DoNotOptimize(answer);
+    ++answered;
+  }
+  state.SetItemsProcessed(answered);
+  state.SetLabel("items = answers");
+}
+BENCHMARK(BM_SvcQueryStatus);
+
+// Route queries against a warmed per-epoch cache: after the first sweep
+// every lookup is a shared-lock table hit.
+void BM_SvcQueryRouteCached(benchmark::State& state) {
+  const mesh::Mesh2D m = mesh::Mesh2D::square(32);
+  stats::Rng rng(19);
+  svc::Service service(fault::uniform_random(m, 12, rng));
+
+  std::size_t i = 0;
+  std::int64_t answered = 0;
+  for (auto _ : state) {
+    const auto nodes = static_cast<std::size_t>(m.node_count());
+    const mesh::Coord src = m.coord(i % 64);  // 64x64 distinct pairs
+    const mesh::Coord dst = m.coord(nodes - 1 - (i * 7) % 64);
+    i += 1;
+    const auto answer = service.query_route(src, dst);
+    benchmark::DoNotOptimize(answer);
+    ++answered;
+  }
+  state.SetItemsProcessed(answered);
+  state.SetLabel("items = answers");
+}
+BENCHMARK(BM_SvcQueryRouteCached);
+
+// Batched queries: one snapshot acquisition amortized over 8 mixed items.
+void BM_SvcQueryBatch8(benchmark::State& state) {
+  const mesh::Mesh2D m = mesh::Mesh2D::square(32);
+  stats::Rng rng(23);
+  svc::Service service(fault::uniform_random(m, 12, rng));
+  const std::vector<svc::QueryItem> items = {
+      {svc::QueryKind::Status, {1, 1}, {}},
+      {svc::QueryKind::Region, {30, 2}, {}},
+      {svc::QueryKind::Status, {15, 15}, {}},
+      {svc::QueryKind::Route, {0, 0}, {31, 31}},
+      {svc::QueryKind::Region, {7, 22}, {}},
+      {svc::QueryKind::Status, {29, 30}, {}},
+      {svc::QueryKind::Route, {31, 0}, {0, 31}},
+      {svc::QueryKind::Status, {3, 27}, {}},
+  };
+
+  std::int64_t answered = 0;
+  for (auto _ : state) {
+    const auto answer = service.query_batch(items);
+    benchmark::DoNotOptimize(answer);
+    answered += static_cast<std::int64_t>(answer.items.size());
+  }
+  state.SetItemsProcessed(answered);
+  state.SetLabel("items = answers");
+}
+BENCHMARK(BM_SvcQueryBatch8);
+
+// The whole runtime under closed-loop load: a writer replaying seeded
+// churn against N query threads. Items are delivered answers; the p50/p99
+// counters surface the generator's latency histogram (microseconds).
+void BM_SvcClosedLoop(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const svc::SvcLoadConfig config = load_config(threads);
+  std::int64_t answers = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  for (auto _ : state) {
+    const svc::SvcLoadResult result = svc::run_svc_load(config);
+    // queries_ok counts each batch once; swap that for its delivered items.
+    answers += static_cast<std::int64_t>(
+        result.queries_ok - result.batch_items / config.batch_size +
+        result.batch_items);
+    p50 = result.p50_us;
+    p99 = result.p99_us;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(answers);
+  state.counters["p50_us"] = p50;
+  state.counters["p99_us"] = p99;
+  state.SetLabel("items = answers");
+}
+BENCHMARK(BM_SvcClosedLoop)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,6 +1,7 @@
 #include "core/maintenance.hpp"
 
 #include <queue>
+#include <vector>
 
 #include "core/reference.hpp"
 
@@ -13,6 +14,28 @@ Safety safety_at(const grid::NodeGrid<Safety>& g, mesh::Coord c) {
   if (m.contains(c)) return g[c];
   if (m.is_torus()) return g[m.wrap(c)];
   return Safety::Safe;  // ghost
+}
+
+/// Definition 2a/2b: does the unsafe rule fire for nonfaulty node `c` under
+/// the current safety labeling?
+bool rule_fires(SafeUnsafeDef def, const grid::NodeGrid<Safety>& safety,
+                mesh::Coord c) {
+  if (def == SafeUnsafeDef::Def2a) {
+    int unsafe_neighbors = 0;
+    for (mesh::Dir d : mesh::kAllDirs) {
+      if (safety_at(safety, c.step(d)) == Safety::Unsafe) {
+        ++unsafe_neighbors;
+      }
+    }
+    return unsafe_neighbors >= 2;
+  }
+  const bool ux =
+      safety_at(safety, c.step(mesh::Dir::East)) == Safety::Unsafe ||
+      safety_at(safety, c.step(mesh::Dir::West)) == Safety::Unsafe;
+  const bool uy =
+      safety_at(safety, c.step(mesh::Dir::North)) == Safety::Unsafe ||
+      safety_at(safety, c.step(mesh::Dir::South)) == Safety::Unsafe;
+  return ux && uy;
 }
 
 }  // namespace
@@ -43,31 +66,12 @@ std::size_t MaintainedLabeling::add_fault(mesh::Coord node) {
   }
   worklist.push(node);
 
-  const auto rule_fires = [&](mesh::Coord c) {
-    if (def_ == SafeUnsafeDef::Def2a) {
-      int unsafe_neighbors = 0;
-      for (mesh::Dir d : mesh::kAllDirs) {
-        if (safety_at(safety_, c.step(d)) == Safety::Unsafe) {
-          ++unsafe_neighbors;
-        }
-      }
-      return unsafe_neighbors >= 2;
-    }
-    const bool ux =
-        safety_at(safety_, c.step(mesh::Dir::East)) == Safety::Unsafe ||
-        safety_at(safety_, c.step(mesh::Dir::West)) == Safety::Unsafe;
-    const bool uy =
-        safety_at(safety_, c.step(mesh::Dir::North)) == Safety::Unsafe ||
-        safety_at(safety_, c.step(mesh::Dir::South)) == Safety::Unsafe;
-    return ux && uy;
-  };
-
   while (!worklist.empty()) {
     const mesh::Coord u = worklist.front();
     worklist.pop();
     for (const mesh::Link& l : m.neighbors(u)) {
       if (safety_[l.to] == Safety::Unsafe || faults_.contains(l.to)) continue;
-      if (rule_fires(l.to)) {
+      if (rule_fires(def_, safety_, l.to)) {
         safety_[l.to] = Safety::Unsafe;
         ++changed;
         worklist.push(l.to);
@@ -78,6 +82,77 @@ std::size_t MaintainedLabeling::add_fault(mesh::Coord node) {
   // Phase two is not monotone in the fault set: re-derive it from the new
   // safety labeling. (The reference solver is O(N); a distributed system
   // would rerun Definition 3 inside the affected blocks only.)
+  activation_ = reference_activation(faults_, safety_);
+  refresh_regions();
+  return changed;
+}
+
+std::size_t MaintainedLabeling::remove_fault(mesh::Coord node) {
+  const mesh::Mesh2D& m = faults_.topology();
+  if (!m.contains(node) || !faults_.contains(node)) return 0;
+  faults_.erase(node);
+
+  // The faulty block the node belonged to: the maximal 4-connected unsafe
+  // component around it. Unsafe labels derive only from faults of their own
+  // component (every derived-unsafe node has an unsafe 4-neighbor, so
+  // support chains never leave the component), and cells adjacent to the
+  // component are safe and — by monotonicity in the fault set — stay safe
+  // after the removal. The repair is therefore exact when confined to the
+  // block: reset it, then re-close the fixpoint from its remaining faults.
+  std::vector<mesh::Coord> block;
+  {
+    grid::CellSet seen(m);
+    std::queue<mesh::Coord> bfs;
+    bfs.push(node);
+    seen.insert(node);
+    while (!bfs.empty()) {
+      const mesh::Coord u = bfs.front();
+      bfs.pop();
+      block.push_back(u);
+      for (const mesh::Link& l : m.neighbors(u)) {
+        if (seen.contains(l.to) || safety_[l.to] != Safety::Unsafe) continue;
+        seen.insert(l.to);
+        bfs.push(l.to);
+      }
+    }
+  }
+
+  const grid::NodeGrid<Safety> before = safety_;
+
+  // Reset: remaining faults stay unsafe and seed the closure.
+  std::queue<mesh::Coord> worklist;
+  for (mesh::Coord c : block) {
+    if (faults_.contains(c)) {
+      safety_[c] = Safety::Unsafe;
+      worklist.push(c);
+    } else {
+      safety_[c] = Safety::Safe;
+    }
+  }
+
+  // Same worklist closure as `add_fault`: a cell turns unsafe only when the
+  // rule fires on the current labeling, and every flip re-examines its
+  // neighborhood. Propagation cannot escape the old block (its surroundings
+  // are safe before and after), so the loop is local in practice.
+  while (!worklist.empty()) {
+    const mesh::Coord u = worklist.front();
+    worklist.pop();
+    for (const mesh::Link& l : m.neighbors(u)) {
+      if (safety_[l.to] == Safety::Unsafe || faults_.contains(l.to)) continue;
+      if (rule_fires(def_, safety_, l.to)) {
+        safety_[l.to] = Safety::Unsafe;
+        worklist.push(l.to);
+      }
+    }
+  }
+
+  std::size_t changed = 0;
+  for (mesh::Coord c : block) {
+    if (safety_[c] != before[c]) ++changed;
+  }
+
+  // Phase two is not monotone in the fault set in either direction:
+  // re-derive it from the repaired safety labeling, exactly like add_fault.
   activation_ = reference_activation(faults_, safety_);
   refresh_regions();
   return changed;

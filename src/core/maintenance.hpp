@@ -29,6 +29,16 @@ class MaintainedLabeling {
   /// and triggered nothing).
   std::size_t add_fault(mesh::Coord node);
 
+  /// Marks `node` repaired (no longer faulty) and restores both labelings
+  /// and the region lists. No-op when the node is not faulty. Removal can
+  /// only shrink the unsafe set (the rule is monotone in the fault set),
+  /// and only inside the faulty block the node belonged to — unsafe labels
+  /// derive from faults of their own 4-connected component — so phase one
+  /// is repaired locally: the block is reset and its fixpoint re-closed
+  /// from the remaining faults. Phase two is re-derived like `add_fault`.
+  /// Returns the number of nodes whose safety status changed.
+  std::size_t remove_fault(mesh::Coord node);
+
   [[nodiscard]] const grid::CellSet& faults() const noexcept {
     return faults_;
   }

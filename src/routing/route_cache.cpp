@@ -15,7 +15,8 @@ std::uint64_t pair_key(const mesh::Mesh2D& m, mesh::Coord src,
 
 }  // namespace
 
-const Route& RouteCache::lookup(mesh::Coord src, mesh::Coord dst) const {
+std::shared_ptr<const Route> RouteCache::lookup_shared(mesh::Coord src,
+                                                       mesh::Coord dst) const {
   const std::uint64_t key = pair_key(mesh_, src, dst);
   {
     std::shared_lock lock(mutex_);
@@ -27,9 +28,25 @@ const Route& RouteCache::lookup(mesh::Coord src, mesh::Coord dst) const {
   // Route outside any lock (wall-following can be slow); insertion races
   // are benign because both threads computed the identical route.
   misses_.fetch_add(1, std::memory_order_relaxed);
-  Route route = router_->route(src, dst);
+  auto route = std::make_shared<const Route>(router_->route(src, dst));
   std::unique_lock lock(mutex_);
   return routes_.try_emplace(key, std::move(route)).first->second;
+}
+
+const Route& RouteCache::lookup(mesh::Coord src, mesh::Coord dst) const {
+  return *lookup_shared(src, dst);
+}
+
+void RouteCache::clear() {
+  // Swap the table out under the lock, destroy it outside: shared handles
+  // from lookup_shared may be the last owners of some routes, and their
+  // destruction should not run under the cache mutex.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Route>> retired;
+  {
+    std::unique_lock lock(mutex_);
+    retired.swap(routes_);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
 }
 
 std::size_t RouteCache::size() const {

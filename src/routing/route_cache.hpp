@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <unordered_map>
 
@@ -29,9 +30,28 @@ class RouteCache {
       : router_(&router), mesh_(machine) {}
 
   /// The route src -> dst, computed on first request and remembered. The
-  /// returned reference stays valid for the cache's lifetime (node-based
-  /// map; entries are never erased).
+  /// returned reference stays valid until `clear()` retires the entry (or
+  /// the cache is destroyed); callers that outlive an invalidation epoch
+  /// must use `lookup_shared`.
   [[nodiscard]] const Route& lookup(mesh::Coord src, mesh::Coord dst) const;
+
+  /// Like `lookup`, but the returned handle keeps the route alive across a
+  /// concurrent `clear()` — the safe form for readers racing invalidation.
+  [[nodiscard]] std::shared_ptr<const Route> lookup_shared(
+      mesh::Coord src, mesh::Coord dst) const;
+
+  /// Retires every memoized route and advances the generation counter.
+  /// Used at epoch rollover: when the blocked set (and hence the router's
+  /// answers) changes, stale routes must not survive. Safe to call
+  /// concurrently with `lookup_shared`; routes handed out earlier stay
+  /// alive through their shared handles.
+  void clear();
+
+  /// Monotonically increasing invalidation epoch: 0 at construction,
+  /// +1 per `clear()`.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// Number of distinct (src, dst) pairs routed so far.
   [[nodiscard]] std::size_t size() const;
@@ -51,7 +71,9 @@ class RouteCache {
   const Router* router_;  // non-owning
   mesh::Mesh2D mesh_;
   mutable std::shared_mutex mutex_;
-  mutable std::unordered_map<std::uint64_t, Route> routes_;
+  mutable std::unordered_map<std::uint64_t, std::shared_ptr<const Route>>
+      routes_;
+  std::atomic<std::uint64_t> generation_{0};
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
 };

@@ -1,0 +1,67 @@
+#include "svc/event_queue.hpp"
+
+namespace ocp::svc {
+
+SubmitStatus EventQueue::push(FaultEvent event) {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return SubmitStatus::Closed;
+    if (queue_.size() >= capacity_) {
+      ++rejected_;
+      return SubmitStatus::Overloaded;
+    }
+    queue_.push_back(event);
+    ++accepted_;
+  }
+  ready_.notify_one();
+  return SubmitStatus::Accepted;
+}
+
+std::vector<FaultEvent> EventQueue::wait_drain(std::size_t max_batch) {
+  std::unique_lock lock(mu_);
+  ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  return drain_locked(max_batch);
+}
+
+std::vector<FaultEvent> EventQueue::try_drain(std::size_t max_batch) {
+  std::lock_guard lock(mu_);
+  return drain_locked(max_batch);
+}
+
+std::vector<FaultEvent> EventQueue::drain_locked(std::size_t max_batch) {
+  const std::size_t n = std::min(max_batch, queue_.size());
+  std::vector<FaultEvent> batch(queue_.begin(),
+                                queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  return batch;
+}
+
+void EventQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool EventQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t EventQueue::depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t EventQueue::accepted() const {
+  std::lock_guard lock(mu_);
+  return accepted_;
+}
+
+std::uint64_t EventQueue::rejected() const {
+  std::lock_guard lock(mu_);
+  return rejected_;
+}
+
+}  // namespace ocp::svc

@@ -1,0 +1,102 @@
+// Bounded MPSC queue of fault/repair events — the admission-controlled
+// front door of the serving runtime (src/svc).
+//
+// Any number of producers submit events; exactly one consumer (the ingest
+// loop) drains them in FIFO order. The queue is bounded so overload turns
+// into a typed `Overloaded` rejection at the submitting edge instead of an
+// unbounded memory ramp or a stalled producer: callers decide whether to
+// retry, shed, or back off. `close()` wakes the consumer for shutdown and
+// turns further submissions into `Closed`.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "mesh/coord.hpp"
+
+namespace ocp::svc {
+
+/// What happened to a node.
+enum class EventKind : std::uint8_t {
+  /// The node failed; it must leave the serving labeling.
+  Fault = 0,
+  /// The node was repaired; it may rejoin the machine.
+  Repair = 1,
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
+  return k == EventKind::Fault ? "fault" : "repair";
+}
+
+/// One fault-model change notification.
+struct FaultEvent {
+  EventKind kind = EventKind::Fault;
+  mesh::Coord node;
+
+  friend constexpr bool operator==(const FaultEvent&,
+                                   const FaultEvent&) = default;
+};
+
+/// Typed admission verdict for a submission.
+enum class SubmitStatus : std::uint8_t {
+  Accepted = 0,
+  /// The bounded queue is full; the event was NOT enqueued.
+  Overloaded = 1,
+  /// The queue was closed for shutdown; the event was NOT enqueued.
+  Closed = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(SubmitStatus s) noexcept {
+  switch (s) {
+    case SubmitStatus::Accepted: return "accepted";
+    case SubmitStatus::Overloaded: return "overloaded";
+    case SubmitStatus::Closed: return "closed";
+  }
+  return "?";
+}
+
+class EventQueue {
+ public:
+  explicit EventQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admission: enqueues and wakes the consumer, or rejects
+  /// with `Overloaded` (full) / `Closed` (shut down).
+  SubmitStatus push(FaultEvent event);
+
+  /// Consumer side: blocks until at least one event is queued or the queue
+  /// is closed, then drains up to `max_batch` events in FIFO order. An
+  /// empty result means the queue was closed and fully drained.
+  [[nodiscard]] std::vector<FaultEvent> wait_drain(std::size_t max_batch);
+
+  /// Non-blocking drain (manual pumping in tests and deterministic
+  /// drivers): up to `max_batch` events, possibly none.
+  [[nodiscard]] std::vector<FaultEvent> try_drain(std::size_t max_batch);
+
+  /// Stops admission and wakes any blocked consumer. Events already queued
+  /// remain drainable.
+  void close();
+  [[nodiscard]] bool closed() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Events currently queued (consumer lag).
+  [[nodiscard]] std::size_t depth() const;
+  /// Total admissions / `Overloaded` rejections since construction.
+  [[nodiscard]] std::uint64_t accepted() const;
+  [[nodiscard]] std::uint64_t rejected() const;
+
+ private:
+  std::vector<FaultEvent> drain_locked(std::size_t max_batch);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<FaultEvent> queue_;
+  bool closed_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace ocp::svc

@@ -1,0 +1,124 @@
+#include "svc/ingest.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace ocp::svc {
+
+IngestEngine::IngestEngine(grid::CellSet initial_faults, IngestConfig config)
+    : config_(config),
+      labeling_(std::move(initial_faults), config.definition) {
+  publish(Snapshot::build(epoch_, labeling_, config_.hand));
+}
+
+BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
+  obs::Span span(config_.trace, "svc.ingest.batch");
+  BatchOutcome outcome;
+  outcome.epoch = epoch_;
+
+  // Coalesce: fold the batch into the net fault-set delta. `desired` tracks
+  // the would-be health of every touched node after the events seen so far,
+  // so duplicate faults, repairs of healthy nodes, and fault+repair pairs
+  // inside one batch all collapse before any relabeling work happens.
+  const mesh::Mesh2D& m = labeling_.faults().topology();
+  std::vector<std::pair<mesh::Coord, bool>> desired;  // (node, faulty)
+  const auto find = [&desired](mesh::Coord c) -> bool* {
+    for (auto& [node, faulty] : desired) {
+      if (node == c) return &faulty;
+    }
+    return nullptr;
+  };
+  for (const FaultEvent& event : batch) {
+    if (!m.contains(event.node)) {
+      ++outcome.invalid;
+      continue;
+    }
+    const bool want_faulty = event.kind == EventKind::Fault;
+    if (bool* pending = find(event.node)) {
+      *pending = want_faulty;
+    } else if (labeling_.faults().contains(event.node) != want_faulty) {
+      desired.emplace_back(event.node, want_faulty);
+    }
+    // else: already in the desired state and untouched this batch — drop.
+  }
+
+  // Apply the net delta in first-touched order (deterministic; the final
+  // labeling depends only on the final fault set).
+  for (const auto& [node, want_faulty] : desired) {
+    if (labeling_.faults().contains(node) == want_faulty) {
+      continue;  // an intra-batch fault+repair pair cancelled out
+    }
+    if (want_faulty) {
+      labeling_.add_fault(node);
+    } else {
+      labeling_.remove_fault(node);
+    }
+    ++outcome.applied;
+  }
+  outcome.coalesced = batch.size() - outcome.applied;
+  config_.trace.counter("svc.events_applied",
+                        static_cast<std::int64_t>(outcome.applied));
+  config_.trace.counter("svc.events_coalesced",
+                        static_cast<std::int64_t>(outcome.coalesced));
+
+  bool rejected = false;
+  std::optional<check::ViolationReport> violation;
+  if (outcome.applied > 0) {
+    obs::Span publish_span(config_.trace, "svc.publish");
+    auto next = Snapshot::build(epoch_ + 1, labeling_, config_.hand);
+    if (config_.validate) {
+      obs::Span gate_span(config_.trace, "svc.oracle_gate");
+      auto report = next->validate(config_.definition, config_.oracle_checks);
+      if (!report.ok()) {
+        // Tripwire: withhold the bad epoch, keep serving the previous one.
+        rejected = true;
+        violation = std::move(report);
+        config_.trace.counter("svc.oracle_rejects", 1);
+      }
+    }
+    if (!rejected) {
+      ++epoch_;
+      publish(std::move(next));
+      config_.trace.counter("svc.epochs_published", 1);
+      outcome.published = true;
+      outcome.epoch = epoch_;
+    }
+  }
+
+  {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.batches;
+    stats_.events += batch.size();
+    stats_.applied += outcome.applied;
+    stats_.coalesced += outcome.coalesced;
+    stats_.invalid += outcome.invalid;
+    if (outcome.published) ++stats_.epochs_published;
+    if (rejected) {
+      ++stats_.oracle_rejects;
+      last_violation_ = std::move(violation);
+    }
+  }
+  return outcome;
+}
+
+IngestStats IngestEngine::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+std::optional<check::ViolationReport> IngestEngine::last_violation() const {
+  std::lock_guard lock(stats_mu_);
+  return last_violation_;
+}
+
+void IngestEngine::publish(std::shared_ptr<const Snapshot> next) {
+  // Swap under the exclusive lock, destroy the superseded handle outside it
+  // (the last reader of an old epoch frees it via the refcount, never here).
+  std::shared_ptr<const Snapshot> retired;
+  {
+    std::unique_lock lock(publish_mu_);
+    retired = std::exchange(published_, std::move(next));
+  }
+}
+
+}  // namespace ocp::svc

@@ -1,0 +1,122 @@
+// Single-writer ingest engine: fault/repair batches in, snapshots out.
+//
+// One writer owns a `labeling::MaintainedLabeling` and an RCU-style publish
+// slot: a shared_ptr handle behind a shared_mutex whose critical sections
+// are pointer-sized on both sides — readers take the shared lock just long
+// enough to copy the current handle (a refcount increment), then answer any
+// number of queries with no further synchronization; the writer swaps the
+// slot under the exclusive lock. (std::atomic<shared_ptr> would express the
+// same thing, but libstdc++'s _Sp_atomic guards its pointer word with an
+// embedded lock-bit protocol ThreadSanitizer cannot model, and its load
+// path spins on that bit anyway — the shared_mutex form is equally cheap
+// and tsan-clean.) Each `apply` call takes
+// one drained batch, coalesces it against the current fault set (duplicate
+// faults, repairs of healthy nodes and fault+repair pairs inside the batch
+// collapse to nothing), applies the net adds/removes incrementally through
+// `add_fault`/`remove_fault`, and publishes exactly one new epoch — or none
+// when the whole batch coalesced away. Readers never block writers and
+// vice versa: they `acquire()` the current shared_ptr and keep querying a
+// consistent epoch while newer ones supersede it.
+//
+// The engine is deliberately thread-free: the `Service` wraps it with the
+// bounded queue and the ingest thread, while tests and the deterministic
+// load generator drive `apply` directly for reproducible epoch sequences.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+
+#include "obs/trace.hpp"
+#include "svc/event_queue.hpp"
+#include "svc/snapshot.hpp"
+
+namespace ocp::svc {
+
+struct IngestConfig {
+  labeling::SafeUnsafeDef definition = labeling::SafeUnsafeDef::Def2b;
+  /// Wall-following hand of the per-snapshot router.
+  routing::Hand hand = routing::Hand::Right;
+  /// Gate every publication through the invariant oracle: a snapshot that
+  /// violates any selected check is withheld (the previous epoch keeps
+  /// serving) and the violation is retained for inspection. An engine-bug
+  /// tripwire, not a recovery mechanism — the maintained labeling itself is
+  /// not rolled back.
+  bool validate = false;
+  std::uint32_t oracle_checks = check::kAllChecks;
+  /// Observability: publish spans, event/epoch counters.
+  obs::TraceConfig trace;
+};
+
+/// What one `apply` call did.
+struct BatchOutcome {
+  /// Net fault-set changes applied (adds + removes).
+  std::size_t applied = 0;
+  /// Events absorbed by coalescing (duplicates, no-op repairs, intra-batch
+  /// fault+repair cancellations, out-of-machine addresses).
+  std::size_t coalesced = 0;
+  /// Events naming coordinates outside the machine (counted within
+  /// `coalesced` as well; never fatal).
+  std::size_t invalid = 0;
+  /// True when a new epoch was published.
+  bool published = false;
+  /// Epoch of the serving snapshot after the call.
+  std::uint64_t epoch = 0;
+};
+
+/// Monotone counters over the engine's lifetime.
+struct IngestStats {
+  std::uint64_t batches = 0;
+  std::uint64_t events = 0;
+  std::uint64_t applied = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t epochs_published = 0;
+  /// Publications withheld by the oracle gate.
+  std::uint64_t oracle_rejects = 0;
+};
+
+class IngestEngine {
+ public:
+  /// Labels `initial_faults` and publishes it as epoch 0.
+  explicit IngestEngine(grid::CellSet initial_faults, IngestConfig config = {});
+
+  IngestEngine(const IngestEngine&) = delete;
+  IngestEngine& operator=(const IngestEngine&) = delete;
+
+  /// Applies one drained batch; single-writer (never call concurrently).
+  BatchOutcome apply(std::span<const FaultEvent> batch);
+
+  /// The currently serving snapshot (safe from any thread; the shared lock
+  /// is held only for the handle copy).
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const {
+    std::shared_lock lock(publish_mu_);
+    return published_;
+  }
+
+  /// Counter snapshot; safe to call from any thread while the writer runs.
+  [[nodiscard]] IngestStats stats() const;
+  /// The violation report of the most recent withheld publication, if any.
+  [[nodiscard]] std::optional<check::ViolationReport> last_violation() const;
+  [[nodiscard]] const IngestConfig& config() const noexcept { return config_; }
+
+ private:
+  void publish(std::shared_ptr<const Snapshot> next);
+
+  IngestConfig config_;
+  labeling::MaintainedLabeling labeling_;
+  std::uint64_t epoch_ = 0;
+  /// Guards only the publish slot; both critical sections are pointer-sized.
+  mutable std::shared_mutex publish_mu_;
+  std::shared_ptr<const Snapshot> published_;
+  /// Guards the cross-thread-readable bookkeeping (the labeling itself is
+  /// single-writer and unguarded by design).
+  mutable std::mutex stats_mu_;
+  IngestStats stats_;
+  std::optional<check::ViolationReport> last_violation_;
+};
+
+}  // namespace ocp::svc

@@ -1,0 +1,223 @@
+#include "svc/loadgen.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "analysis/trial_pool.hpp"
+#include "fault/generators.hpp"
+#include "stats/histogram.hpp"
+
+namespace ocp::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// Per-query-thread outcome, written only by its own thread.
+struct WorkerRecord {
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  std::size_t batches_ok = 0;
+  std::size_t batch_items = 0;
+  bool epochs_monotone = true;
+  stats::Histogram latency_us{0.0, 1000.0, 2000};
+};
+
+mesh::Coord random_node(const mesh::Mesh2D& m, stats::Rng& rng) {
+  return m.coord(static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(m.node_count()) - 1)));
+}
+
+}  // namespace
+
+std::vector<FaultEvent> generate_event_stream(const mesh::Mesh2D& machine,
+                                              const grid::CellSet& initial,
+                                              std::size_t events,
+                                              double repair_fraction,
+                                              std::uint64_t seed) {
+  stats::Rng rng(seed);
+  // Shadow fault model: tracks what the service's fault set will be after
+  // each event, so repairs target genuinely faulty nodes (most of the
+  // time — duplicate faults still occur and exercise coalescing).
+  grid::CellSet shadow = initial;
+  std::vector<FaultEvent> stream;
+  stream.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    if (!shadow.empty() && rng.uniform() < repair_fraction) {
+      const auto members = shadow.to_vector();
+      const mesh::Coord node = members[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(members.size()) - 1))];
+      shadow.erase(node);
+      stream.push_back({EventKind::Repair, node});
+    } else {
+      const mesh::Coord node = random_node(machine, rng);
+      shadow.insert(node);  // no-op when already faulty: a duplicate fault
+      stream.push_back({EventKind::Fault, node});
+    }
+  }
+  return stream;
+}
+
+std::uint64_t event_stream_digest(const std::vector<FaultEvent>& events) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (const FaultEvent& e : events) {
+    mix(static_cast<std::uint64_t>(e.kind) + 1);
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.node.x)) + 1);
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.node.y)) + 1);
+  }
+  return h;
+}
+
+SvcLoadResult run_svc_load(const SvcLoadConfig& config) {
+  const mesh::Mesh2D machine(config.mesh_side, config.mesh_side,
+                             config.topology);
+  stats::Rng master(config.seed);
+  stats::Rng fault_rng(master.fork_seed());
+  const std::uint64_t stream_seed = master.fork_seed();
+  const auto worker_seeds =
+      analysis::fork_trial_seeds(master, config.query_threads);
+
+  const grid::CellSet initial =
+      fault::uniform_random(machine, config.initial_faults, fault_rng);
+  const std::vector<FaultEvent> stream = generate_event_stream(
+      machine, initial, config.events, config.repair_fraction, stream_seed);
+
+  SvcLoadResult result;
+  result.stream_digest = event_stream_digest(stream);
+
+  Service service(initial, config.service);
+
+  // Writer: replays the stream in order with closed-loop backpressure.
+  // Because rejected submissions retry (never drop) and the queue is FIFO,
+  // the final fault set is a pure function of the stream.
+  std::uint64_t submit_retries = 0;
+  std::thread writer([&service, &stream, &submit_retries] {
+    for (const FaultEvent& event : stream) {
+      while (service.submit(event) != SubmitStatus::Accepted) {
+        ++submit_retries;
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::vector<WorkerRecord> records(config.query_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(config.query_threads);
+  const auto start = Clock::now();
+  for (std::size_t t = 0; t < config.query_threads; ++t) {
+    workers.emplace_back([&, t] {
+      stats::Rng rng(worker_seeds[t]);
+      WorkerRecord& rec = records[t];
+      std::uint64_t last_epoch = 0;
+      const auto note_epoch = [&rec, &last_epoch](std::uint64_t epoch) {
+        if (epoch < last_epoch) rec.epochs_monotone = false;
+        last_epoch = epoch;
+      };
+      for (std::size_t q = 0; q < config.queries_per_thread; ++q) {
+        const auto begin = Clock::now();
+        if (config.batch_every != 0 && q % config.batch_every == 0) {
+          std::vector<QueryItem> items(config.batch_size);
+          for (auto& item : items) {
+            const double pick = rng.uniform();
+            if (pick < 0.5) {
+              item = {QueryKind::Status, random_node(machine, rng), {}};
+            } else if (pick < 0.8) {
+              item = {QueryKind::Region, random_node(machine, rng), {}};
+            } else {
+              item = {QueryKind::Route, random_node(machine, rng),
+                      random_node(machine, rng)};
+            }
+          }
+          const BatchAnswer answer = service.query_batch(items);
+          if (answer.status == QueryStatus::Ok) {
+            ++rec.ok;
+            ++rec.batches_ok;
+            rec.batch_items += answer.items.size();
+            note_epoch(answer.epoch);
+          } else {
+            ++rec.rejected;
+          }
+        } else {
+          const double pick = rng.uniform();
+          if (pick < 0.5) {
+            const StatusAnswer answer =
+                service.query_status(random_node(machine, rng));
+            if (answer.status == QueryStatus::Ok) {
+              ++rec.ok;
+              note_epoch(answer.epoch);
+            } else {
+              ++rec.rejected;
+            }
+          } else if (pick < 0.8) {
+            const RegionAnswer answer =
+                service.query_region(random_node(machine, rng));
+            if (answer.status == QueryStatus::Ok) {
+              ++rec.ok;
+              note_epoch(answer.epoch);
+            } else {
+              ++rec.rejected;
+            }
+          } else {
+            const RouteAnswer answer = service.query_route(
+                random_node(machine, rng), random_node(machine, rng));
+            if (answer.status == QueryStatus::Ok) {
+              ++rec.ok;
+              note_epoch(answer.epoch);
+            } else {
+              ++rec.rejected;
+            }
+          }
+        }
+        rec.latency_us.add(us_between(begin, Clock::now()));
+      }
+    });
+  }
+
+  for (auto& worker : workers) worker.join();
+  writer.join();
+  // Quiesce: every accepted event applied and its epoch published.
+  service.flush();
+  const auto end = Clock::now();
+
+  // 0.5us buckets: single queries answer in well under a microsecond, and
+  // the overflow counter flags any tail past 1ms rather than hiding it.
+  stats::Histogram latency{0.0, 1000.0, 2000};
+  std::size_t batches_ok = 0;
+  for (const WorkerRecord& rec : records) {
+    result.queries_ok += rec.ok;
+    result.queries_rejected += rec.rejected;
+    result.batch_items += rec.batch_items;
+    batches_ok += rec.batches_ok;
+    result.epochs_monotone = result.epochs_monotone && rec.epochs_monotone;
+    latency.merge(rec.latency_us);
+  }
+  result.submit_retries = submit_retries;
+  result.wall_seconds = us_between(start, end) / 1e6;
+  // Each batch counts once in queries_ok but delivers batch_size answers;
+  // throughput counts delivered answers.
+  const double answers = static_cast<double>(result.queries_ok - batches_ok +
+                                             result.batch_items);
+  result.qps =
+      result.wall_seconds > 0 ? answers / result.wall_seconds : 0.0;
+  result.p50_us = latency.median();
+  result.p99_us = latency.p99();
+  result.latency_overflow = latency.overflow();
+
+  const auto final_snapshot = service.snapshot();
+  result.final_digest = final_snapshot->label_digest();
+  result.final_faults = final_snapshot->faults().size();
+  result.final_epoch = final_snapshot->epoch();
+  result.epochs_published = service.stats().ingest.epochs_published;
+  return result;
+}
+
+}  // namespace ocp::svc

@@ -1,0 +1,91 @@
+// Deterministic closed-loop load generator for the serving runtime.
+//
+// One seeded master RNG forks independent streams — initial fault pattern,
+// churn event stream, one stream per query thread — with the same
+// `fork_trial_seeds` discipline as the netsim load sweeps, so every run is
+// reproducible from (config, seed). A writer thread replays the event
+// stream through `Service::submit` with closed-loop backpressure (an
+// `Overloaded` verdict retries rather than drops, so the final fault set —
+// and therefore the final published labeling — is a pure function of the
+// stream, independent of timing and of how many query threads race it).
+// Query threads hammer the query front with a seeded mix of status /
+// region / route / batch queries, recording per-query latency histograms
+// and checking that the epochs they observe never decrease.
+//
+// Timing-derived outputs (qps, percentiles, epochs-published) vary run to
+// run; the replay-identity outputs (`stream_digest`, `final_digest`,
+// `final_faults`) are bit-identical for any query-thread count — the
+// property the stress suite and the acceptance criteria pin down.
+#pragma once
+
+#include <cstdint>
+
+#include "svc/service.hpp"
+
+namespace ocp::svc {
+
+struct SvcLoadConfig {
+  std::int32_t mesh_side = 32;
+  mesh::Topology topology = mesh::Topology::Mesh;
+  /// Initial fault count labeled before serving starts (epoch 0).
+  std::size_t initial_faults = 10;
+  /// Churn events replayed while queries run.
+  std::size_t events = 128;
+  /// Fraction of events that repair a currently-faulty node (when one
+  /// exists); the rest inject faults (possibly duplicates).
+  double repair_fraction = 0.45;
+  std::size_t query_threads = 2;
+  std::size_t queries_per_thread = 2000;
+  /// Every Nth query is a batched query of `batch_size` items.
+  std::size_t batch_every = 16;
+  std::size_t batch_size = 8;
+  std::uint64_t seed = 1;
+  ServiceConfig service;
+};
+
+struct SvcLoadResult {
+  // -- timing-derived (vary run to run) -----------------------------------
+  std::size_t queries_ok = 0;
+  std::size_t queries_rejected = 0;
+  /// Individual answers delivered inside batched queries.
+  std::size_t batch_items = 0;
+  std::uint64_t epochs_published = 0;
+  /// Final epoch number == epochs published; depends on how events batched.
+  std::uint64_t final_epoch = 0;
+  std::uint64_t submit_retries = 0;
+  double wall_seconds = 0.0;
+  /// Individual answers (single queries + batch items) per second.
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  /// Latency samples beyond the histogram range (tail truncation marker).
+  std::uint64_t latency_overflow = 0;
+
+  // -- replay identity (bit-identical for any query-thread count) ---------
+  /// FNV-1a over the generated event stream.
+  std::uint64_t stream_digest = 0;
+  /// `Snapshot::label_digest()` of the final quiesced snapshot.
+  std::uint64_t final_digest = 0;
+  std::size_t final_faults = 0;
+
+  // -- serving invariants --------------------------------------------------
+  /// Every query thread observed monotonically non-decreasing epochs.
+  bool epochs_monotone = true;
+};
+
+/// Runs the closed-loop workload to completion (all events applied, all
+/// queries answered) and reports throughput, tail latency and the replay
+/// digests.
+[[nodiscard]] SvcLoadResult run_svc_load(const SvcLoadConfig& config);
+
+/// The seeded churn stream the generator replays, exposed for tests that
+/// drive `IngestEngine::apply` directly with deterministic batching.
+[[nodiscard]] std::vector<FaultEvent> generate_event_stream(
+    const mesh::Mesh2D& machine, const grid::CellSet& initial_faults,
+    std::size_t events, double repair_fraction, std::uint64_t seed);
+
+/// FNV-1a digest of an event stream.
+[[nodiscard]] std::uint64_t event_stream_digest(
+    const std::vector<FaultEvent>& events);
+
+}  // namespace ocp::svc

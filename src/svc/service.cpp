@@ -1,0 +1,238 @@
+#include "svc/service.hpp"
+
+#include <utility>
+
+namespace ocp::svc {
+
+/// RAII admission token for the query front: one increment per executing
+/// query; rejected entries never hold the slot.
+class Service::InflightGate {
+ public:
+  explicit InflightGate(const Service& service)
+      : service_(service), admitted_(service.admit_query()) {}
+  ~InflightGate() {
+    if (admitted_) {
+      service_.inflight_queries_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  InflightGate(const InflightGate&) = delete;
+  InflightGate& operator=(const InflightGate&) = delete;
+
+  [[nodiscard]] bool admitted() const noexcept { return admitted_; }
+
+ private:
+  const Service& service_;
+  bool admitted_;
+};
+
+Service::Service(grid::CellSet initial_faults, ServiceConfig config)
+    : config_(config),
+      queue_(config.queue_capacity),
+      engine_(std::move(initial_faults), config.ingest),
+      paused_(config.start_paused) {
+  ingest_thread_ = std::thread([this] { ingest_loop(); });
+}
+
+Service::~Service() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  queue_.close();
+  wake_.notify_all();
+  progress_.notify_all();
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+}
+
+void Service::ingest_loop() {
+  const obs::TraceConfig& trace = config_.ingest.trace;
+  for (;;) {
+    std::vector<FaultEvent> batch;
+    {
+      std::unique_lock lock(mu_);
+      // Shutdown overrides pause: accepted events are applied, not dropped.
+      wake_.wait(lock, [this] {
+        return stopping_ || (!paused_ && queue_.depth() > 0);
+      });
+      if (queue_.depth() == 0 && stopping_) break;
+      if (stopping_ || !paused_) {
+        batch = queue_.try_drain(config_.max_batch);
+        draining_ = !batch.empty();
+      }
+    }
+    if (!batch.empty()) {
+      trace.instant("svc.batch_drained",
+                    static_cast<std::int64_t>(batch.size()));
+      engine_.apply(batch);
+      {
+        std::lock_guard lock(mu_);
+        draining_ = false;
+      }
+      progress_.notify_all();
+    }
+  }
+}
+
+SubmitStatus Service::submit(FaultEvent event) {
+  const SubmitStatus status = queue_.push(event);
+  if (status == SubmitStatus::Accepted) {
+    // Briefly serialize against the waiter so the wakeup cannot be lost
+    // between its predicate check and its wait.
+    { std::lock_guard lock(mu_); }
+    wake_.notify_one();
+  } else {
+    config_.ingest.trace.counter("svc.submit_rejects", 1);
+  }
+  config_.ingest.trace.instant("svc.queue_depth",
+                               static_cast<std::int64_t>(queue_.depth()));
+  return status;
+}
+
+void Service::flush() {
+  {
+    std::lock_guard lock(mu_);
+    // Flushing a paused service with pending events would deadlock; the
+    // barrier takes precedence over the hold.
+    if (paused_ && queue_.depth() > 0) paused_ = false;
+  }
+  wake_.notify_all();
+  std::unique_lock lock(mu_);
+  progress_.wait(lock, [this] {
+    return stopping_ || (queue_.depth() == 0 && !draining_);
+  });
+}
+
+void Service::pause() {
+  std::lock_guard lock(mu_);
+  paused_ = true;
+}
+
+void Service::resume() {
+  {
+    std::lock_guard lock(mu_);
+    paused_ = false;
+  }
+  wake_.notify_all();
+}
+
+QueryStatus Service::wait_for_epoch(std::uint64_t epoch,
+                                    std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  const bool reached = progress_.wait_for(lock, timeout, [this, epoch] {
+    return engine_.snapshot()->epoch() >= epoch;
+  });
+  return reached ? QueryStatus::Ok : QueryStatus::Timeout;
+}
+
+bool Service::admit_query() const {
+  const std::size_t cap = config_.max_inflight_queries;
+  const std::int64_t running =
+      inflight_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (cap != 0 && running >= static_cast<std::int64_t>(cap)) {
+    inflight_queries_.fetch_sub(1, std::memory_order_relaxed);
+    query_overloads_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+StatusAnswer Service::query_status(mesh::Coord node) const {
+  InflightGate gate(*this);
+  if (!gate.admitted()) return {.status = QueryStatus::Overloaded};
+  const auto snap = engine_.snapshot();
+  if (!snap->machine().contains(node)) {
+    return {.status = QueryStatus::InvalidArgument, .epoch = snap->epoch()};
+  }
+  return {.status = QueryStatus::Ok,
+          .epoch = snap->epoch(),
+          .node = snap->status_of(node)};
+}
+
+RegionAnswer Service::query_region(mesh::Coord node) const {
+  InflightGate gate(*this);
+  if (!gate.admitted()) return {.status = QueryStatus::Overloaded};
+  const auto snap = engine_.snapshot();
+  if (!snap->machine().contains(node)) {
+    return {.status = QueryStatus::InvalidArgument, .epoch = snap->epoch()};
+  }
+  RegionAnswer answer{.status = QueryStatus::Ok,
+                      .epoch = snap->epoch(),
+                      .region_id = snap->region_id_of(node)};
+  if (const labeling::DisabledRegion* region = snap->region_of(node)) {
+    answer.region_size = region->size();
+    answer.fault_count = region->fault_count;
+    answer.parent_block = region->parent_block;
+  }
+  return answer;
+}
+
+RouteAnswer Service::query_route(mesh::Coord src, mesh::Coord dst) const {
+  InflightGate gate(*this);
+  if (!gate.admitted()) return {.status = QueryStatus::Overloaded};
+  const auto snap = engine_.snapshot();
+  if (!snap->machine().contains(src) || !snap->machine().contains(dst)) {
+    return {.status = QueryStatus::InvalidArgument, .epoch = snap->epoch()};
+  }
+  return {.status = QueryStatus::Ok,
+          .epoch = snap->epoch(),
+          .route = snap->route(src, dst)};
+}
+
+BatchAnswer Service::query_batch(
+    const std::vector<QueryItem>& items,
+    std::chrono::steady_clock::time_point deadline) const {
+  InflightGate gate(*this);
+  if (!gate.admitted()) return {.status = QueryStatus::Overloaded};
+  // One snapshot acquisition for the whole batch: every item is answered
+  // against the same epoch.
+  const auto snap = engine_.snapshot();
+  BatchAnswer answer{.status = QueryStatus::Ok, .epoch = snap->epoch()};
+  answer.items.resize(items.size());
+  const bool has_deadline = deadline != std::chrono::steady_clock::time_point{};
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      // Typed partial result: executed items stand, the rest time out.
+      for (std::size_t j = i; j < items.size(); ++j) {
+        answer.items[j].status = QueryStatus::Timeout;
+      }
+      answer.status = QueryStatus::Timeout;
+      break;
+    }
+    const QueryItem& item = items[i];
+    BatchItemAnswer& out = answer.items[i];
+    if (!snap->machine().contains(item.a) ||
+        (item.kind == QueryKind::Route && !snap->machine().contains(item.b))) {
+      out.status = QueryStatus::InvalidArgument;
+      ++answer.completed;
+      continue;
+    }
+    switch (item.kind) {
+      case QueryKind::Status:
+        out.node = snap->status_of(item.a);
+        break;
+      case QueryKind::Region:
+        out.node = snap->status_of(item.a);
+        out.region_id = snap->region_id_of(item.a);
+        break;
+      case QueryKind::Route: {
+        const routing::Route& route = snap->route(item.a, item.b);
+        out.route_status = route.status;
+        out.hops = route.hops();
+        break;
+      }
+    }
+    ++answer.completed;
+  }
+  return answer;
+}
+
+ServiceStats Service::stats() const {
+  return {.epoch = engine_.snapshot()->epoch(),
+          .queue_depth = queue_.depth(),
+          .events_accepted = queue_.accepted(),
+          .events_rejected = queue_.rejected(),
+          .query_overloads = query_overloads_.load(std::memory_order_relaxed),
+          .ingest = engine_.stats()};
+}
+
+}  // namespace ocp::svc

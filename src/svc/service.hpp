@@ -1,0 +1,201 @@
+// The long-lived serving runtime: one ingest thread, many query threads.
+//
+// `Service` owns the bounded event queue, the single-writer `IngestEngine`
+// and the ingest thread that connects them, and exposes the multi-threaded
+// query front. The read path is wait-free against the writer: a query
+// acquires the current RCU-published snapshot, answers against that one
+// consistent epoch, and releases it — queries running concurrently with a
+// publication simply see the previous epoch. Overload degrades gracefully
+// at both edges instead of stalling:
+//
+//  * ingest — `submit` returns a typed `Overloaded` verdict when the
+//    bounded queue is full (the caller chooses retry/shed/backoff);
+//  * queries — an optional in-flight cap returns `Overloaded` instead of
+//    queueing unbounded readers, and batched queries carry a deadline that
+//    turns into typed per-item `Timeout` answers.
+//
+// `pause`/`resume` hold the ingest loop (planned maintenance, deterministic
+// overload tests); `flush` barriers until every accepted event is applied
+// and published; `wait_for_epoch` gives submitters read-your-writes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/ingest.hpp"
+
+namespace ocp::svc {
+
+struct ServiceConfig {
+  /// Bounded MPSC admission queue for fault/repair events.
+  std::size_t queue_capacity = 1024;
+  /// Max events drained into one ingest batch (burst coalescing window).
+  std::size_t max_batch = 256;
+  /// Query-front admission: maximum concurrently executing queries before
+  /// `Overloaded` rejections. 0 = uncapped.
+  std::size_t max_inflight_queries = 0;
+  /// Start with the ingest loop held (as if `pause()` ran before any event
+  /// was drained); call `resume()` to begin applying.
+  bool start_paused = false;
+  IngestConfig ingest;
+};
+
+/// Typed verdict of a query-front call.
+enum class QueryStatus : std::uint8_t {
+  Ok = 0,
+  /// The in-flight cap was reached; the query was not executed.
+  Overloaded = 1,
+  /// The deadline expired before this (batch item / epoch wait) completed.
+  Timeout = 2,
+  /// The coordinates do not address machine nodes.
+  InvalidArgument = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(QueryStatus s) noexcept {
+  switch (s) {
+    case QueryStatus::Ok: return "ok";
+    case QueryStatus::Overloaded: return "overloaded";
+    case QueryStatus::Timeout: return "timeout";
+    case QueryStatus::InvalidArgument: return "invalid-argument";
+  }
+  return "?";
+}
+
+struct StatusAnswer {
+  QueryStatus status = QueryStatus::Ok;
+  std::uint64_t epoch = 0;
+  NodeStatus node = NodeStatus::Enabled;
+};
+
+struct RegionAnswer {
+  QueryStatus status = QueryStatus::Ok;
+  std::uint64_t epoch = 0;
+  /// Index into the snapshot's disabled-region list, or -1 when enabled.
+  std::int32_t region_id = -1;
+  std::size_t region_size = 0;
+  std::size_t fault_count = 0;
+  std::size_t parent_block = 0;
+};
+
+struct RouteAnswer {
+  QueryStatus status = QueryStatus::Ok;
+  std::uint64_t epoch = 0;
+  routing::Route route;
+};
+
+/// One item of a batched query.
+enum class QueryKind : std::uint8_t { Status = 0, Region = 1, Route = 2 };
+
+struct QueryItem {
+  QueryKind kind = QueryKind::Status;
+  mesh::Coord a;
+  /// Route destination (Route items only).
+  mesh::Coord b;
+};
+
+/// Compact per-item answer of a batch (routes are summarized; fetch the
+/// full path with `query_route` when needed).
+struct BatchItemAnswer {
+  QueryStatus status = QueryStatus::Ok;
+  NodeStatus node = NodeStatus::Enabled;
+  std::int32_t region_id = -1;
+  routing::RouteStatus route_status = routing::RouteStatus::Invalid;
+  std::int32_t hops = 0;
+};
+
+struct BatchAnswer {
+  QueryStatus status = QueryStatus::Ok;  // Ok, Overloaded, or Timeout
+  std::uint64_t epoch = 0;
+  /// Items actually executed before any deadline expiry.
+  std::size_t completed = 0;
+  std::vector<BatchItemAnswer> items;
+};
+
+/// Aggregated service health for dashboards and tests.
+struct ServiceStats {
+  std::uint64_t epoch = 0;
+  std::size_t queue_depth = 0;
+  std::uint64_t events_accepted = 0;
+  std::uint64_t events_rejected = 0;
+  std::uint64_t query_overloads = 0;
+  IngestStats ingest;
+};
+
+class Service {
+ public:
+  /// Labels `initial_faults`, publishes epoch 0 and starts the ingest
+  /// thread (held when `config.start_paused`).
+  explicit Service(grid::CellSet initial_faults, ServiceConfig config = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // -- ingest edge ---------------------------------------------------------
+
+  /// Admission-controlled event submission (any thread, non-blocking).
+  SubmitStatus submit(FaultEvent event);
+
+  /// Blocks until every accepted event has been drained and applied (and
+  /// the resulting epoch published). Returns immediately when paused with
+  /// an empty queue would deadlock — i.e. flush of a paused service with
+  /// pending events resumes it first.
+  void flush();
+
+  /// Holds the ingest loop after the in-flight batch (if any) completes.
+  /// Events keep accumulating up to the queue bound, then reject.
+  void pause();
+  void resume();
+
+  /// Blocks until the serving epoch is >= `epoch` or the timeout expires.
+  [[nodiscard]] QueryStatus wait_for_epoch(std::uint64_t epoch,
+                                           std::chrono::milliseconds timeout);
+
+  // -- query front ---------------------------------------------------------
+
+  /// The current snapshot: the zero-copy bulk-read path. Hold it to answer
+  /// any number of queries against one consistent epoch.
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const {
+    return engine_.snapshot();
+  }
+
+  [[nodiscard]] StatusAnswer query_status(mesh::Coord node) const;
+  [[nodiscard]] RegionAnswer query_region(mesh::Coord node) const;
+  [[nodiscard]] RouteAnswer query_route(mesh::Coord src, mesh::Coord dst) const;
+  /// Executes all items against ONE snapshot acquisition. A default (epoch)
+  /// deadline means no deadline.
+  [[nodiscard]] BatchAnswer query_batch(
+      const std::vector<QueryItem>& items,
+      std::chrono::steady_clock::time_point deadline = {}) const;
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const IngestEngine& engine() const noexcept { return engine_; }
+
+ private:
+  class InflightGate;
+
+  void ingest_loop();
+  [[nodiscard]] bool admit_query() const;
+
+  ServiceConfig config_;
+  EventQueue queue_;
+  IngestEngine engine_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;     // ingest loop wakeups
+  mutable std::condition_variable progress_;  // flush / wait_for_epoch
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool draining_ = false;  // a batch is between drain and publish
+
+  mutable std::atomic<std::int64_t> inflight_queries_{0};
+  mutable std::atomic<std::uint64_t> query_overloads_{0};
+
+  std::thread ingest_thread_;
+};
+
+}  // namespace ocp::svc

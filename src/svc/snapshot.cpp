@@ -1,0 +1,77 @@
+#include "svc/snapshot.hpp"
+
+#include "core/regions.hpp"
+
+namespace ocp::svc {
+
+Snapshot::Snapshot(std::uint64_t epoch, grid::CellSet faults,
+                   grid::NodeGrid<labeling::Safety> safety,
+                   grid::NodeGrid<labeling::Activation> activation,
+                   std::vector<labeling::FaultyBlock> blocks,
+                   std::vector<labeling::DisabledRegion> regions,
+                   routing::Hand hand)
+    : epoch_(epoch),
+      faults_(std::move(faults)),
+      safety_(std::move(safety)),
+      activation_(std::move(activation)),
+      blocks_(std::move(blocks)),
+      regions_(std::move(regions)),
+      blocked_(labeling::disabled_cells(activation_)),
+      region_index_(static_cast<std::size_t>(machine().node_count()), -1),
+      router_(machine(), blocked_, hand),
+      cache_(router_, machine()) {
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    for (mesh::Coord c : regions_[r].component.cells()) {
+      region_index_[machine().index(c)] = static_cast<std::int32_t>(r);
+    }
+  }
+}
+
+std::shared_ptr<const Snapshot> Snapshot::build(
+    std::uint64_t epoch, const labeling::MaintainedLabeling& labeling,
+    routing::Hand hand) {
+  return std::make_shared<const Snapshot>(epoch, labeling.faults(),
+                                          labeling.safety(),
+                                          labeling.activation(),
+                                          labeling.blocks(),
+                                          labeling.regions(), hand);
+}
+
+check::ViolationReport Snapshot::validate(labeling::SafeUnsafeDef def,
+                                          std::uint32_t checks) const {
+  // The oracle consumes a PipelineResult; assemble one from the frozen
+  // planes. Round statistics stay zeroed, which the oracle reads as
+  // "reference engine" and skips the convergence checks for.
+  labeling::PipelineResult view{.safety = safety_,
+                               .activation = activation_,
+                               .blocks = blocks_,
+                               .regions = regions_,
+                               .safety_stats = {},
+                               .activation_stats = {}};
+  return check::check_pipeline(
+      faults_, view, {.definition = def, .checks = checks});
+}
+
+std::uint64_t Snapshot::label_digest() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  const std::size_t n = safety_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = faults_.contains_index(i) ? 4u : 0u;
+    v |= safety_.at_index(i) == labeling::Safety::Unsafe ? 2u : 0u;
+    v |= activation_.at_index(i) == labeling::Activation::Disabled ? 1u : 0u;
+    mix(v + 1);
+  }
+  mix(blocks_.size());
+  mix(regions_.size());
+  for (const auto& region : regions_) {
+    mix(region.size());
+    mix(static_cast<std::uint64_t>(region.fault_count));
+  }
+  return h;
+}
+
+}  // namespace ocp::svc

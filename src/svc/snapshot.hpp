@@ -1,0 +1,152 @@
+// The immutable serving artifact of the query runtime (src/svc).
+//
+// A `Snapshot` freezes one epoch of the labeled machine — fault set, both
+// labelings, faulty blocks, disabled regions — together with the derived
+// structures queries need at serving speed: a dense per-node region index
+// (O(1) "which disabled region am I in"), the blocked set routers must
+// avoid, a `FaultRingRouter` over that set, and a per-epoch
+// `routing::RouteCache` that memoizes routes lazily. Snapshots are published
+// by the single-writer ingest loop through an RCU-style `shared_ptr`
+// swap (see ingest.hpp): readers acquire a snapshot, answer any number of
+// queries against perfectly consistent state, and drop it; old epochs die
+// when their last reader releases them. Nothing in a snapshot mutates after
+// publication except the route cache's internal memo table, which is
+// thread-safe and invisible to results (routing is deterministic).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "core/maintenance.hpp"
+#include "core/pipeline.hpp"
+#include "routing/route_cache.hpp"
+
+namespace ocp::svc {
+
+/// What a node is, as served to routers and schedulers. The three-valued
+/// collapse of the paper's status lattice: consumers route through Enabled
+/// nodes, detour around Disabled ones, and treat Faulty as dead hardware.
+enum class NodeStatus : std::uint8_t {
+  Enabled = 0,
+  /// Nonfaulty but disabled — sacrificed to keep fault regions convex.
+  Disabled = 1,
+  Faulty = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(NodeStatus s) noexcept {
+  switch (s) {
+    case NodeStatus::Enabled: return "enabled";
+    case NodeStatus::Disabled: return "disabled";
+    case NodeStatus::Faulty: return "faulty";
+  }
+  return "?";
+}
+
+class Snapshot {
+ public:
+  /// Freezes the current state of a maintained labeling as epoch `epoch`.
+  [[nodiscard]] static std::shared_ptr<const Snapshot> build(
+      std::uint64_t epoch, const labeling::MaintainedLabeling& labeling,
+      routing::Hand hand = routing::Hand::Right);
+
+  /// Raw-component constructor; prefer `build`. Public so tests can
+  /// assemble deliberately inconsistent snapshots and exercise `validate`'s
+  /// rejection path.
+  Snapshot(std::uint64_t epoch, grid::CellSet faults,
+           grid::NodeGrid<labeling::Safety> safety,
+           grid::NodeGrid<labeling::Activation> activation,
+           std::vector<labeling::FaultyBlock> blocks,
+           std::vector<labeling::DisabledRegion> regions, routing::Hand hand);
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const mesh::Mesh2D& machine() const noexcept {
+    return faults_.topology();
+  }
+  [[nodiscard]] const grid::CellSet& faults() const noexcept {
+    return faults_;
+  }
+  /// Union of the disabled regions (faulty and sacrificed nodes): what
+  /// routing treats as impassable.
+  [[nodiscard]] const grid::CellSet& blocked() const noexcept {
+    return blocked_;
+  }
+  [[nodiscard]] const grid::NodeGrid<labeling::Safety>& safety()
+      const noexcept {
+    return safety_;
+  }
+  [[nodiscard]] const grid::NodeGrid<labeling::Activation>& activation()
+      const noexcept {
+    return activation_;
+  }
+  [[nodiscard]] const std::vector<labeling::FaultyBlock>& blocks()
+      const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] const std::vector<labeling::DisabledRegion>& regions()
+      const noexcept {
+    return regions_;
+  }
+
+  /// O(1). Precondition: machine().contains(c).
+  [[nodiscard]] NodeStatus status_of(mesh::Coord c) const noexcept {
+    if (faults_.contains(c)) return NodeStatus::Faulty;
+    return activation_[c] == labeling::Activation::Disabled
+               ? NodeStatus::Disabled
+               : NodeStatus::Enabled;
+  }
+
+  /// Index into `regions()` of the disabled region containing `c`, or -1
+  /// when `c` is enabled. O(1) via the dense per-node index.
+  [[nodiscard]] std::int32_t region_id_of(mesh::Coord c) const noexcept {
+    return region_index_[machine().index(c)];
+  }
+
+  /// The disabled region containing `c`, or nullptr when `c` is enabled.
+  [[nodiscard]] const labeling::DisabledRegion* region_of(
+      mesh::Coord c) const noexcept {
+    const std::int32_t id = region_id_of(c);
+    return id < 0 ? nullptr : &regions_[static_cast<std::size_t>(id)];
+  }
+
+  /// Route over enabled nodes, memoized in this epoch's cache. The
+  /// reference is stable for the snapshot's lifetime (per-epoch caches are
+  /// never cleared).
+  [[nodiscard]] const routing::Route& route(mesh::Coord src,
+                                            mesh::Coord dst) const {
+    return cache_.lookup(src, dst);
+  }
+
+  [[nodiscard]] const routing::RouteCache& route_cache() const noexcept {
+    return cache_;
+  }
+
+  /// Runs the 16-check invariant oracle against this snapshot's labeling
+  /// (convergence checks skip automatically: a snapshot carries no round
+  /// statistics). The publish gate of the ingest loop.
+  [[nodiscard]] check::ViolationReport validate(
+      labeling::SafeUnsafeDef def,
+      std::uint32_t checks = check::kAllChecks) const;
+
+  /// FNV-1a digest over the fault/safety/activation planes and the region
+  /// structure — the replay-identity fingerprint (epoch-independent).
+  [[nodiscard]] std::uint64_t label_digest() const noexcept;
+
+ private:
+  std::uint64_t epoch_;
+  grid::CellSet faults_;
+  grid::NodeGrid<labeling::Safety> safety_;
+  grid::NodeGrid<labeling::Activation> activation_;
+  std::vector<labeling::FaultyBlock> blocks_;
+  std::vector<labeling::DisabledRegion> regions_;
+  grid::CellSet blocked_;
+  std::vector<std::int32_t> region_index_;
+  routing::FaultRingRouter router_;  // reads blocked_; declared after it
+  mutable routing::RouteCache cache_;
+};
+
+}  // namespace ocp::svc

@@ -1,0 +1,150 @@
+// Fault removal: incremental repair equals full recomputation. The fuzz
+// sweep drives random interleavings of add_fault/remove_fault and checks
+// the maintained labeling bit-for-bit against a from-scratch pipeline run
+// on the accumulated fault set after every event.
+#include <gtest/gtest.h>
+
+#include "core/maintenance.hpp"
+#include "fault/generators.hpp"
+
+namespace ocp::labeling {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+void expect_equivalent(const MaintainedLabeling& live,
+                       const grid::CellSet& faults, SafeUnsafeDef def,
+                       const char* context) {
+  PipelineOptions opts{.definition = def, .engine = Engine::Reference};
+  const auto batch = run_pipeline(faults, opts);
+  ASSERT_EQ(live.safety(), batch.safety) << context;
+  ASSERT_EQ(live.activation(), batch.activation) << context;
+  ASSERT_EQ(live.blocks().size(), batch.blocks.size()) << context;
+  ASSERT_EQ(live.regions().size(), batch.regions.size()) << context;
+  for (std::size_t r = 0; r < batch.regions.size(); ++r) {
+    ASSERT_EQ(live.regions()[r].size(), batch.regions[r].size()) << context;
+    ASSERT_EQ(live.regions()[r].fault_count, batch.regions[r].fault_count)
+        << context;
+    ASSERT_EQ(live.regions()[r].parent_block, batch.regions[r].parent_block)
+        << context;
+  }
+}
+
+TEST(MaintenanceRemovalTest, RemoveOfNonFaultyOrOutOfMeshIsNoOp) {
+  const Mesh2D m(10, 10);
+  MaintainedLabeling live(grid::CellSet{m, {{4, 4}}});
+  EXPECT_EQ(live.remove_fault({5, 5}), 0u);   // healthy node
+  EXPECT_EQ(live.remove_fault({-1, 3}), 0u);  // outside the machine
+  EXPECT_EQ(live.remove_fault({10, 3}), 0u);
+  EXPECT_EQ(live.faults().size(), 1u);
+}
+
+TEST(MaintenanceRemovalTest, AddThenRemoveRestoresPristineMachine) {
+  const Mesh2D m(12, 12);
+  MaintainedLabeling live{grid::CellSet(m)};
+  (void)live.add_fault({5, 5});
+  ASSERT_EQ(live.blocks().size(), 1u);
+  const std::size_t changed = live.remove_fault({5, 5});
+  EXPECT_EQ(changed, 1u);  // the node itself went unsafe -> safe
+  EXPECT_TRUE(live.faults().empty());
+  EXPECT_TRUE(live.blocks().empty());
+  EXPECT_TRUE(live.regions().empty());
+  expect_equivalent(live, grid::CellSet(m), SafeUnsafeDef::Def2b, "pristine");
+}
+
+TEST(MaintenanceRemovalTest, RepairSplitsAMergedBlock) {
+  // Two diagonal faults form one 2x2 block; repairing one must shrink the
+  // block back to the single remaining fault.
+  const Mesh2D m(12, 12);
+  MaintainedLabeling live(grid::CellSet{m, {{5, 5}, {6, 6}}});
+  ASSERT_EQ(live.blocks().size(), 1u);
+  ASSERT_EQ(live.blocks()[0].size(), 4u);
+
+  const std::size_t changed = live.remove_fault({6, 6});
+  // The repaired node and the two bridging nodes return to safe.
+  EXPECT_EQ(changed, 3u);
+  ASSERT_EQ(live.blocks().size(), 1u);
+  EXPECT_EQ(live.blocks()[0].size(), 1u);
+  expect_equivalent(live, grid::CellSet{m, {{5, 5}}}, SafeUnsafeDef::Def2b,
+                    "split");
+}
+
+TEST(MaintenanceRemovalTest, RepairCanReenableSacrificedNodes) {
+  // Build the walled configuration that disables the bridging nodes of a
+  // diagonal pair (see MaintenanceTest.NewFaultCanRevokeEnabledStatus),
+  // then repair the wall fault by fault: the sacrificed nodes must win
+  // their enabled status back once support returns.
+  const Mesh2D m(12, 12);
+  MaintainedLabeling live(grid::CellSet{m, {{5, 5}, {6, 6}}});
+  const std::vector<Coord> wall = {{4, 5}, {4, 6}, {5, 7}, {6, 7},
+                                   {7, 5}, {5, 4}, {6, 4}, {7, 6},
+                                   {4, 4}, {7, 7}, {4, 7}, {7, 4}};
+  for (const Coord c : wall) (void)live.add_fault(c);
+  ASSERT_EQ((live.activation()[{5, 6}]), Activation::Disabled);
+  ASSERT_EQ((live.activation()[{6, 5}]), Activation::Disabled);
+
+  for (const Coord c : wall) (void)live.remove_fault(c);
+  // Back to the bare diagonal pair, whose bridging nodes are enabled.
+  EXPECT_EQ((live.activation()[{5, 6}]), Activation::Enabled);
+  EXPECT_EQ((live.activation()[{6, 5}]), Activation::Enabled);
+  expect_equivalent(live, grid::CellSet{m, {{5, 5}, {6, 6}}},
+                    SafeUnsafeDef::Def2b, "unwalled");
+}
+
+TEST(MaintenanceRemovalTest, FuzzedInterleavingsMatchPipelineBitForBit) {
+  for (const auto topology : {mesh::Topology::Mesh, mesh::Topology::Torus}) {
+    const Mesh2D m(16, 16, topology);
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const SafeUnsafeDef def =
+          seed % 2 == 0 ? SafeUnsafeDef::Def2b : SafeUnsafeDef::Def2a;
+      stats::Rng rng(seed + 100);
+      MaintainedLabeling live(grid::CellSet(m), def);
+      grid::CellSet accumulated(m);
+      for (int event = 0; event < 40; ++event) {
+        // Bias toward adds so the machine carries a meaningful fault load;
+        // removals pick a random currently-faulty node.
+        const bool remove = !accumulated.empty() && rng.uniform() < 0.4;
+        if (remove) {
+          const auto members = accumulated.to_vector();
+          const Coord node = members[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(members.size()) - 1))];
+          live.remove_fault(node);
+          accumulated.erase(node);
+        } else {
+          const Coord node = m.coord(static_cast<std::size_t>(
+              rng.uniform_int(0, m.node_count() - 1)));
+          live.add_fault(node);
+          accumulated.insert(node);
+        }
+        ASSERT_EQ(live.faults(), accumulated);
+        const std::string context =
+            "topology " + std::to_string(static_cast<int>(topology)) +
+            " seed " + std::to_string(seed) + " event " +
+            std::to_string(event);
+        expect_equivalent(live, accumulated, def, context.c_str());
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(MaintenanceRemovalTest, DrainToEmptyRestoresAllSafe) {
+  const Mesh2D m(16, 16);
+  stats::Rng rng(9);
+  const auto faults = fault::uniform_random(m, 24, rng);
+  MaintainedLabeling live(faults);
+  for (const Coord c : faults.to_vector()) {
+    live.remove_fault(c);
+  }
+  EXPECT_TRUE(live.faults().empty());
+  EXPECT_TRUE(live.blocks().empty());
+  EXPECT_TRUE(live.regions().empty());
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count()); ++i) {
+    ASSERT_EQ(live.safety().at_index(i), Safety::Safe);
+    ASSERT_EQ(live.activation().at_index(i), Activation::Enabled);
+  }
+}
+
+}  // namespace
+}  // namespace ocp::labeling

@@ -128,5 +128,92 @@ TEST(RouteCacheTest, ConcurrentDistinctKeyLookupsAccountEveryLookup) {
   EXPECT_EQ(cache.hits(), expected_lookups - expected_pairs);
 }
 
+TEST(RouteCacheTest, ClearRetiresEntriesAndAdvancesGeneration) {
+  const Mesh2D m(8, 8);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  RouteCache cache(router, m);
+
+  EXPECT_EQ(cache.generation(), 0u);
+  (void)cache.lookup({0, 0}, {7, 7});
+  (void)cache.lookup({1, 1}, {6, 6});
+  ASSERT_EQ(cache.size(), 2u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.generation(), 1u);
+  // Hit/miss counters are cumulative across generations.
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // The next lookup repopulates: a fresh miss, not a stale hit.
+  (void)cache.lookup({0, 0}, {7, 7});
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.generation(), 2u);
+}
+
+TEST(RouteCacheTest, SharedHandleSurvivesClear) {
+  const Mesh2D m(8, 8);
+  const grid::CellSet blocked(m);
+  const XYRouter router(m, blocked);
+  RouteCache cache(router, m);
+
+  const std::shared_ptr<const Route> held = cache.lookup_shared({0, 0}, {7, 7});
+  ASSERT_NE(held, nullptr);
+  const auto path_before = held->path;
+  cache.clear();
+  // The handle keeps the retired route alive and intact.
+  EXPECT_TRUE(held->delivered());
+  EXPECT_EQ(held->path, path_before);
+}
+
+// 8 threads: 6 readers via lookup_shared, 2 clearers invalidating the table
+// underneath them. Every handle must come back non-null with a delivered
+// route regardless of interleaving — the tsan build (ctest -L tsan) checks
+// the handoff between the swap-under-lock in clear() and the shared-lock
+// fast path for data races.
+TEST(RouteCacheTest, ConcurrentClearAndSharedLookupsStaySafe) {
+  const Mesh2D m(16, 16);
+  const grid::CellSet blocked{m, {{7, 7}, {8, 7}}};
+  const FaultRingRouter router(m, blocked);
+  RouteCache cache(router, m);
+
+  constexpr int kReaders = 6;
+  constexpr int kClearers = 2;
+  constexpr int kLookups = 500;
+  constexpr int kClears = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + kClearers);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kLookups; ++i) {
+        const Coord src{t, (t + i) % 16};
+        const Coord dst{15 - i % 3, (i / 3) % 16};
+        if (src == dst) continue;
+        const auto route = cache.lookup_shared(src, dst);
+        ASSERT_NE(route, nullptr);
+        ASSERT_TRUE(route->delivered());
+        ASSERT_FALSE(route->path.empty());
+      }
+    });
+  }
+  for (int t = 0; t < kClearers; ++t) {
+    threads.emplace_back([&cache] {
+      for (int i = 0; i < kClears; ++i) {
+        cache.clear();
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(cache.generation(),
+            static_cast<std::uint64_t>(kClearers) * kClears);
+  // Counter identity holds across invalidations (skipped src==dst pairs
+  // are not lookups).
+  EXPECT_GE(cache.hits() + cache.misses(), 1u);
+}
+
 }  // namespace
 }  // namespace ocp::routing

@@ -1,0 +1,78 @@
+#include "svc/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ocp::svc {
+namespace {
+
+TEST(EventQueueTest, DrainsInFifoOrder) {
+  EventQueue q(8);
+  ASSERT_EQ(q.push({EventKind::Fault, {1, 1}}), SubmitStatus::Accepted);
+  ASSERT_EQ(q.push({EventKind::Repair, {2, 2}}), SubmitStatus::Accepted);
+  ASSERT_EQ(q.push({EventKind::Fault, {3, 3}}), SubmitStatus::Accepted);
+  EXPECT_EQ(q.depth(), 3u);
+
+  const auto batch = q.try_drain(16);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0], (FaultEvent{EventKind::Fault, {1, 1}}));
+  EXPECT_EQ(batch[1], (FaultEvent{EventKind::Repair, {2, 2}}));
+  EXPECT_EQ(batch[2], (FaultEvent{EventKind::Fault, {3, 3}}));
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(EventQueueTest, MaxBatchBoundsEachDrain) {
+  EventQueue q(16);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(q.push({EventKind::Fault, {i, 0}}), SubmitStatus::Accepted);
+  }
+  EXPECT_EQ(q.try_drain(2).size(), 2u);
+  EXPECT_EQ(q.depth(), 3u);
+  EXPECT_EQ(q.try_drain(2).size(), 2u);
+  EXPECT_EQ(q.try_drain(2).size(), 1u);
+  EXPECT_TRUE(q.try_drain(2).empty());
+}
+
+TEST(EventQueueTest, FullQueueRejectsWithOverloaded) {
+  EventQueue q(2);
+  ASSERT_EQ(q.push({EventKind::Fault, {0, 0}}), SubmitStatus::Accepted);
+  ASSERT_EQ(q.push({EventKind::Fault, {1, 0}}), SubmitStatus::Accepted);
+  EXPECT_EQ(q.push({EventKind::Fault, {2, 0}}), SubmitStatus::Overloaded);
+  EXPECT_EQ(q.depth(), 2u);  // the rejected event was not enqueued
+  EXPECT_EQ(q.accepted(), 2u);
+  EXPECT_EQ(q.rejected(), 1u);
+
+  // Draining frees capacity; admission recovers.
+  (void)q.try_drain(1);
+  EXPECT_EQ(q.push({EventKind::Fault, {2, 0}}), SubmitStatus::Accepted);
+}
+
+TEST(EventQueueTest, CloseStopsAdmissionButKeepsQueuedEventsDrainable) {
+  EventQueue q(8);
+  ASSERT_EQ(q.push({EventKind::Fault, {4, 4}}), SubmitStatus::Accepted);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.push({EventKind::Fault, {5, 5}}), SubmitStatus::Closed);
+
+  auto batch = q.wait_drain(8);  // does not block: events are queued
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].node, (mesh::Coord{4, 4}));
+  // Closed and fully drained: the consumer's shutdown signal.
+  EXPECT_TRUE(q.wait_drain(8).empty());
+}
+
+TEST(EventQueueTest, WaitDrainBlocksUntilProducerArrives) {
+  EventQueue q(8);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_EQ(q.push({EventKind::Repair, {7, 7}}), SubmitStatus::Accepted);
+  });
+  const auto batch = q.wait_drain(8);
+  producer.join();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].kind, EventKind::Repair);
+}
+
+}  // namespace
+}  // namespace ocp::svc

@@ -1,0 +1,181 @@
+// Coalescing and epoch semantics of the single-writer ingest engine. The
+// edge cases here — duplicate faults, repairs of never-faulty nodes,
+// fault+repair of the same node inside one drain batch — must collapse to
+// no-ops or single-epoch publications, never panics or spurious epochs.
+#include "svc/ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "fault/generators.hpp"
+#include "svc/loadgen.hpp"
+
+namespace ocp::svc {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+grid::CellSet empty16() { return grid::CellSet(Mesh2D(16, 16)); }
+
+TEST(IngestTest, ConstructorPublishesEpochZero) {
+  const Mesh2D m(16, 16);
+  IngestEngine engine(grid::CellSet{m, {{4, 4}}});
+  const auto snap = engine.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch(), 0u);
+  EXPECT_TRUE(snap->faults().contains({4, 4}));
+}
+
+TEST(IngestTest, SingleFaultPublishesOneEpoch) {
+  IngestEngine engine(empty16());
+  const FaultEvent events[] = {{EventKind::Fault, {5, 5}}};
+  const BatchOutcome outcome = engine.apply(events);
+  EXPECT_EQ(outcome.applied, 1u);
+  EXPECT_EQ(outcome.coalesced, 0u);
+  EXPECT_TRUE(outcome.published);
+  EXPECT_EQ(outcome.epoch, 1u);
+  EXPECT_EQ(engine.snapshot()->epoch(), 1u);
+  EXPECT_TRUE(engine.snapshot()->faults().contains({5, 5}));
+}
+
+TEST(IngestTest, DuplicateFaultEventsInOneBatchCoalesceToOneApply) {
+  IngestEngine engine(empty16());
+  const FaultEvent events[] = {{EventKind::Fault, {5, 5}},
+                               {EventKind::Fault, {5, 5}},
+                               {EventKind::Fault, {5, 5}}};
+  const BatchOutcome outcome = engine.apply(events);
+  EXPECT_EQ(outcome.applied, 1u);
+  EXPECT_EQ(outcome.coalesced, 2u);
+  EXPECT_TRUE(outcome.published);
+  EXPECT_EQ(engine.snapshot()->epoch(), 1u);
+}
+
+TEST(IngestTest, FaultOfAlreadyFaultyNodeIsNoOpWithNoEpoch) {
+  const Mesh2D m(16, 16);
+  IngestEngine engine(grid::CellSet{m, {{5, 5}}});
+  const FaultEvent events[] = {{EventKind::Fault, {5, 5}}};
+  const BatchOutcome outcome = engine.apply(events);
+  EXPECT_EQ(outcome.applied, 0u);
+  EXPECT_EQ(outcome.coalesced, 1u);
+  EXPECT_FALSE(outcome.published);
+  EXPECT_EQ(engine.snapshot()->epoch(), 0u);
+}
+
+TEST(IngestTest, RepairOfNeverFaultyNodeIsNoOp) {
+  IngestEngine engine(empty16());
+  const FaultEvent events[] = {{EventKind::Repair, {8, 8}}};
+  const BatchOutcome outcome = engine.apply(events);
+  EXPECT_EQ(outcome.applied, 0u);
+  EXPECT_EQ(outcome.coalesced, 1u);
+  EXPECT_FALSE(outcome.published);
+  EXPECT_TRUE(engine.snapshot()->faults().empty());
+}
+
+TEST(IngestTest, FaultThenRepairOfSameNodeInOneBatchCancels) {
+  IngestEngine engine(empty16());
+  const FaultEvent events[] = {{EventKind::Fault, {5, 5}},
+                               {EventKind::Repair, {5, 5}}};
+  const BatchOutcome outcome = engine.apply(events);
+  EXPECT_EQ(outcome.applied, 0u);
+  EXPECT_EQ(outcome.coalesced, 2u);
+  EXPECT_FALSE(outcome.published);
+  EXPECT_EQ(engine.snapshot()->epoch(), 0u);
+  EXPECT_TRUE(engine.snapshot()->faults().empty());
+}
+
+TEST(IngestTest, RepairThenFaultOfFaultyNodeInOneBatchCancels) {
+  const Mesh2D m(16, 16);
+  IngestEngine engine(grid::CellSet{m, {{5, 5}}});
+  const FaultEvent events[] = {{EventKind::Repair, {5, 5}},
+                               {EventKind::Fault, {5, 5}}};
+  const BatchOutcome outcome = engine.apply(events);
+  EXPECT_EQ(outcome.applied, 0u);
+  EXPECT_FALSE(outcome.published);
+  EXPECT_TRUE(engine.snapshot()->faults().contains({5, 5}));
+}
+
+TEST(IngestTest, OutOfMachineEventsAreCountedInvalidNeverFatal) {
+  IngestEngine engine(empty16());
+  const FaultEvent events[] = {{EventKind::Fault, {-1, 3}},
+                               {EventKind::Repair, {99, 99}},
+                               {EventKind::Fault, {2, 2}}};
+  const BatchOutcome outcome = engine.apply(events);
+  EXPECT_EQ(outcome.invalid, 2u);
+  EXPECT_EQ(outcome.applied, 1u);
+  EXPECT_EQ(outcome.coalesced, 2u);  // invalid events also never apply
+  EXPECT_TRUE(outcome.published);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.invalid, 2u);
+  EXPECT_EQ(stats.events, 3u);
+}
+
+TEST(IngestTest, MixedBatchPublishesExactlyOneEpoch) {
+  const Mesh2D m(16, 16);
+  IngestEngine engine(grid::CellSet{m, {{1, 1}}});
+  const FaultEvent events[] = {
+      {EventKind::Fault, {5, 5}},   {EventKind::Repair, {1, 1}},
+      {EventKind::Fault, {5, 5}},   {EventKind::Fault, {10, 10}},
+      {EventKind::Repair, {12, 3}},  // never faulty
+  };
+  const BatchOutcome outcome = engine.apply(events);
+  EXPECT_EQ(outcome.applied, 3u);  // +{5,5}, -{1,1}, +{10,10}
+  EXPECT_TRUE(outcome.published);
+  EXPECT_EQ(engine.snapshot()->epoch(), 1u);
+  EXPECT_EQ(engine.snapshot()->faults().size(), 2u);
+}
+
+TEST(IngestTest, BatchedReplayMatchesFromScratchPipeline) {
+  const Mesh2D m(20, 20);
+  stats::Rng rng(17);
+  const auto initial = fault::uniform_random(m, 8, rng);
+  const auto stream = generate_event_stream(m, initial, 120, 0.4, 23);
+
+  IngestEngine engine(initial);
+  // Apply in uneven batches to exercise the coalescer.
+  std::size_t at = 0;
+  std::size_t batch = 1;
+  while (at < stream.size()) {
+    const std::size_t n = std::min(batch, stream.size() - at);
+    (void)engine.apply(std::span(stream).subspan(at, n));
+    at += n;
+    batch = batch % 7 + 2;
+  }
+
+  // The maintained labeling must equal a from-scratch pipeline run over the
+  // final fault set, bit for bit.
+  const auto& final_faults = engine.snapshot()->faults();
+  const labeling::MaintainedLabeling scratch(final_faults);
+  EXPECT_EQ(engine.snapshot()->label_digest(),
+            Snapshot::build(0, scratch)->label_digest());
+  EXPECT_EQ(engine.snapshot()->safety(), scratch.safety());
+  EXPECT_EQ(engine.snapshot()->activation(), scratch.activation());
+}
+
+TEST(IngestTest, OracleGatePassesCleanPublications) {
+  IngestEngine engine(empty16(), {.validate = true});
+  const FaultEvent events[] = {{EventKind::Fault, {5, 5}},
+                               {EventKind::Fault, {6, 6}}};
+  const BatchOutcome outcome = engine.apply(events);
+  EXPECT_TRUE(outcome.published);
+  EXPECT_EQ(engine.stats().oracle_rejects, 0u);
+  EXPECT_FALSE(engine.last_violation().has_value());
+}
+
+TEST(IngestTest, StatsAccumulateAcrossBatches) {
+  IngestEngine engine(empty16());
+  const FaultEvent a[] = {{EventKind::Fault, {1, 1}}};
+  const FaultEvent b[] = {{EventKind::Fault, {1, 1}},
+                          {EventKind::Fault, {2, 2}}};
+  (void)engine.apply(a);
+  (void)engine.apply(b);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.events, 3u);
+  EXPECT_EQ(stats.applied, 2u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.epochs_published, 2u);
+}
+
+}  // namespace
+}  // namespace ocp::svc

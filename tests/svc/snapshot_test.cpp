@@ -1,0 +1,122 @@
+#include "svc/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/regions.hpp"
+#include "fault/generators.hpp"
+
+namespace ocp::svc {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(SnapshotTest, StatusOfMatchesLabelingForEveryNode) {
+  const Mesh2D m(16, 16);
+  stats::Rng rng(7);
+  const auto faults = fault::uniform_random(m, 18, rng);
+  const labeling::MaintainedLabeling live(faults);
+  const auto snap = Snapshot::build(3, live);
+
+  EXPECT_EQ(snap->epoch(), 3u);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count()); ++i) {
+    const Coord c = m.coord(i);
+    const NodeStatus got = snap->status_of(c);
+    if (faults.contains(c)) {
+      EXPECT_EQ(got, NodeStatus::Faulty);
+    } else if (live.activation()[c] == labeling::Activation::Disabled) {
+      EXPECT_EQ(got, NodeStatus::Disabled);
+    } else {
+      EXPECT_EQ(got, NodeStatus::Enabled);
+    }
+  }
+  EXPECT_EQ(snap->blocked(), labeling::disabled_cells(live.activation()));
+}
+
+TEST(SnapshotTest, RegionIndexAgreesWithRegionList) {
+  const Mesh2D m(16, 16);
+  stats::Rng rng(11);
+  const auto faults = fault::uniform_random(m, 20, rng);
+  const labeling::MaintainedLabeling live(faults);
+  const auto snap = Snapshot::build(0, live);
+
+  // Every region cell maps back to its own region id; every enabled node
+  // maps to -1.
+  for (std::size_t r = 0; r < snap->regions().size(); ++r) {
+    for (const Coord c : snap->regions()[r].component.cells()) {
+      ASSERT_EQ(snap->region_id_of(c), static_cast<std::int32_t>(r));
+      ASSERT_EQ(snap->region_of(c), &snap->regions()[r]);
+    }
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count()); ++i) {
+    const Coord c = m.coord(i);
+    if (snap->status_of(c) == NodeStatus::Enabled) {
+      ASSERT_EQ(snap->region_id_of(c), -1);
+      ASSERT_EQ(snap->region_of(c), nullptr);
+    }
+  }
+}
+
+TEST(SnapshotTest, RoutesAreMemoizedAndStable) {
+  const Mesh2D m(12, 12);
+  const labeling::MaintainedLabeling live(grid::CellSet{m, {{5, 5}, {6, 5}}});
+  const auto snap = Snapshot::build(0, live);
+
+  const routing::Route& first = snap->route({0, 0}, {11, 11});
+  EXPECT_TRUE(first.delivered());
+  // The per-epoch cache is never cleared, so the reference is stable.
+  EXPECT_EQ(&snap->route({0, 0}, {11, 11}), &first);
+  EXPECT_EQ(snap->route_cache().hits(), 1u);
+  EXPECT_EQ(snap->route_cache().misses(), 1u);
+}
+
+TEST(SnapshotTest, ValidatePassesOnWellFormedLabeling) {
+  const Mesh2D m(16, 16);
+  stats::Rng rng(3);
+  const auto faults = fault::uniform_random(m, 16, rng);
+  const labeling::MaintainedLabeling live(faults);
+  const auto snap = Snapshot::build(0, live);
+  const auto report = snap->validate(labeling::SafeUnsafeDef::Def2b);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(SnapshotTest, ValidateRejectsInconsistentLabeling) {
+  // Assemble a deliberately broken snapshot through the raw constructor: a
+  // faulty node whose safety plane claims Safe and whose activation plane
+  // claims Enabled, with no blocks or regions extracted. This is exactly
+  // the kind of engine bug the publish gate exists to catch.
+  const Mesh2D m(8, 8);
+  const grid::CellSet faults{m, {{3, 3}}};
+  const grid::NodeGrid<labeling::Safety> safety(m, labeling::Safety::Safe);
+  const grid::NodeGrid<labeling::Activation> activation(
+      m, labeling::Activation::Enabled);
+  const Snapshot broken(5, faults, safety, activation, {}, {},
+                        routing::Hand::Right);
+  const auto report = broken.validate(labeling::SafeUnsafeDef::Def2b);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(SnapshotTest, LabelDigestIsEpochIndependentAndLabelSensitive) {
+  const Mesh2D m(12, 12);
+  stats::Rng rng(5);
+  const auto faults = fault::uniform_random(m, 10, rng);
+  labeling::MaintainedLabeling live(faults);
+
+  const auto a = Snapshot::build(1, live);
+  const auto b = Snapshot::build(99, live);
+  EXPECT_EQ(a->label_digest(), b->label_digest());
+
+  // Any labeling change must move the digest.
+  grid::CellSet more = faults;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count()); ++i) {
+    if (!more.contains(m.coord(i))) {
+      more.insert(m.coord(i));
+      break;
+    }
+  }
+  const labeling::MaintainedLabeling other(more);
+  EXPECT_NE(a->label_digest(), Snapshot::build(1, other)->label_digest());
+}
+
+}  // namespace
+}  // namespace ocp::svc
