@@ -157,13 +157,14 @@ const BenchEntry* find(const std::vector<BenchEntry>& entries,
   return nullptr;
 }
 
-/// Reports per-benchmark real-time ratios; returns the number of failures
-/// (regressions beyond the tolerance band, plus — unless `allow_new` —
-/// benchmarks the baseline has no entry for).
-int compare(const std::vector<BenchEntry>& fresh,
-            const std::vector<BenchEntry>& baseline, double tolerance,
-            bool allow_new) {
-  int failures = 0;
+/// Reports per-benchmark real-time ratios; returns one summary line per
+/// failure (a regression beyond the tolerance band, or — unless `allow_new`
+/// — a benchmark the baseline has no entry for), so the caller's failure
+/// message can name every offender with its delta instead of a bare count.
+std::vector<std::string> compare(const std::vector<BenchEntry>& fresh,
+                                 const std::vector<BenchEntry>& baseline,
+                                 double tolerance, bool allow_new) {
+  std::vector<std::string> failures;
   std::cerr << "== baseline comparison (tolerance +"
             << static_cast<int>(tolerance * 100) << "%)\n";
   for (const auto& base : baseline) {
@@ -177,14 +178,25 @@ int compare(const std::vector<BenchEntry>& fresh,
     const double now_ms = to_ms(now->real_time, now->time_unit);
     const double ratio = base_ms > 0 ? now_ms / base_ms : 1.0;
     const bool regressed = ratio > 1.0 + tolerance;
-    if (regressed) ++failures;
+    if (regressed) {
+      std::ostringstream line;
+      line.precision(4);
+      line << base.name << ": " << base_ms << " ms -> " << now_ms << " ms ("
+           << (ratio >= 1.0 ? "+" : "") << (ratio - 1.0) * 100
+           << "%, band +" << tolerance * 100 << "%)";
+      failures.push_back(line.str());
+    }
     std::cerr << (regressed ? "  REGRESSED " : "  ok        ") << base.name
               << ": " << base_ms << " ms -> " << now_ms << " ms ("
               << (ratio >= 1.0 ? "+" : "") << (ratio - 1.0) * 100 << "%)\n";
   }
   for (const auto& now : fresh) {
     if (find(baseline, now.name) == nullptr) {
-      if (!allow_new) ++failures;
+      if (!allow_new) {
+        failures.push_back(now.name +
+                           ": not in baseline (refresh it or pass "
+                           "--allow-new)");
+      }
       std::cerr << (allow_new ? "  NEW      " : "  UNKNOWN  ") << now.name
                 << ": " << to_ms(now.real_time, now.time_unit) << " ms"
                 << (allow_new
@@ -259,10 +271,11 @@ int main(int argc, char** argv) {
                 << "\n";
       return 1;
     }
-    const int failures = compare(entries, baseline, tolerance, allow_new);
-    if (failures > 0) {
-      std::cerr << failures << " benchmark(s) regressed beyond the "
-                << "tolerance band or missing from the baseline\n";
+    const std::vector<std::string> failures =
+        compare(entries, baseline, tolerance, allow_new);
+    if (!failures.empty()) {
+      std::cerr << failures.size() << " benchmark(s) failed the gate:\n";
+      for (const std::string& f : failures) std::cerr << "  - " << f << "\n";
       return 1;
     }
     std::cerr << "no regressions beyond the tolerance band\n";

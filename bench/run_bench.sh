@@ -16,6 +16,12 @@
 #   bench/run_bench.sh --svc            # serving-runtime suite only, compared
 #                                       # against the committed BENCH_svc.json
 #                                       # the same way
+#   bench/run_bench.sh --svc-sweep      # closed-loop thread sweep: runs
+#                                       # BM_SvcClosedLoop at 1/2/4/8 query
+#                                       # threads and prints a qps table —
+#                                       # the scaling evidence for the
+#                                       # epoch-handle acquisition path; no
+#                                       # baselines touched
 #   bench/run_bench.sh --trace          # traced pipeline + netsim demo run:
 #                                       # writes trace.jsonl / trace_chrome
 #                                       # .json under $BUILD/bench/trace and
@@ -36,6 +42,7 @@ TOLERANCE="${BENCH_TOLERANCE:-0.50}"
 CHECK=0
 NETSIM_ONLY=0
 SVC_ONLY=0
+SVC_SWEEP=0
 TRACE=0
 
 for arg in "$@"; do
@@ -43,10 +50,11 @@ for arg in "$@"; do
     --check) CHECK=1 ;;
     --netsim) NETSIM_ONLY=1 ;;
     --svc) SVC_ONLY=1 ;;
+    --svc-sweep) SVC_SWEEP=1 ;;
     --trace) TRACE=1 ;;
     *)
       echo "error: unknown argument '$arg'" >&2
-      echo "supported: --check --netsim --svc --trace" >&2
+      echo "supported: --check --netsim --svc --svc-sweep --trace" >&2
       exit 2
       ;;
   esac
@@ -77,7 +85,7 @@ fi
 
 # Comparison runs default to longer timings: a regression verdict from a
 # 0.1-second sample is mostly noise.
-if [ "$NETSIM_ONLY" = 1 ] || [ "$SVC_ONLY" = 1 ]; then
+if [ "$NETSIM_ONLY" = 1 ] || [ "$SVC_ONLY" = 1 ] || [ "$SVC_SWEEP" = 1 ]; then
   MIN_TIME="${BENCH_MIN_TIME:-0.3}"
 else
   MIN_TIME="${BENCH_MIN_TIME:-0.1}"
@@ -133,6 +141,34 @@ if [ "$NETSIM_ONLY" = 1 ]; then
   run_suite perf_netsim compare "$ROOT/BENCH_netsim.json"
   echo "netsim within tolerance of the committed baseline"
   echo "(fresh compact numbers: $BUILD/bench/perf_netsim.full.json.compact)"
+  exit 0
+fi
+
+# --svc-sweep: the closed-loop generator at 1/2/4/8 query threads, printed
+# as a qps table. Pulls items_per_second straight out of the full benchmark
+# JSON (one field per line) — the number BENCH_svc.json commits for the
+# same benchmarks.
+if [ "$SVC_SWEEP" = 1 ]; then
+  full="$BUILD/bench/svc_load.sweep.json"
+  "$BUILD/bench/svc_load" \
+    --benchmark_out="$full" \
+    --benchmark_out_format=json \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_filter='BM_SvcClosedLoop/' \
+    >&2
+  echo "== closed-loop thread sweep (answers/s, real time)"
+  printf '%-24s %14s %10s %10s\n' "benchmark" "qps" "p50_us" "p99_us"
+  awk '
+    /"name":/            { gsub(/[",]/, ""); name = $2 }
+    /"items_per_second":/ { gsub(/,/, ""); qps = $2 }
+    /"p50_us":/          { gsub(/,/, ""); p50 = $2 }
+    /"p99_us":/          { gsub(/,/, ""); p99 = $2 }
+    /^    }/ && name != "" {
+      printf "%-24s %14.0f %10.2f %10.2f\n", name, qps, p50, p99
+      name = ""
+    }
+  ' "$full"
+  echo "(full numbers: $full)"
   exit 0
 fi
 

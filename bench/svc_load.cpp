@@ -6,6 +6,8 @@
 // the committed qps/p99 table in docs/experiments.md comes from.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "fault/generators.hpp"
 #include "svc/loadgen.hpp"
 
@@ -13,20 +15,11 @@ namespace {
 
 using namespace ocp;
 
-svc::SvcLoadConfig load_config(std::size_t query_threads) {
-  svc::SvcLoadConfig config;
-  config.mesh_side = 32;
-  config.initial_faults = 10;
-  config.events = 128;
-  config.query_threads = query_threads;
-  config.queries_per_thread = 2000;
-  config.seed = 20010423;
-  return config;
-}
-
-// Fault/repair churn through the single-writer engine: constructs the
-// epoch-0 labeling and replays a seeded 256-event stream in 16-event
-// batches. Items are applied events (net fault-set changes).
+// Fault/repair churn through the single-writer engine: replays a seeded
+// 256-event stream in 16-event batches. Items are applied events (net
+// fault-set changes). Engine construction (the epoch-0 labeling and
+// snapshot) happens outside the measurement region — the numbers are
+// epoch-turnover cost only, not construction cost.
 void BM_SvcIngestChurn(benchmark::State& state) {
   const auto n = static_cast<std::int32_t>(state.range(0));
   const mesh::Mesh2D m = mesh::Mesh2D::square(n);
@@ -36,14 +29,19 @@ void BM_SvcIngestChurn(benchmark::State& state) {
 
   std::int64_t applied = 0;
   for (auto _ : state) {
-    svc::IngestEngine engine(initial);
+    state.PauseTiming();
+    auto engine = std::make_unique<svc::IngestEngine>(initial);
+    state.ResumeTiming();
     for (std::size_t at = 0; at < stream.size(); at += 16) {
-      const auto outcome = engine.apply(
+      const auto outcome = engine->apply(
           std::span(stream).subspan(at, std::min<std::size_t>(
                                             16, stream.size() - at)));
       applied += static_cast<std::int64_t>(outcome.applied);
     }
-    benchmark::DoNotOptimize(engine.snapshot());
+    benchmark::DoNotOptimize(engine->snapshot());
+    state.PauseTiming();
+    engine.reset();
+    state.ResumeTiming();
   }
   state.SetItemsProcessed(applied);
   state.SetLabel("items = applied events");
@@ -72,8 +70,8 @@ void BM_SvcQueryStatus(benchmark::State& state) {
 BENCHMARK(BM_SvcQueryStatus);
 
 // Route queries against a warmed per-epoch cache: after the first sweep
-// every lookup is a shared-lock table hit.
-void BM_SvcQueryRouteCached(benchmark::State& state) {
+// every lookup is a shared-lock table hit returning a pooled entry.
+void BM_SvcQueryRouteWarm(benchmark::State& state) {
   const mesh::Mesh2D m = mesh::Mesh2D::square(32);
   stats::Rng rng(19);
   svc::Service service(fault::uniform_random(m, 12, rng));
@@ -92,7 +90,34 @@ void BM_SvcQueryRouteCached(benchmark::State& state) {
   state.SetItemsProcessed(answered);
   state.SetLabel("items = answers");
 }
-BENCHMARK(BM_SvcQueryRouteCached);
+BENCHMARK(BM_SvcQueryRouteWarm);
+
+// Route queries where (nearly) every pair is new: the miss path — route
+// computation plus pooled insertion under the exclusive lock. Pairs are
+// enumerated so no pair repeats within ~node_count^2 queries, far more
+// than a timed run consumes.
+void BM_SvcQueryRouteCold(benchmark::State& state) {
+  const mesh::Mesh2D m = mesh::Mesh2D::square(32);
+  stats::Rng rng(19);
+  svc::Service service(fault::uniform_random(m, 12, rng));
+
+  std::size_t i = 0;
+  std::int64_t answered = 0;
+  const auto nodes = static_cast<std::size_t>(m.node_count());
+  for (auto _ : state) {
+    const std::size_t src_index = i % nodes;
+    const std::size_t stride = 1 + i / nodes;  // new dst sweep per lap
+    const mesh::Coord src = m.coord(src_index);
+    const mesh::Coord dst = m.coord((src_index + stride) % nodes);
+    i += 1;
+    const auto answer = service.query_route(src, dst);
+    benchmark::DoNotOptimize(answer);
+    ++answered;
+  }
+  state.SetItemsProcessed(answered);
+  state.SetLabel("items = answers");
+}
+BENCHMARK(BM_SvcQueryRouteCold);
 
 // Batched queries: one snapshot acquisition amortized over 8 mixed items.
 void BM_SvcQueryBatch8(benchmark::State& state) {
@@ -121,12 +146,10 @@ void BM_SvcQueryBatch8(benchmark::State& state) {
 }
 BENCHMARK(BM_SvcQueryBatch8);
 
-// The whole runtime under closed-loop load: a writer replaying seeded
-// churn against N query threads. Items are delivered answers; the p50/p99
-// counters surface the generator's latency histogram (microseconds).
-void BM_SvcClosedLoop(benchmark::State& state) {
-  const auto threads = static_cast<std::size_t>(state.range(0));
-  const svc::SvcLoadConfig config = load_config(threads);
+// Shared body for the closed-loop benchmarks: runs the generator to
+// completion and reports delivered answers plus the latency histogram.
+void run_closed_loop(benchmark::State& state,
+                     const svc::SvcLoadConfig& config) {
   std::int64_t answers = 0;
   double p50 = 0.0;
   double p99 = 0.0;
@@ -145,7 +168,35 @@ void BM_SvcClosedLoop(benchmark::State& state) {
   state.counters["p99_us"] = p99;
   state.SetLabel("items = answers");
 }
-BENCHMARK(BM_SvcClosedLoop)->Arg(1)->Arg(2)->Arg(4)
+
+// The whole runtime under closed-loop load: a writer replaying seeded
+// churn against N query threads. Items are delivered answers; the p50/p99
+// counters surface the generator's latency histogram (microseconds).
+void BM_SvcClosedLoop(benchmark::State& state) {
+  run_closed_loop(
+      state, svc::query_heavy_profile(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_SvcClosedLoop)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Ingest-dominant closed loop: 8x the churn against a light query front —
+// throughput here tracks epoch-turnover cost (incremental relabeling and
+// copy-on-write publication), not the query hot paths.
+void BM_SvcClosedLoopIngestHeavy(benchmark::State& state) {
+  run_closed_loop(state, svc::ingest_heavy_profile(
+                             static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_SvcClosedLoopIngestHeavy)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Mixed-rate closed loop: heavy churn AND a full query front racing it —
+// the regime where route-cache carry-over and page sharing pay off
+// together.
+void BM_SvcClosedLoopMixedRate(benchmark::State& state) {
+  run_closed_loop(state, svc::mixed_rate_profile(
+                             static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_SvcClosedLoopMixedRate)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

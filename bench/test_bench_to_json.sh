@@ -65,10 +65,23 @@ make_full "$TMP/run.json" 2000000 3000000
 expect "matching run" 0 \
   "$BIN" "$TMP/run.json" --compare "$TMP/baseline.json"
 
-# 2. A 3x slowdown on BM_One fails under the default 30% band.
+# 2. A 3x slowdown on BM_One fails under the default 30% band, and the
+# failure message names the offender with its delta — not just a count.
 make_full "$TMP/slow.json" 6000000 3000000
 expect "regression" 1 \
   "$BIN" "$TMP/slow.json" --compare "$TMP/baseline.json"
+if ! grep -q "failed the gate" "$TMP/stderr.log"; then
+  echo "FAIL regression: no enumerated failure summary on stderr" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+if ! grep -q -- "- BM_One/16: .*->.*band" "$TMP/stderr.log"; then
+  echo "FAIL regression: offender BM_One/16 not named with its delta" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+if grep -q -- "- BM_Two/32:" "$TMP/stderr.log"; then
+  echo "FAIL regression: unregressed BM_Two/32 listed as an offender" >&2
+  FAILURES=$((FAILURES + 1))
+fi
 
 # 3. A benchmark the baseline has never seen fails by default...
 grep -v "BM_Two" "$TMP/baseline.json" > "$TMP/baseline_one.json"
@@ -76,6 +89,10 @@ expect "unknown benchmark" 1 \
   "$BIN" "$TMP/run.json" --compare "$TMP/baseline_one.json"
 if ! grep -q "UNKNOWN" "$TMP/stderr.log"; then
   echo "FAIL unknown benchmark: no UNKNOWN line on stderr" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+if ! grep -q -- "- BM_Two/32: not in baseline" "$TMP/stderr.log"; then
+  echo "FAIL unknown benchmark: offender not named in failure summary" >&2
   FAILURES=$((FAILURES + 1))
 fi
 

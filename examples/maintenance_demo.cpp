@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   for (int event = 1; event <= 28; ++event) {
     const mesh::Coord failed = machine.coord(static_cast<std::size_t>(
         rng.uniform_int(0, machine.node_count() - 1)));
-    const std::size_t changed = live.add_fault(failed);
+    const std::size_t changed = live.add_fault(failed).safety_changed;
 
     if (event % 7 != 0) continue;  // report every 7th event
 

@@ -1,6 +1,9 @@
 #include "core/maintenance.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "core/reference.hpp"
@@ -14,6 +17,13 @@ Safety safety_at(const grid::NodeGrid<Safety>& g, mesh::Coord c) {
   if (m.contains(c)) return g[c];
   if (m.is_torus()) return g[m.wrap(c)];
   return Safety::Safe;  // ghost
+}
+
+Activation activation_at(const grid::NodeGrid<Activation>& g, mesh::Coord c) {
+  const mesh::Mesh2D& m = g.topology();
+  if (m.contains(c)) return g[c];
+  if (m.is_torus()) return g[m.wrap(c)];
+  return Activation::Enabled;  // ghost
 }
 
 /// Definition 2a/2b: does the unsafe rule fire for nonfaulty node `c` under
@@ -38,6 +48,16 @@ bool rule_fires(SafeUnsafeDef def, const grid::NodeGrid<Safety>& safety,
   return ux && uy;
 }
 
+/// Minimum row-major node index over a component's physical cells — the
+/// extraction-order sort key of `grid::connected_components` (each
+/// component is seeded at exactly this cell).
+std::size_t min_phys_index(const mesh::Mesh2D& m,
+                           const grid::Component& comp) {
+  std::size_t best = static_cast<std::size_t>(m.node_count());
+  for (mesh::Coord c : comp.cells()) best = std::min(best, m.index(c));
+  return best;
+}
+
 }  // namespace
 
 MaintainedLabeling::MaintainedLabeling(grid::CellSet faults,
@@ -45,51 +65,78 @@ MaintainedLabeling::MaintainedLabeling(grid::CellSet faults,
     : def_(def),
       faults_(std::move(faults)),
       safety_(reference_safety(faults_, def)),
-      activation_(reference_activation(faults_, safety_)) {
+      activation_(reference_activation(faults_, safety_)),
+      disabled_(faults_.topology()),
+      block_index_(faults_.topology(), -1),
+      region_key_(faults_.topology(), -1),
+      visit_scratch_(static_cast<std::size_t>(faults_.topology().node_count()),
+                     0),
+      area_unsafe_scratch_(faults_.topology()),
+      area_disabled_scratch_(faults_.topology()) {
   refresh_regions();
 }
 
-std::size_t MaintainedLabeling::add_fault(mesh::Coord node) {
+EventDelta MaintainedLabeling::add_fault(mesh::Coord node) {
+  EventDelta delta;
   const mesh::Mesh2D& m = faults_.topology();
-  if (!m.contains(node) || faults_.contains(node)) return 0;
+  if (!m.contains(node) || faults_.contains(node)) return delta;
   faults_.insert(node);
 
   // Incremental phase one: the rule is monotone in the fault set, so
   // resuming the worklist from the new unsafe node reaches the fixpoint of
   // the enlarged instance. This mirrors what the distributed system does —
-  // only the neighborhood of the new fault exchanges messages.
-  std::size_t changed = 0;
-  std::queue<mesh::Coord> worklist;
+  // only the neighborhood of the new fault exchanges messages. The worklist
+  // is a flat vector with a read cursor: same FIFO order as a queue without
+  // the per-event deque allocation.
+  std::vector<mesh::Coord>& worklist = worklist_scratch_;
+  worklist.clear();
   if (safety_[node] != Safety::Unsafe) {
     safety_[node] = Safety::Unsafe;
-    ++changed;
+    ++delta.safety_changed;
   }
-  worklist.push(node);
+  worklist.push_back(node);
 
-  while (!worklist.empty()) {
-    const mesh::Coord u = worklist.front();
-    worklist.pop();
+  for (std::size_t head = 0; head < worklist.size(); ++head) {
+    const mesh::Coord u = worklist[head];
     for (const mesh::Link& l : m.neighbors(u)) {
       if (safety_[l.to] == Safety::Unsafe || faults_.contains(l.to)) continue;
       if (rule_fires(def_, safety_, l.to)) {
         safety_[l.to] = Safety::Unsafe;
-        ++changed;
-        worklist.push(l.to);
+        ++delta.safety_changed;
+        worklist.push_back(l.to);
       }
     }
   }
 
-  // Phase two is not monotone in the fault set: re-derive it from the new
-  // safety labeling. (The reference solver is O(N); a distributed system
-  // would rerun Definition 3 inside the affected blocks only.)
-  activation_ = reference_activation(faults_, safety_);
-  refresh_regions();
-  return changed;
+  // The affected area is the merged unsafe component around the new fault:
+  // every safety flip is chained to the fault through unsafe cells, so any
+  // pre-existing block it touched has been absorbed into this component,
+  // and nothing outside it changed. `visit_scratch_` is all-zero on entry
+  // and restored to zeros below (every visited cell lands in `area`).
+  std::vector<mesh::Coord> area;
+  visit_scratch_[m.index(node)] = 1;
+  area.push_back(node);
+  for (std::size_t head = 0; head < area.size(); ++head) {
+    const mesh::Coord u = area[head];
+    for (const mesh::Link& l : m.neighbors(u)) {
+      if (visit_scratch_[m.index(l.to)] != 0 ||
+          safety_[l.to] != Safety::Unsafe) {
+        continue;
+      }
+      visit_scratch_[m.index(l.to)] = 1;
+      area.push_back(l.to);
+    }
+  }
+  for (const mesh::Coord c : area) visit_scratch_[m.index(c)] = 0;
+
+  rebuild_area(std::move(area), delta);
+  return delta;
 }
 
-std::size_t MaintainedLabeling::remove_fault(mesh::Coord node) {
+EventDelta MaintainedLabeling::remove_fault(mesh::Coord node) {
+  EventDelta delta;
   const mesh::Mesh2D& m = faults_.topology();
-  if (!m.contains(node) || !faults_.contains(node)) return 0;
+  if (!m.contains(node) || !faults_.contains(node)) return delta;
   faults_.erase(node);
 
   // The faulty block the node belonged to: the maximal 4-connected unsafe
@@ -99,32 +146,29 @@ std::size_t MaintainedLabeling::remove_fault(mesh::Coord node) {
   // component are safe and — by monotonicity in the fault set — stay safe
   // after the removal. The repair is therefore exact when confined to the
   // block: reset it, then re-close the fixpoint from its remaining faults.
-  std::vector<mesh::Coord> block;
-  {
-    grid::CellSet seen(m);
-    std::queue<mesh::Coord> bfs;
-    bfs.push(node);
-    seen.insert(node);
-    while (!bfs.empty()) {
-      const mesh::Coord u = bfs.front();
-      bfs.pop();
-      block.push_back(u);
-      for (const mesh::Link& l : m.neighbors(u)) {
-        if (seen.contains(l.to) || safety_[l.to] != Safety::Unsafe) continue;
-        seen.insert(l.to);
-        bfs.push(l.to);
+  std::vector<mesh::Coord> footprint;
+  visit_scratch_[m.index(node)] = 1;
+  footprint.push_back(node);
+  for (std::size_t head = 0; head < footprint.size(); ++head) {
+    const mesh::Coord u = footprint[head];
+    for (const mesh::Link& l : m.neighbors(u)) {
+      if (visit_scratch_[m.index(l.to)] != 0 ||
+          safety_[l.to] != Safety::Unsafe) {
+        continue;
       }
+      visit_scratch_[m.index(l.to)] = 1;
+      footprint.push_back(l.to);
     }
   }
-
-  const grid::NodeGrid<Safety> before = safety_;
+  for (const mesh::Coord c : footprint) visit_scratch_[m.index(c)] = 0;
 
   // Reset: remaining faults stay unsafe and seed the closure.
-  std::queue<mesh::Coord> worklist;
-  for (mesh::Coord c : block) {
+  std::vector<mesh::Coord>& worklist = worklist_scratch_;
+  worklist.clear();
+  for (mesh::Coord c : footprint) {
     if (faults_.contains(c)) {
       safety_[c] = Safety::Unsafe;
-      worklist.push(c);
+      worklist.push_back(c);
     } else {
       safety_[c] = Safety::Safe;
     }
@@ -133,34 +177,255 @@ std::size_t MaintainedLabeling::remove_fault(mesh::Coord node) {
   // Same worklist closure as `add_fault`: a cell turns unsafe only when the
   // rule fires on the current labeling, and every flip re-examines its
   // neighborhood. Propagation cannot escape the old block (its surroundings
-  // are safe before and after), so the loop is local in practice.
-  while (!worklist.empty()) {
-    const mesh::Coord u = worklist.front();
-    worklist.pop();
+  // are safe before and after), so the loop is local by construction.
+  for (std::size_t head = 0; head < worklist.size(); ++head) {
+    const mesh::Coord u = worklist[head];
     for (const mesh::Link& l : m.neighbors(u)) {
       if (safety_[l.to] == Safety::Unsafe || faults_.contains(l.to)) continue;
       if (rule_fires(def_, safety_, l.to)) {
         safety_[l.to] = Safety::Unsafe;
-        worklist.push(l.to);
+        worklist.push_back(l.to);
       }
     }
   }
 
-  std::size_t changed = 0;
-  for (mesh::Coord c : block) {
-    if (safety_[c] != before[c]) ++changed;
+  // Every footprint cell was unsafe before the repair, so the flips are
+  // exactly the cells that came back safe.
+  for (mesh::Coord c : footprint) {
+    if (safety_[c] == Safety::Safe) ++delta.safety_changed;
   }
 
-  // Phase two is not monotone in the fault set in either direction:
-  // re-derive it from the repaired safety labeling, exactly like add_fault.
-  activation_ = reference_activation(faults_, safety_);
-  refresh_regions();
-  return changed;
+  rebuild_area(std::move(footprint), delta);
+  return delta;
+}
+
+void MaintainedLabeling::rebuild_area(std::vector<mesh::Coord> area,
+                                      EventDelta& delta) {
+  const mesh::Mesh2D& m = faults_.topology();
+
+  // Old blocks absorbed by the event: each one either lies entirely inside
+  // the area (it merged into the new component, or it is the block being
+  // repaired) or is disjoint from it, because blocks are maximal.
+  std::vector<std::int32_t>& removed = removed_scratch_;
+  removed.clear();
+  for (mesh::Coord c : area) {
+    const std::int32_t b = block_index_[c];
+    if (b >= 0 &&
+        std::find(removed.begin(), removed.end(), b) == removed.end()) {
+      removed.push_back(b);
+    }
+  }
+  std::sort(removed.begin(), removed.end());
+  const auto was_removed = [&removed](std::size_t b) {
+    return std::binary_search(removed.begin(), removed.end(),
+                              static_cast<std::int32_t>(b));
+  };
+
+  // Phase two, locally: Definition 3's activation closure of an unsafe
+  // component depends only on the component — its 4-neighborhood is safe
+  // and therefore permanently enabled — and the closure of a monotone rule
+  // is order-independent, so re-deriving it inside the area reproduces the
+  // global fixpoint bit for bit.
+  std::vector<Activation>& old_act = old_act_scratch_;
+  old_act.clear();
+  old_act.reserve(area.size());
+  for (mesh::Coord c : area) {
+    old_act.push_back(activation_[c]);
+    activation_[c] = safety_[c] == Safety::Unsafe ? Activation::Disabled
+                                                  : Activation::Enabled;
+  }
+  const auto can_enable = [this](mesh::Coord c) {
+    if (faults_.contains(c)) return false;
+    if (safety_[c] == Safety::Safe) return false;       // already enabled
+    if (activation_[c] == Activation::Enabled) return false;  // monotone
+    int enabled_neighbors = 0;
+    for (mesh::Dir d : mesh::kAllDirs) {
+      if (activation_at(activation_, c.step(d)) == Activation::Enabled) {
+        ++enabled_neighbors;
+      }
+    }
+    return enabled_neighbors >= 2;
+  };
+  std::vector<mesh::Coord>& worklist = worklist_scratch_;
+  worklist.clear();
+  for (mesh::Coord c : area) {
+    if (can_enable(c)) {
+      activation_[c] = Activation::Enabled;
+      worklist.push_back(c);
+    }
+  }
+  for (std::size_t head = 0; head < worklist.size(); ++head) {
+    const mesh::Coord u = worklist[head];
+    for (const mesh::Link& l : m.neighbors(u)) {
+      if (can_enable(l.to)) {
+        activation_[l.to] = Activation::Enabled;
+        worklist.push_back(l.to);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < area.size(); ++i) {
+    if (activation_[area[i]] == old_act[i]) continue;
+    ++delta.activation_changed;
+    if (activation_[area[i]] == Activation::Disabled) {
+      disabled_.insert(area[i]);
+    } else {
+      disabled_.erase(area[i]);
+    }
+  }
+
+  // Re-extract blocks and regions inside the area with the same component
+  // walker the from-scratch pipeline uses; seeded on a set holding only the
+  // area's cells it produces bit-identical components in min-index order.
+  // The scratch sets are emptied cell by cell below — never O(mesh).
+  grid::CellSet& area_unsafe = area_unsafe_scratch_;
+  grid::CellSet& area_disabled = area_disabled_scratch_;
+  for (mesh::Coord c : area) {
+    if (safety_[c] == Safety::Unsafe) area_unsafe.insert(c);
+    if (activation_[c] == Activation::Disabled) area_disabled.insert(c);
+  }
+  std::vector<FaultyBlock> new_blocks;
+  for (auto& comp : grid::connected_components_seeded(
+           area_unsafe, grid::Connectivity::Four, area, component_scratch_)) {
+    FaultyBlock block;
+    for (mesh::Coord cell : comp.cells()) {
+      if (faults_.contains(cell)) {
+        ++block.fault_count;
+      } else {
+        ++block.unsafe_nonfaulty_count;
+      }
+    }
+    block.component = std::move(comp);
+    new_blocks.push_back(std::move(block));
+  }
+  std::vector<DisabledRegion> new_regions;
+  for (auto& comp : grid::connected_components_seeded(
+           area_disabled, grid::Connectivity::Eight, area,
+           component_scratch_)) {
+    DisabledRegion region;
+    for (mesh::Coord cell : comp.cells()) {
+      if (faults_.contains(cell)) {
+        ++region.fault_count;
+      } else {
+        ++region.disabled_nonfaulty_count;
+      }
+    }
+    region.component = std::move(comp);
+    new_regions.push_back(std::move(region));
+  }
+  for (mesh::Coord c : area) {
+    area_unsafe.erase(c);
+    area_disabled.erase(c);
+  }
+
+  // Splice the block list. Surviving entries are identified across the
+  // renumbering by their min-index sort key, which the event cannot have
+  // changed (their cells are untouched).
+  std::vector<std::size_t> removed_parent_keys;
+  removed_parent_keys.reserve(removed.size());
+  for (const std::int32_t b : removed) {
+    removed_parent_keys.push_back(block_mins_[static_cast<std::size_t>(b)]);
+  }
+  std::vector<std::size_t>& surviving_region_parent_keys = parent_keys_scratch_;
+  surviving_region_parent_keys.clear();
+  surviving_region_parent_keys.reserve(regions_.size());
+  for (const DisabledRegion& region : regions_) {
+    surviving_region_parent_keys.push_back(
+        was_removed(region.parent_block)
+            ? static_cast<std::size_t>(-1)
+            : block_mins_[region.parent_block]);
+  }
+  std::size_t first_touched = blocks_.size();
+  for (auto it = removed.rbegin(); it != removed.rend(); ++it) {
+    const auto b = static_cast<std::size_t>(*it);
+    blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(b));
+    block_mins_.erase(block_mins_.begin() + static_cast<std::ptrdiff_t>(b));
+    first_touched = b;
+  }
+  for (mesh::Coord c : area) block_index_[c] = -1;
+  for (FaultyBlock& block : new_blocks) {
+    const std::size_t key = min_phys_index(m, block.component);
+    const auto pos = static_cast<std::size_t>(
+        std::lower_bound(block_mins_.begin(), block_mins_.end(), key) -
+        block_mins_.begin());
+    blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   std::move(block));
+    block_mins_.insert(block_mins_.begin() + static_cast<std::ptrdiff_t>(pos),
+                       key);
+    first_touched = std::min(first_touched, pos);
+  }
+  // Renumber: every block at or past the first edit may have shifted.
+  for (std::size_t b = first_touched; b < blocks_.size(); ++b) {
+    for (mesh::Coord cell : blocks_[b].component.cells()) {
+      block_index_[cell] = static_cast<std::int32_t>(b);
+    }
+  }
+
+  // Splice the region list the same way. Regions of removed blocks are
+  // exactly the regions re-derived above (disabled cells never leave their
+  // block, and distinct blocks are never 8-adjacent under Def 2a/2b).
+  for (std::size_t r = regions_.size(); r-- > 0;) {
+    if (surviving_region_parent_keys[r] == static_cast<std::size_t>(-1)) {
+      regions_.erase(regions_.begin() + static_cast<std::ptrdiff_t>(r));
+      region_mins_.erase(region_mins_.begin() +
+                         static_cast<std::ptrdiff_t>(r));
+      surviving_region_parent_keys.erase(
+          surviving_region_parent_keys.begin() +
+          static_cast<std::ptrdiff_t>(r));
+    }
+  }
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const auto it =
+        std::lower_bound(block_mins_.begin(), block_mins_.end(),
+                         surviving_region_parent_keys[r]);
+    assert(it != block_mins_.end() &&
+           *it == surviving_region_parent_keys[r] &&
+           "a surviving region's parent block must survive too");
+    regions_[r].parent_block =
+        static_cast<std::size_t>(it - block_mins_.begin());
+  }
+  for (mesh::Coord c : area) region_key_[c] = -1;
+  for (DisabledRegion& region : new_regions) {
+    const std::size_t key = min_phys_index(m, region.component);
+    const std::int32_t parent = block_index_[region.component.cells().front()];
+    assert(parent >= 0 && "disabled cells live inside a faulty block");
+    region.parent_block = static_cast<std::size_t>(parent);
+    for (mesh::Coord cell : region.component.cells()) {
+      region_key_[cell] = static_cast<std::int32_t>(key);
+    }
+    const auto pos = static_cast<std::size_t>(
+        std::lower_bound(region_mins_.begin(), region_mins_.end(), key) -
+        region_mins_.begin());
+    regions_.insert(regions_.begin() + static_cast<std::ptrdiff_t>(pos),
+                    std::move(region));
+    region_mins_.insert(region_mins_.begin() +
+                        static_cast<std::ptrdiff_t>(pos), key);
+  }
+
+  delta.dirty_cells = std::move(area);
 }
 
 void MaintainedLabeling::refresh_regions() {
+  const mesh::Mesh2D& m = faults_.topology();
   blocks_ = extract_faulty_blocks(faults_, safety_);
   regions_ = extract_disabled_regions(faults_, activation_, blocks_);
+  disabled_ = disabled_cells(activation_);
+  block_index_ = grid::NodeGrid<std::int32_t>(m, -1);
+  region_key_ = grid::NodeGrid<std::int32_t>(m, -1);
+  block_mins_.clear();
+  region_mins_.clear();
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    block_mins_.push_back(min_phys_index(m, blocks_[b].component));
+    for (mesh::Coord cell : blocks_[b].component.cells()) {
+      block_index_[cell] = static_cast<std::int32_t>(b);
+    }
+  }
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const std::size_t key = min_phys_index(m, regions_[r].component);
+    region_mins_.push_back(key);
+    for (mesh::Coord cell : regions_[r].component.cells()) {
+      region_key_[cell] = static_cast<std::int32_t>(key);
+    }
+  }
 }
 
 }  // namespace ocp::labeling

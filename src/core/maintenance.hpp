@@ -8,13 +8,42 @@
 // distributed system would do exactly this with a handful of local message
 // exchanges. The enabled/disabled labeling is *not* monotone in the fault
 // set (a new fault can strip the support that activated a neighbor, and a
-// node once enabled must be re-validated), so phase two is re-derived for
-// the affected part of the machine.
+// node once enabled must be re-validated), but it *is* local: Definition 3's
+// activation fixpoint of each unsafe component depends only on that
+// component (its 4-neighborhood is safe, hence permanently enabled), so
+// phase two is re-derived inside the affected component only — never over
+// the whole machine. The same locality bounds the faulty-block and
+// disabled-region updates: only blocks intersecting the affected area are
+// re-extracted and spliced back into the (min-index-ordered) lists, with
+// indices of untouched entries renumbered in place. Every event therefore
+// costs O(affected component) plus O(existing blocks) bookkeeping, not
+// O(mesh), and reports exactly which cells it may have relabeled so the
+// serving layer (src/svc) can republish copy-on-write snapshots that share
+// every untouched page with their predecessor.
 #pragma once
 
 #include "core/pipeline.hpp"
+#include "grid/connectivity.hpp"
 
 namespace ocp::labeling {
+
+/// What one fault/repair event changed: flip counts for both labelings plus
+/// the dirty extent — every cell whose served label (fault status, safety,
+/// activation, or disabled-region membership) may differ from before the
+/// event. The extent is the affected unsafe component (after an add) or the
+/// repaired block's old footprint (after a removal); it is empty exactly
+/// when the event was a no-op.
+struct EventDelta {
+  /// Nodes whose safety status changed.
+  std::size_t safety_changed = 0;
+  /// Nodes whose activation status changed.
+  std::size_t activation_changed = 0;
+  /// Cells whose label may have changed (always includes the event node for
+  /// a non-no-op event; a superset of the actual flips).
+  std::vector<mesh::Coord> dirty_cells;
+
+  [[nodiscard]] bool no_op() const noexcept { return dirty_cells.empty(); }
+};
 
 /// A labeled machine that absorbs fault events incrementally.
 class MaintainedLabeling {
@@ -24,20 +53,20 @@ class MaintainedLabeling {
                               SafeUnsafeDef def = SafeUnsafeDef::Def2b);
 
   /// Marks `node` faulty and restores both labelings and the region lists.
-  /// No-op when the node is already faulty. Returns the number of nodes
-  /// whose safety status changed (0 when the new fault was already unsafe
-  /// and triggered nothing).
-  std::size_t add_fault(mesh::Coord node);
+  /// No-op when the node is already faulty. Returns the delta, including
+  /// the dirty extent (the merged unsafe component around the fault).
+  EventDelta add_fault(mesh::Coord node);
 
   /// Marks `node` repaired (no longer faulty) and restores both labelings
   /// and the region lists. No-op when the node is not faulty. Removal can
   /// only shrink the unsafe set (the rule is monotone in the fault set),
   /// and only inside the faulty block the node belonged to — unsafe labels
-  /// derive from faults of their own 4-connected component — so phase one
-  /// is repaired locally: the block is reset and its fixpoint re-closed
-  /// from the remaining faults. Phase two is re-derived like `add_fault`.
-  /// Returns the number of nodes whose safety status changed.
-  std::size_t remove_fault(mesh::Coord node);
+  /// derive from faults of their own 4-connected component — so the repair
+  /// is confined to the old block footprint: reset it, re-close the
+  /// fixpoint from the remaining faults, re-derive activation and the
+  /// region lists inside it. Returns the delta with the footprint as the
+  /// dirty extent.
+  EventDelta remove_fault(mesh::Coord node);
 
   [[nodiscard]] const grid::CellSet& faults() const noexcept {
     return faults_;
@@ -54,9 +83,28 @@ class MaintainedLabeling {
   [[nodiscard]] const std::vector<DisabledRegion>& regions() const noexcept {
     return regions_;
   }
+  /// The disabled cells of `activation()` (the serving layer's blocked
+  /// set), maintained alongside the activation plane so epoch publication
+  /// never rescans the machine.
+  [[nodiscard]] const grid::CellSet& disabled() const noexcept {
+    return disabled_;
+  }
+  /// Per-cell region key: the minimum row-major node index of the disabled
+  /// region containing the cell, or -1 for cells outside every region. The
+  /// key identifies a region stably across events that renumber the
+  /// `regions()` vector without touching the region itself — the property
+  /// copy-on-write snapshot pages rely on.
+  [[nodiscard]] const grid::NodeGrid<std::int32_t>& region_keys()
+      const noexcept {
+    return region_key_;
+  }
 
  private:
   void refresh_regions();
+  /// Re-derives activation, blocks and regions inside `area` (an affected
+  /// unsafe component or a repaired block footprint) and splices the
+  /// results into the maintained lists. Appends `area` to `delta`.
+  void rebuild_area(std::vector<mesh::Coord> area, EventDelta& delta);
 
   SafeUnsafeDef def_;
   grid::CellSet faults_;
@@ -64,6 +112,29 @@ class MaintainedLabeling {
   grid::NodeGrid<Activation> activation_;
   std::vector<FaultyBlock> blocks_;
   std::vector<DisabledRegion> regions_;
+  grid::CellSet disabled_;
+  /// Current index into `blocks_` per unsafe cell, -1 elsewhere.
+  grid::NodeGrid<std::int32_t> block_index_;
+  /// Stable region key per disabled cell (see `region_keys()`).
+  grid::NodeGrid<std::int32_t> region_key_;
+  /// Minimum row-major node index per entry, parallel to `blocks_` /
+  /// `regions_` — the sort key of the extraction order.
+  std::vector<std::size_t> block_mins_;
+  std::vector<std::size_t> region_mins_;
+
+  // Per-event scratch, kept across events so the hot path allocates only
+  // what it returns (the dirty-cell vector). `visit_scratch_` is a visited
+  // plane restored to all-zeros after each BFS; the scratch CellSets hold an
+  // area's unsafe/disabled cells during re-extraction and are emptied again
+  // cell by cell (never an O(mesh) clear).
+  std::vector<std::uint8_t> visit_scratch_;
+  std::vector<mesh::Coord> worklist_scratch_;
+  grid::CellSet area_unsafe_scratch_;
+  grid::CellSet area_disabled_scratch_;
+  grid::ComponentScratch component_scratch_;
+  std::vector<Activation> old_act_scratch_;
+  std::vector<std::int32_t> removed_scratch_;
+  std::vector<std::size_t> parent_keys_scratch_;
 };
 
 }  // namespace ocp::labeling

@@ -8,14 +8,68 @@ namespace ocp::grid {
 
 namespace {
 
-/// BFS work item: a physical cell together with its planar frame coordinate.
-struct Visit {
-  mesh::Coord cell;
-  mesh::Coord frame;
-};
-
 constexpr std::array<mesh::Coord, 8> kOffsets8 = {{
     {1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}}};
+
+/// Gathers the component of `seed` (which must be an unvisited member of
+/// `cells`), appending it to `out` and marking every visited cell in `seen`.
+/// When `touched` is non-null the visited indices are recorded there so the
+/// caller can restore `seen` in O(component) instead of O(mesh).
+void gather_component(
+    const CellSet& cells, std::size_t degree, mesh::Coord seed,
+    std::uint8_t* seen,
+    std::vector<std::pair<mesh::Coord, mesh::Coord>>& frontier,
+    std::vector<std::pair<mesh::Coord, mesh::Coord>>& frame_to_cell,
+    std::vector<std::size_t>* touched, std::vector<Component>& out) {
+  const mesh::Mesh2D& m = cells.topology();
+  // Gather one component by BFS, assigning unwrapped frame coordinates as
+  // we go. A component that wraps all the way around a torus ring revisits
+  // cells through `seen` and simply stops expanding there; the frame then
+  // covers each physical cell once.
+  frame_to_cell.clear();
+  frontier.clear();
+  seen[m.index(seed)] = 1;
+  if (touched != nullptr) touched->push_back(m.index(seed));
+  frontier.push_back({seed, seed});
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const auto [cell, frame] = frontier[head];
+    frame_to_cell.emplace_back(frame, cell);
+    for (std::size_t i = 0; i < degree; ++i) {
+      const mesh::Coord off = kOffsets8[i];
+      mesh::Coord next = cell + off;
+      if (m.is_torus()) {
+        next = m.wrap(next);
+      } else if (!m.contains(next)) {
+        continue;
+      }
+      if (!cells.contains(next) || seen[m.index(next)] != 0) continue;
+      seen[m.index(next)] = 1;
+      if (touched != nullptr) touched->push_back(m.index(next));
+      frontier.push_back({next, frame + off});
+    }
+  }
+  // Canonical row-major order on frame coordinates, keeping the physical
+  // address of each frame cell aligned with Region's internal sort.
+  if (frame_to_cell.size() > 1) {
+    std::sort(frame_to_cell.begin(), frame_to_cell.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.y < b.first.y ||
+                       (a.first.y == b.first.y && a.first.x < b.first.x);
+              });
+  }
+  Component comp;
+  std::vector<mesh::Coord> frame_cells;
+  frame_cells.reserve(frame_to_cell.size());
+  // Physical addresses are materialized only when they can differ from the
+  // frame (torus); on a mesh `Component::cells()` reuses the region cells.
+  if (m.is_torus()) comp.mesh_cells.reserve(frame_to_cell.size());
+  for (const auto& [frame, cell] : frame_to_cell) {
+    frame_cells.push_back(frame);
+    if (m.is_torus()) comp.mesh_cells.push_back(cell);
+  }
+  comp.region = geom::Region(std::move(frame_cells));
+  out.push_back(std::move(comp));
+}
 
 }  // namespace
 
@@ -30,58 +84,48 @@ std::vector<Component> connected_components(const CellSet& cells,
   // BFS scratch, reused across components: `frontier` is a flat vector with
   // a read cursor (sparse fault patterns produce many small components, and
   // a fresh std::queue would pay one deque-block allocation for each).
-  std::vector<Visit> frontier;
+  std::vector<std::pair<mesh::Coord, mesh::Coord>> frontier;
   std::vector<std::pair<mesh::Coord, mesh::Coord>> frame_to_cell;
 
   cells.for_each([&](mesh::Coord seed) {
     if (seen[m.index(seed)] != 0) return;
-    // Gather one component by BFS, assigning unwrapped frame coordinates as
-    // we go. A component that wraps all the way around a torus ring revisits
-    // cells through `seen` and simply stops expanding there; the frame then
-    // covers each physical cell once.
-    frame_to_cell.clear();
-    frontier.clear();
-    seen[m.index(seed)] = 1;
-    frontier.push_back({seed, seed});
-    for (std::size_t head = 0; head < frontier.size(); ++head) {
-      const Visit v = frontier[head];
-      frame_to_cell.emplace_back(v.frame, v.cell);
-      for (std::size_t i = 0; i < degree; ++i) {
-        const mesh::Coord off = kOffsets8[i];
-        mesh::Coord next = v.cell + off;
-        if (m.is_torus()) {
-          next = m.wrap(next);
-        } else if (!m.contains(next)) {
-          continue;
-        }
-        if (!cells.contains(next) || seen[m.index(next)] != 0) continue;
-        seen[m.index(next)] = 1;
-        frontier.push_back({next, v.frame + off});
-      }
-    }
-    // Canonical row-major order on frame coordinates, keeping the physical
-    // address of each frame cell aligned with Region's internal sort.
-    if (frame_to_cell.size() > 1) {
-      std::sort(frame_to_cell.begin(), frame_to_cell.end(),
-                [](const auto& a, const auto& b) {
-                  return a.first.y < b.first.y ||
-                         (a.first.y == b.first.y && a.first.x < b.first.x);
-                });
-    }
-    Component comp;
-    std::vector<mesh::Coord> frame_cells;
-    frame_cells.reserve(frame_to_cell.size());
-    // Physical addresses are materialized only when they can differ from the
-    // frame (torus); on a mesh `Component::cells()` reuses the region cells.
-    if (m.is_torus()) comp.mesh_cells.reserve(frame_to_cell.size());
-    for (const auto& [frame, cell] : frame_to_cell) {
-      frame_cells.push_back(frame);
-      if (m.is_torus()) comp.mesh_cells.push_back(cell);
-    }
-    comp.region = geom::Region(std::move(frame_cells));
-    out.push_back(std::move(comp));
+    gather_component(cells, degree, seed, seen.data(), frontier, frame_to_cell,
+                     nullptr, out);
   });
 
+  return out;
+}
+
+std::vector<Component> connected_components_seeded(
+    const CellSet& cells, Connectivity conn,
+    std::span<const mesh::Coord> candidates, ComponentScratch& scratch) {
+  const mesh::Mesh2D& m = cells.topology();
+  const std::size_t degree = conn == Connectivity::Four ? 4 : 8;
+  // The visited plane grows zeroed and is restored to zeros on return, so
+  // across calls it stays all-zero without a per-call O(mesh) clear.
+  scratch.seen_.resize(static_cast<std::size_t>(m.node_count()), 0);
+  scratch.touched_.clear();
+
+  // Deduplicated member seeds in row-major index order: the same seed order
+  // `connected_components` derives from its full-grid sweep.
+  scratch.seeds_.clear();
+  for (const mesh::Coord c : candidates) {
+    if (cells.contains(c)) scratch.seeds_.push_back(m.index(c));
+  }
+  std::sort(scratch.seeds_.begin(), scratch.seeds_.end());
+  scratch.seeds_.erase(
+      std::unique(scratch.seeds_.begin(), scratch.seeds_.end()),
+      scratch.seeds_.end());
+
+  std::vector<Component> out;
+  out.reserve(scratch.seeds_.size());
+  for (const std::size_t seed : scratch.seeds_) {
+    if (scratch.seen_[seed] != 0) continue;
+    gather_component(cells, degree, m.coord(seed), scratch.seen_.data(),
+                     scratch.frontier_, scratch.frame_to_cell_,
+                     &scratch.touched_, out);
+  }
+  for (const std::size_t i : scratch.touched_) scratch.seen_[i] = 0;
   return out;
 }
 

@@ -49,6 +49,36 @@ struct Component {
 [[nodiscard]] std::vector<Component> connected_components(
     const CellSet& cells, Connectivity conn = Connectivity::Four);
 
+/// Reusable state for `connected_components_seeded`: a visited plane that is
+/// restored to all-zeros before each call returns, plus the BFS work
+/// vectors. Lets per-event extractions over small dirty areas cost O(area)
+/// instead of O(mesh) — no full-grid scan, no fresh zeroed allocation.
+class ComponentScratch {
+ public:
+  ComponentScratch() = default;
+
+ private:
+  friend std::vector<Component> connected_components_seeded(
+      const CellSet&, Connectivity, std::span<const mesh::Coord>,
+      ComponentScratch&);
+  std::vector<std::uint8_t> seen_;
+  std::vector<std::size_t> seeds_;
+  std::vector<std::size_t> touched_;
+  std::vector<std::pair<mesh::Coord, mesh::Coord>> frontier_;
+  std::vector<std::pair<mesh::Coord, mesh::Coord>> frame_to_cell_;
+};
+
+/// `connected_components` restricted to the components that contain at least
+/// one of `candidates`. When `candidates` covers every member of `cells`
+/// (the incremental-relabeling case: the set holds only a dirty area's
+/// cells), the result is bit-identical to the full extraction — seeds are
+/// deduplicated and processed in the same row-major order, and the BFS is
+/// the same walker. Candidates outside the set are ignored; components are
+/// still explored to their full extent within `cells`.
+[[nodiscard]] std::vector<Component> connected_components_seeded(
+    const CellSet& cells, Connectivity conn,
+    std::span<const mesh::Coord> candidates, ComponentScratch& scratch);
+
 /// Convenience: just the planar regions of `connected_components`.
 [[nodiscard]] std::vector<geom::Region> component_regions(
     const CellSet& cells, Connectivity conn = Connectivity::Four);

@@ -1,0 +1,104 @@
+// Tile decomposition of a 2-D mesh for page-granular change tracking.
+//
+// The incremental epoch engine (src/svc) tracks which parts of the machine
+// an event batch touched at tile granularity: snapshot planes are chunked
+// into per-tile pages shared copy-on-write across epochs, and route-cache
+// entries carry the tile footprint their computation consulted. Both sides
+// need the same decomposition and a cheap intersection test, so the tile
+// shift adapts to the machine: tiles are square power-of-two blocks sized
+// so that the machine never spans more than 8x8 = 64 of them. A tile set is
+// therefore always one `std::uint64_t` bitmask and "does this route cross
+// the dirty region" is a single AND, for every machine size.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "mesh/mesh2d.hpp"
+
+namespace ocp::grid {
+
+class TileGrid {
+ public:
+  explicit TileGrid(const mesh::Mesh2D& m)
+      : mesh_(m), shift_(shift_for(std::max(m.width(), m.height()))) {
+    tiles_x_ = (m.width() + tile_side() - 1) >> shift_;
+    tiles_y_ = (m.height() + tile_side() - 1) >> shift_;
+  }
+
+  [[nodiscard]] const mesh::Mesh2D& machine() const noexcept { return mesh_; }
+  /// log2 of the tile edge length in cells (>= 3, so tiles are 8x8 at
+  /// minimum and the densest machine still amortizes page headers).
+  [[nodiscard]] std::uint32_t shift() const noexcept { return shift_; }
+  [[nodiscard]] std::int32_t tile_side() const noexcept {
+    return std::int32_t{1} << shift_;
+  }
+  [[nodiscard]] std::int32_t tiles_x() const noexcept { return tiles_x_; }
+  [[nodiscard]] std::int32_t tiles_y() const noexcept { return tiles_y_; }
+  /// Total number of tiles; by construction <= 64.
+  [[nodiscard]] std::uint32_t tile_count() const noexcept {
+    return static_cast<std::uint32_t>(tiles_x_ * tiles_y_);
+  }
+
+  /// Tile id of a node; precondition: machine().contains(c).
+  [[nodiscard]] std::uint32_t tile_of(mesh::Coord c) const noexcept {
+    return static_cast<std::uint32_t>((c.y >> shift_) * tiles_x_ +
+                                      (c.x >> shift_));
+  }
+
+  /// Dense offset of a node within its tile's page.
+  [[nodiscard]] std::uint32_t offset_in_tile(mesh::Coord c) const noexcept {
+    const std::int32_t mask = tile_side() - 1;
+    return static_cast<std::uint32_t>(((c.y & mask) << shift_) + (c.x & mask));
+  }
+
+  /// Number of cells a page must hold (edge tiles leave slots unused).
+  [[nodiscard]] std::uint32_t page_cells() const noexcept {
+    return static_cast<std::uint32_t>(tile_side()) *
+           static_cast<std::uint32_t>(tile_side());
+  }
+
+  /// Single-tile bitmask of the tile containing `c`.
+  [[nodiscard]] std::uint64_t bit_of(mesh::Coord c) const noexcept {
+    return std::uint64_t{1} << tile_of(c);
+  }
+
+  /// Bitmask of the tiles containing `c` and its (up to four) physical
+  /// neighbors — wrapped on a torus, clipped at a mesh boundary. This is
+  /// the footprint a labeling or routing decision at `c` can consult.
+  [[nodiscard]] std::uint64_t padded_bits(mesh::Coord c) const noexcept {
+    std::uint64_t bits = bit_of(c);
+    for (mesh::Dir d : mesh::kAllDirs) {
+      if (const auto n = mesh_.neighbor(c, d)) bits |= bit_of(*n);
+    }
+    return bits;
+  }
+
+  /// Inclusive-exclusive cell bounds [x0, x1) x [y0, y1) of tile `t`,
+  /// clipped to the machine.
+  struct TileRect {
+    std::int32_t x0, y0, x1, y1;
+  };
+  [[nodiscard]] TileRect bounds(std::uint32_t t) const noexcept {
+    const auto tx = static_cast<std::int32_t>(t) % tiles_x_;
+    const auto ty = static_cast<std::int32_t>(t) / tiles_x_;
+    return {tx << shift_, ty << shift_,
+            std::min(mesh_.width(), (tx + 1) << shift_),
+            std::min(mesh_.height(), (ty + 1) << shift_)};
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint32_t shift_for(
+      std::int32_t longest_side) noexcept {
+    std::uint32_t s = 3;  // 8x8 tiles at minimum
+    while ((std::int64_t{8} << s) < longest_side) ++s;
+    return s;
+  }
+
+  mesh::Mesh2D mesh_;
+  std::uint32_t shift_;
+  std::int32_t tiles_x_;
+  std::int32_t tiles_y_;
+};
+
+}  // namespace ocp::grid

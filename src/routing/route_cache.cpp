@@ -1,6 +1,8 @@
 #include "routing/route_cache.hpp"
 
+#include <cassert>
 #include <mutex>
+#include <utility>
 
 namespace ocp::routing {
 
@@ -15,43 +17,104 @@ std::uint64_t pair_key(const mesh::Mesh2D& m, mesh::Coord src,
 
 }  // namespace
 
+const Route& RouteCache::lookup(mesh::Coord src, mesh::Coord dst) const {
+  const std::uint64_t key = pair_key(mesh_, src, dst);
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = table_->index.find(key); it != table_->index.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      // Stable until clear(): the entry lives in the table's deque and the
+      // table stays owned by `table_` until the next invalidation.
+      return it->second->route;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return *miss(key, src, dst);
+}
+
 std::shared_ptr<const Route> RouteCache::lookup_shared(mesh::Coord src,
                                                        mesh::Coord dst) const {
   const std::uint64_t key = pair_key(mesh_, src, dst);
   {
     std::shared_lock lock(mutex_);
-    if (const auto it = routes_.find(key); it != routes_.end()) {
+    if (const auto it = table_->index.find(key); it != table_->index.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      // Aliasing handle: shares the table's control block, so a hit never
+      // allocates, and the whole generation stays alive until the last
+      // handle drops.
+      return {table_, &it->second->route};
     }
   }
-  // Route outside any lock (wall-following can be slow); insertion races
-  // are benign because both threads computed the identical route.
   misses_.fetch_add(1, std::memory_order_relaxed);
-  auto route = std::make_shared<const Route>(router_->route(src, dst));
-  std::unique_lock lock(mutex_);
-  return routes_.try_emplace(key, std::move(route)).first->second;
+  return miss(key, src, dst);
 }
 
-const Route& RouteCache::lookup(mesh::Coord src, mesh::Coord dst) const {
-  return *lookup_shared(src, dst);
+std::shared_ptr<const Route> RouteCache::miss(std::uint64_t key,
+                                              mesh::Coord src,
+                                              mesh::Coord dst) const {
+  // Route outside any lock (wall-following can be slow); insertion races
+  // are benign because both threads computed the identical route.
+  Entry fresh;
+  fresh.route = router_->route(src, dst);
+  fresh.tiles = footprint(fresh.route, src, dst);
+
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = table_->index.try_emplace(key, nullptr);
+  if (inserted) {
+    it->second = &table_->pool.emplace_back(std::move(fresh));
+  }
+  return {table_, &it->second->route};
+}
+
+std::uint64_t RouteCache::footprint(const Route& route, mesh::Coord src,
+                                    mesh::Coord dst) const {
+  // Everything the router can have probed: it consults the blocked set only
+  // at the endpoints and at 4-neighbors of cells it visited, and every
+  // visited cell is on the recorded path.
+  std::uint64_t bits = 0;
+  if (mesh_.contains(src)) bits |= tiles_.padded_bits(src);
+  if (mesh_.contains(dst)) bits |= tiles_.padded_bits(dst);
+  for (const mesh::Coord c : route.path) bits |= tiles_.padded_bits(c);
+  return bits;
 }
 
 void RouteCache::clear() {
   // Swap the table out under the lock, destroy it outside: shared handles
-  // from lookup_shared may be the last owners of some routes, and their
-  // destruction should not run under the cache mutex.
-  std::unordered_map<std::uint64_t, std::shared_ptr<const Route>> retired;
+  // from lookup_shared may be the last owners, and route destruction should
+  // not run under the cache mutex.
+  auto replacement = std::make_shared<Table>();
+  std::shared_ptr<Table> retired;
   {
     std::unique_lock lock(mutex_);
-    retired.swap(routes_);
+    retired = std::exchange(table_, std::move(replacement));
     generation_.fetch_add(1, std::memory_order_release);
   }
 }
 
+RouteCache::AdoptStats RouteCache::adopt(const RouteCache& prev,
+                                         std::uint64_t dirty_tiles) {
+  assert(&prev != this && "a cache cannot adopt itself");
+  AdoptStats stats;
+  // `prev` may still be serving: concurrent misses insert under its
+  // exclusive lock, so holding its shared lock freezes the table for the
+  // whole copy. Lock order (prev shared, then self exclusive) is safe
+  // because adoption only ever flows old epoch -> new epoch.
+  std::shared_lock prev_lock(prev.mutex_);
+  std::unique_lock lock(mutex_);
+  for (const auto& [key, entry] : prev.table_->index) {
+    if ((entry->tiles & dirty_tiles) != 0) {
+      ++stats.invalidated;
+      continue;
+    }
+    table_->index.insert_or_assign(key, &table_->pool.emplace_back(*entry));
+    ++stats.carried;
+  }
+  return stats;
+}
+
 std::size_t RouteCache::size() const {
   std::shared_lock lock(mutex_);
-  return routes_.size();
+  return table_->index.size();
 }
 
 }  // namespace ocp::routing

@@ -7,6 +7,17 @@
 // only pairs that are actually requested are ever routed, which keeps the
 // footprint proportional to observed traffic rather than node_count².
 //
+// Entries live in a pooled table owned by one `shared_ptr<Table>`: shared
+// lookups hand out aliasing handles into the table instead of allocating a
+// control block per route, and `clear()` retires the whole table at once
+// (outstanding handles keep it alive). Each entry also records the tile
+// footprint its computation consulted — the tiles of every path cell plus
+// their 4-neighborhoods (see grid::TileGrid) — so a successor cache serving
+// a changed blocked set can `adopt()` every entry whose footprint misses
+// the dirty tiles: those routes are provably identical under the new
+// blocked set, because the router only ever probes blocked cells inside the
+// footprint.
+//
 // Thread-safe: the parallel load-sweep driver (netsim/load_sweep) shares one
 // cache across all (load, seed) trials of a sweep, since every trial sees
 // the same machine, blocked set and router. Determinism is unaffected —
@@ -16,10 +27,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "grid/tiles.hpp"
 #include "routing/router.hpp"
 
 namespace ocp::routing {
@@ -27,7 +40,10 @@ namespace ocp::routing {
 class RouteCache {
  public:
   RouteCache(const Router& router, const mesh::Mesh2D& machine)
-      : router_(&router), mesh_(machine) {}
+      : router_(&router),
+        mesh_(machine),
+        tiles_(machine),
+        table_(std::make_shared<Table>()) {}
 
   /// The route src -> dst, computed on first request and remembered. The
   /// returned reference stays valid until `clear()` retires the entry (or
@@ -37,6 +53,7 @@ class RouteCache {
 
   /// Like `lookup`, but the returned handle keeps the route alive across a
   /// concurrent `clear()` — the safe form for readers racing invalidation.
+  /// The handle aliases the pooled table (no per-entry allocation).
   [[nodiscard]] std::shared_ptr<const Route> lookup_shared(
       mesh::Coord src, mesh::Coord dst) const;
 
@@ -46,6 +63,22 @@ class RouteCache {
   /// concurrently with `lookup_shared`; routes handed out earlier stay
   /// alive through their shared handles.
   void clear();
+
+  /// What `adopt` did: entries copied into this cache vs dropped because
+  /// their footprint intersected the dirty tiles.
+  struct AdoptStats {
+    std::size_t carried = 0;
+    std::size_t invalidated = 0;
+  };
+
+  /// Carries `prev`'s entries over to this cache, dropping every entry
+  /// whose tile footprint intersects `dirty_tiles` (a grid::TileGrid
+  /// bitmask over the shared machine). Sound when the blocked sets backing
+  /// the two caches differ only inside the dirty tiles: a surviving route
+  /// never probed a changed cell, so recomputing it would yield the same
+  /// answer. Safe against concurrent lookups on `prev` (which may still be
+  /// serving); `prev` must not be this cache.
+  AdoptStats adopt(const RouteCache& prev, std::uint64_t dirty_tiles);
 
   /// Monotonically increasing invalidation epoch: 0 at construction,
   /// +1 per `clear()`.
@@ -59,7 +92,7 @@ class RouteCache {
   /// Lookups answered from the table / lookups that ran the router. When
   /// two threads miss the same key concurrently both count a miss (both
   /// ran the router), so hits + misses == lookups but misses can exceed
-  /// size().
+  /// size(). Adopted entries count as hits when first re-requested.
   [[nodiscard]] std::uint64_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
   }
@@ -68,11 +101,31 @@ class RouteCache {
   }
 
  private:
+  struct Entry {
+    Route route;
+    /// Tiles this route's computation may have probed (path cells and
+    /// their neighborhoods, plus both endpoints).
+    std::uint64_t tiles = 0;
+  };
+  /// One cache generation: an index over a deque pool (stable addresses,
+  /// no per-entry allocation). Retired wholesale by `clear()`.
+  struct Table {
+    std::unordered_map<std::uint64_t, const Entry*> index;
+    std::deque<Entry> pool;
+  };
+
+  /// Slow path: routes src -> dst, inserts (or finds a racing insertion)
+  /// and returns an owning handle into the current table.
+  std::shared_ptr<const Route> miss(std::uint64_t key, mesh::Coord src,
+                                    mesh::Coord dst) const;
+  [[nodiscard]] std::uint64_t footprint(const Route& route, mesh::Coord src,
+                                        mesh::Coord dst) const;
+
   const Router* router_;  // non-owning
   mesh::Mesh2D mesh_;
+  grid::TileGrid tiles_;
   mutable std::shared_mutex mutex_;
-  mutable std::unordered_map<std::uint64_t, std::shared_ptr<const Route>>
-      routes_;
+  mutable std::shared_ptr<Table> table_;
   std::atomic<std::uint64_t> generation_{0};
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};

@@ -1,14 +1,64 @@
 #include "svc/ingest.hpp"
 
+#include <array>
 #include <utility>
 #include <vector>
 
 namespace ocp::svc {
 
+namespace {
+
+std::uint64_t next_engine_id() {
+  // Starts at 1 so a zero-initialized thread-local slot never matches.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// One thread-local epoch handle: the snapshot this thread last acquired
+/// from engine `engine`, valid while the engine's publish stamp is still
+/// `stamp`. The shared_ptr is the retirement mechanism — superseded epochs
+/// die when the last thread re-acquires (or exits).
+struct AcquireSlot {
+  std::uint64_t engine = 0;
+  std::uint64_t stamp = 0;
+  std::shared_ptr<const Snapshot> snap;
+};
+
+}  // namespace
+
 IngestEngine::IngestEngine(grid::CellSet initial_faults, IngestConfig config)
     : config_(config),
-      labeling_(std::move(initial_faults), config.definition) {
-  publish(Snapshot::build(epoch_, labeling_, config_.hand));
+      labeling_(std::move(initial_faults), config.definition),
+      tiles_(labeling_.faults().topology()),
+      engine_id_(next_engine_id()) {
+  latest_ = Snapshot::build(epoch_, labeling_, config_.hand);
+  publish(latest_);
+}
+
+const Snapshot& IngestEngine::acquire() const {
+  thread_local std::array<AcquireSlot, 4> slots;
+  AcquireSlot& slot = slots[engine_id_ % slots.size()];
+  const std::uint64_t stamp = stamp_.load(std::memory_order_acquire);
+  if (slot.engine == engine_id_ && slot.stamp == stamp) {
+    // Fast path: this thread already holds the current epoch. One atomic
+    // load, no refcount traffic, no lock — the case every query after the
+    // first takes until the next publish.
+    return *slot.snap;
+  }
+  std::shared_ptr<const Snapshot> snap;
+  std::uint64_t observed;
+  {
+    std::shared_lock lock(publish_mu_);
+    snap = published_;
+    // Re-read under the lock so (stamp, snapshot) is a consistent pair; a
+    // publish between the load above and here would otherwise let the slot
+    // cache a newer snapshot under an older stamp.
+    observed = stamp_.load(std::memory_order_relaxed);
+  }
+  slot.engine = engine_id_;
+  slot.stamp = observed;
+  slot.snap = std::move(snap);  // retires this thread's previous epoch
+  return *slot.snap;
 }
 
 BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
@@ -43,16 +93,20 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
   }
 
   // Apply the net delta in first-touched order (deterministic; the final
-  // labeling depends only on the final fault set).
+  // labeling depends only on the final fault set), folding each event's
+  // dirty extent into the pending publication masks.
   for (const auto& [node, want_faulty] : desired) {
     if (labeling_.faults().contains(node) == want_faulty) {
       continue;  // an intra-batch fault+repair pair cancelled out
     }
-    if (want_faulty) {
-      labeling_.add_fault(node);
-    } else {
-      labeling_.remove_fault(node);
+    const labeling::EventDelta delta = want_faulty
+                                           ? labeling_.add_fault(node)
+                                           : labeling_.remove_fault(node);
+    for (const mesh::Coord c : delta.dirty_cells) {
+      pending_dirty_tiles_ |= tiles_.bit_of(c);
+      pending_padded_tiles_ |= tiles_.padded_bits(c);
     }
+    pending_dirty_cells_ += delta.dirty_cells.size();
     ++outcome.applied;
   }
   outcome.coalesced = batch.size() - outcome.applied;
@@ -65,12 +119,17 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
   std::optional<check::ViolationReport> violation;
   if (outcome.applied > 0) {
     obs::Span publish_span(config_.trace, "svc.publish");
-    auto next = Snapshot::build(epoch_ + 1, labeling_, config_.hand);
+    // Copy-on-write against the epoch actually serving: the pending masks
+    // cover every change since `latest_`, including changes from batches
+    // the oracle withheld.
+    auto next = Snapshot::next(*latest_, epoch_ + 1, labeling_,
+                               pending_dirty_tiles_, pending_padded_tiles_);
     if (config_.validate) {
       obs::Span gate_span(config_.trace, "svc.oracle_gate");
       auto report = next->validate(config_.definition, config_.oracle_checks);
       if (!report.ok()) {
         // Tripwire: withhold the bad epoch, keep serving the previous one.
+        // The pending masks stay armed for the next attempt.
         rejected = true;
         violation = std::move(report);
         config_.trace.counter("svc.oracle_rejects", 1);
@@ -78,6 +137,24 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
     }
     if (!rejected) {
       ++epoch_;
+      config_.trace.counter(
+          "svc.pages_copied",
+          static_cast<std::int64_t>(next->page_stats().copied));
+      config_.trace.counter(
+          "svc.pages_shared",
+          static_cast<std::int64_t>(next->page_stats().shared));
+      config_.trace.counter(
+          "svc.cache_routes_carried",
+          static_cast<std::int64_t>(next->cache_carry_stats().carried));
+      config_.trace.counter(
+          "svc.cache_routes_invalidated",
+          static_cast<std::int64_t>(next->cache_carry_stats().invalidated));
+      config_.trace.counter(
+          "svc.dirty_cells", static_cast<std::int64_t>(pending_dirty_cells_));
+      pending_dirty_tiles_ = 0;
+      pending_padded_tiles_ = 0;
+      pending_dirty_cells_ = 0;
+      latest_ = next;
       publish(std::move(next));
       config_.trace.counter("svc.epochs_published", 1);
       outcome.published = true;
@@ -118,6 +195,10 @@ void IngestEngine::publish(std::shared_ptr<const Snapshot> next) {
   {
     std::unique_lock lock(publish_mu_);
     retired = std::exchange(published_, std::move(next));
+    // The stamp moves while the lock is still held, so a reader that sees
+    // the new stamp under the shared lock is guaranteed to also see the new
+    // snapshot (and the fast path can trust a matching stamp).
+    stamp_.fetch_add(1, std::memory_order_release);
   }
 }
 

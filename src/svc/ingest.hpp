@@ -2,27 +2,42 @@
 //
 // One writer owns a `labeling::MaintainedLabeling` and an RCU-style publish
 // slot: a shared_ptr handle behind a shared_mutex whose critical sections
-// are pointer-sized on both sides — readers take the shared lock just long
-// enough to copy the current handle (a refcount increment), then answer any
-// number of queries with no further synchronization; the writer swaps the
-// slot under the exclusive lock. (std::atomic<shared_ptr> would express the
-// same thing, but libstdc++'s _Sp_atomic guards its pointer word with an
-// embedded lock-bit protocol ThreadSanitizer cannot model, and its load
+// are pointer-sized on both sides. (std::atomic<shared_ptr> would express
+// the same thing, but libstdc++'s _Sp_atomic guards its pointer word with
+// an embedded lock-bit protocol ThreadSanitizer cannot model, and its load
 // path spins on that bit anyway — the shared_mutex form is equally cheap
-// and tsan-clean.) Each `apply` call takes
-// one drained batch, coalesces it against the current fault set (duplicate
-// faults, repairs of healthy nodes and fault+repair pairs inside the batch
-// collapse to nothing), applies the net adds/removes incrementally through
-// `add_fault`/`remove_fault`, and publishes exactly one new epoch — or none
-// when the whole batch coalesced away. Readers never block writers and
-// vice versa: they `acquire()` the current shared_ptr and keep querying a
-// consistent epoch while newer ones supersede it.
+// and tsan-clean.) Each `apply` call takes one drained batch, coalesces it
+// against the current fault set (duplicate faults, repairs of healthy nodes
+// and fault+repair pairs inside the batch collapse to nothing), applies the
+// net adds/removes incrementally through `add_fault`/`remove_fault` while
+// accumulating their dirty extents, and publishes exactly one new epoch —
+// or none when the whole batch coalesced away. Publication is
+// copy-on-write: the new snapshot is built with `Snapshot::next` against
+// the previously published one, sharing every serving page outside the
+// accumulated dirty tiles and carrying the warm route cache (see
+// snapshot.hpp). Dirty extents accumulate across oracle-withheld epochs and
+// reset only on a successful publish, so a later snapshot always diffs
+// against the epoch actually being served.
+//
+// Readers have two acquisition paths. `snapshot()` copies the shared_ptr
+// under the shared lock — safe, but every call bumps the snapshot refcount
+// and takes the lock, both of which ping-pong cache lines between query
+// threads. `acquire()` is the contention-free fast path: each thread caches
+// a per-engine epoch handle (a shared_ptr slot in thread-local storage)
+// keyed by the engine's publish stamp; while the stamp is unchanged — the
+// overwhelmingly common case — acquisition is one atomic load and no shared
+// writes at all. When the stamp moves, the thread re-reads the slot under
+// the shared lock and retires its previous handle (epoch-based retirement:
+// an idle thread holds at most one superseded epoch per engine slot until
+// its next acquire or thread exit). Readers never block writers and vice
+// versa.
 //
 // The engine is deliberately thread-free: the `Service` wraps it with the
 // bounded queue and the ingest thread, while tests and the deterministic
 // load generator drive `apply` directly for reproducible epoch sequences.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -30,6 +45,7 @@
 #include <shared_mutex>
 #include <span>
 
+#include "grid/tiles.hpp"
 #include "obs/trace.hpp"
 #include "svc/event_queue.hpp"
 #include "svc/snapshot.hpp"
@@ -91,11 +107,21 @@ class IngestEngine {
   BatchOutcome apply(std::span<const FaultEvent> batch);
 
   /// The currently serving snapshot (safe from any thread; the shared lock
-  /// is held only for the handle copy).
+  /// is held only for the handle copy). Prefer `acquire()` on query hot
+  /// paths; use this when the handle must outlive the calling frame.
   [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const {
     std::shared_lock lock(publish_mu_);
     return published_;
   }
+
+  /// Contention-free acquisition of the currently serving snapshot via a
+  /// thread-local epoch handle: one atomic load when the thread has already
+  /// seen the current publish stamp, the `snapshot()` slow path otherwise.
+  /// The returned reference is valid until the calling thread's next
+  /// `acquire()` that observes a newer epoch (or thread exit) — answer the
+  /// current query against it, do not stash it; callers that need an
+  /// owning handle use `snapshot()`.
+  [[nodiscard]] const Snapshot& acquire() const;
 
   /// Counter snapshot; safe to call from any thread while the writer runs.
   [[nodiscard]] IngestStats stats() const;
@@ -108,10 +134,27 @@ class IngestEngine {
 
   IngestConfig config_;
   labeling::MaintainedLabeling labeling_;
+  /// Tile decomposition used to accumulate dirty masks for publication.
+  grid::TileGrid tiles_;
+  /// Distinguishes engines in the thread-local acquire slots; monotonically
+  /// assigned so a slot can never alias a destroyed engine's cache.
+  const std::uint64_t engine_id_;
   std::uint64_t epoch_ = 0;
+  /// Writer-local handle to the snapshot currently serving — the `prev` of
+  /// the next copy-on-write publication.
+  std::shared_ptr<const Snapshot> latest_;
+  /// Dirty accumulation since `latest_` (across oracle-withheld epochs):
+  /// tiles whose cells changed, their padded neighborhoods (for route-cache
+  /// invalidation), and the summed dirty-cell count (observability).
+  std::uint64_t pending_dirty_tiles_ = 0;
+  std::uint64_t pending_padded_tiles_ = 0;
+  std::uint64_t pending_dirty_cells_ = 0;
   /// Guards only the publish slot; both critical sections are pointer-sized.
   mutable std::shared_mutex publish_mu_;
   std::shared_ptr<const Snapshot> published_;
+  /// Bumped (under the exclusive lock) at every publish; the thread-local
+  /// fast path of `acquire()` revalidates its cached handle against this.
+  std::atomic<std::uint64_t> stamp_{0};
   /// Guards the cross-thread-readable bookkeeping (the labeling itself is
   /// single-writer and unguarded by design).
   mutable std::mutex stats_mu_;

@@ -35,6 +35,31 @@ mesh::Coord random_node(const mesh::Mesh2D& m, stats::Rng& rng) {
 
 }  // namespace
 
+SvcLoadConfig query_heavy_profile(std::size_t query_threads) {
+  SvcLoadConfig config;
+  config.mesh_side = 32;
+  config.initial_faults = 10;
+  config.events = 128;
+  config.query_threads = query_threads;
+  config.queries_per_thread = 2000;
+  config.seed = 20010423;
+  return config;
+}
+
+SvcLoadConfig ingest_heavy_profile(std::size_t query_threads) {
+  SvcLoadConfig config = query_heavy_profile(query_threads);
+  config.events = 1024;
+  config.queries_per_thread = 500;
+  return config;
+}
+
+SvcLoadConfig mixed_rate_profile(std::size_t query_threads) {
+  SvcLoadConfig config = query_heavy_profile(query_threads);
+  config.events = 512;
+  config.queries_per_thread = 2000;
+  return config;
+}
+
 std::vector<FaultEvent> generate_event_stream(const mesh::Mesh2D& machine,
                                               const grid::CellSet& initial,
                                               std::size_t events,

@@ -78,6 +78,19 @@ struct SvcLoadResult {
 /// digests.
 [[nodiscard]] SvcLoadResult run_svc_load(const SvcLoadConfig& config);
 
+/// Canned profiles shared by the bench harness (`bench/svc_load`) and the
+/// experiments table so both measure the same workloads.
+///
+/// Query-dominant steady state: light churn under a heavy query front (the
+/// default SvcLoadConfig rates at `query_threads` threads).
+[[nodiscard]] SvcLoadConfig query_heavy_profile(std::size_t query_threads);
+/// Ingest-dominant: 8x the churn, a light query front — stresses epoch
+/// turnover (incremental relabeling + copy-on-write publication).
+[[nodiscard]] SvcLoadConfig ingest_heavy_profile(std::size_t query_threads);
+/// Mixed-rate: heavy churn AND a full query front racing it — the regime
+/// where route-cache carry-over and page sharing pay off together.
+[[nodiscard]] SvcLoadConfig mixed_rate_profile(std::size_t query_threads);
+
 /// The seeded churn stream the generator replays, exposed for tests that
 /// drive `IngestEngine::apply` directly with deterministic batching.
 [[nodiscard]] std::vector<FaultEvent> generate_event_stream(

@@ -1,0 +1,107 @@
+// Copy-on-write per-node planes, chunked into per-tile pages.
+//
+// A `PagedPlane<T>` stores one value per mesh node, split along a
+// `grid::TileGrid` into refcounted pages (one per tile, dense row-major
+// inside the tile). Publication of a new epoch builds a successor plane
+// that *shares* every page whose tile the epoch's delta did not touch and
+// rebuilds only the dirty ones — so the per-epoch cost of the serving
+// planes is O(dirty tiles), not O(mesh), and untouched pages are owned
+// jointly by every epoch that serves them. Planes are immutable after
+// construction; sharing needs no synchronization beyond the shared_ptr
+// refcounts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "grid/tiles.hpp"
+
+namespace ocp::svc {
+
+/// How many pages a plane-building step copied (rebuilt) vs shared with
+/// its predecessor. A fresh build counts every page as copied.
+struct PageStats {
+  std::size_t copied = 0;
+  std::size_t shared = 0;
+};
+
+template <typename T>
+class PagedPlane {
+ public:
+  PagedPlane() = default;
+
+  /// Fresh plane: every page materialized from `value_of(coord)`.
+  template <typename Fn>
+  static PagedPlane build(const grid::TileGrid& tiles, Fn&& value_of,
+                          PageStats& stats) {
+    PagedPlane plane;
+    plane.pages_.reserve(tiles.tile_count());
+    for (std::uint32_t t = 0; t < tiles.tile_count(); ++t) {
+      plane.pages_.push_back(make_page(tiles, t, value_of));
+      ++stats.copied;
+    }
+    return plane;
+  }
+
+  /// Successor plane: pages of tiles outside `dirty_tiles` are shared with
+  /// `prev` (a refcount bump); dirty tiles are rebuilt from `value_of`.
+  template <typename Fn>
+  static PagedPlane next(const PagedPlane& prev, const grid::TileGrid& tiles,
+                         std::uint64_t dirty_tiles, Fn&& value_of,
+                         PageStats& stats) {
+    PagedPlane plane;
+    plane.pages_.reserve(tiles.tile_count());
+    for (std::uint32_t t = 0; t < tiles.tile_count(); ++t) {
+      if ((dirty_tiles >> t) & 1u) {
+        plane.pages_.push_back(make_page(tiles, t, value_of));
+        ++stats.copied;
+      } else {
+        plane.pages_.push_back(prev.pages_[t]);
+        ++stats.shared;
+      }
+    }
+    return plane;
+  }
+
+  /// The value at node `c`. Precondition: the plane was built over a tile
+  /// grid congruent to `tiles` and `tiles.machine().contains(c)`.
+  [[nodiscard]] T at(const grid::TileGrid& tiles, mesh::Coord c) const {
+    return (*pages_[tiles.tile_of(c)])[tiles.offset_in_tile(c)];
+  }
+
+  [[nodiscard]] std::size_t page_count() const noexcept {
+    return pages_.size();
+  }
+
+  /// True when this plane and `other` serve tile `t` from the same page
+  /// object (test hook for the sharing structure).
+  [[nodiscard]] bool shares_page_with(const PagedPlane& other,
+                                      std::uint32_t t) const noexcept {
+    return pages_[t] == other.pages_[t];
+  }
+
+ private:
+  using Page = std::vector<T>;
+
+  template <typename Fn>
+  static std::shared_ptr<const Page> make_page(const grid::TileGrid& tiles,
+                                               std::uint32_t t,
+                                               Fn&& value_of) {
+    auto page = std::make_shared<Page>(tiles.page_cells());
+    const grid::TileGrid::TileRect b = tiles.bounds(t);
+    for (std::int32_t y = b.y0; y < b.y1; ++y) {
+      for (std::int32_t x = b.x0; x < b.x1; ++x) {
+        const mesh::Coord c{x, y};
+        (*page)[tiles.offset_in_tile(c)] = value_of(c);
+      }
+    }
+    return page;
+  }
+
+  std::vector<std::shared_ptr<const Page>> pages_;
+};
+
+}  // namespace ocp::svc

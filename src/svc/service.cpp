@@ -139,26 +139,28 @@ bool Service::admit_query() const {
 StatusAnswer Service::query_status(mesh::Coord node) const {
   InflightGate gate(*this);
   if (!gate.admitted()) return {.status = QueryStatus::Overloaded};
-  const auto snap = engine_.snapshot();
-  if (!snap->machine().contains(node)) {
-    return {.status = QueryStatus::InvalidArgument, .epoch = snap->epoch()};
+  // Contention-free acquisition: the reference is pinned by this thread's
+  // epoch handle for the duration of the query (see IngestEngine::acquire).
+  const Snapshot& snap = engine_.acquire();
+  if (!snap.machine().contains(node)) {
+    return {.status = QueryStatus::InvalidArgument, .epoch = snap.epoch()};
   }
   return {.status = QueryStatus::Ok,
-          .epoch = snap->epoch(),
-          .node = snap->status_of(node)};
+          .epoch = snap.epoch(),
+          .node = snap.status_of(node)};
 }
 
 RegionAnswer Service::query_region(mesh::Coord node) const {
   InflightGate gate(*this);
   if (!gate.admitted()) return {.status = QueryStatus::Overloaded};
-  const auto snap = engine_.snapshot();
-  if (!snap->machine().contains(node)) {
-    return {.status = QueryStatus::InvalidArgument, .epoch = snap->epoch()};
+  const Snapshot& snap = engine_.acquire();
+  if (!snap.machine().contains(node)) {
+    return {.status = QueryStatus::InvalidArgument, .epoch = snap.epoch()};
   }
   RegionAnswer answer{.status = QueryStatus::Ok,
-                      .epoch = snap->epoch(),
-                      .region_id = snap->region_id_of(node)};
-  if (const labeling::DisabledRegion* region = snap->region_of(node)) {
+                      .epoch = snap.epoch(),
+                      .region_id = snap.region_id_of(node)};
+  if (const labeling::DisabledRegion* region = snap.region_of(node)) {
     answer.region_size = region->size();
     answer.fault_count = region->fault_count;
     answer.parent_block = region->parent_block;
@@ -169,13 +171,13 @@ RegionAnswer Service::query_region(mesh::Coord node) const {
 RouteAnswer Service::query_route(mesh::Coord src, mesh::Coord dst) const {
   InflightGate gate(*this);
   if (!gate.admitted()) return {.status = QueryStatus::Overloaded};
-  const auto snap = engine_.snapshot();
-  if (!snap->machine().contains(src) || !snap->machine().contains(dst)) {
-    return {.status = QueryStatus::InvalidArgument, .epoch = snap->epoch()};
+  const Snapshot& snap = engine_.acquire();
+  if (!snap.machine().contains(src) || !snap.machine().contains(dst)) {
+    return {.status = QueryStatus::InvalidArgument, .epoch = snap.epoch()};
   }
   return {.status = QueryStatus::Ok,
-          .epoch = snap->epoch(),
-          .route = snap->route(src, dst)};
+          .epoch = snap.epoch(),
+          .route = snap.route(src, dst)};
 }
 
 BatchAnswer Service::query_batch(
@@ -184,8 +186,10 @@ BatchAnswer Service::query_batch(
   InflightGate gate(*this);
   if (!gate.admitted()) return {.status = QueryStatus::Overloaded};
   // One snapshot acquisition for the whole batch: every item is answered
-  // against the same epoch.
-  const auto snap = engine_.snapshot();
+  // against the same epoch. The thread's epoch handle pins the reference
+  // across the loop (no further acquire happens on this thread meanwhile).
+  const Snapshot& snapshot = engine_.acquire();
+  const Snapshot* snap = &snapshot;
   BatchAnswer answer{.status = QueryStatus::Ok, .epoch = snap->epoch()};
   answer.items.resize(items.size());
   const bool has_deadline = deadline != std::chrono::steady_clock::time_point{};

@@ -4,6 +4,8 @@
 // on the accumulated fault set after every event.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/maintenance.hpp"
 #include "fault/generators.hpp"
 
@@ -28,15 +30,35 @@ void expect_equivalent(const MaintainedLabeling& live,
         << context;
     ASSERT_EQ(live.regions()[r].parent_block, batch.regions[r].parent_block)
         << context;
+    ASSERT_EQ(live.regions()[r].region(), batch.regions[r].region())
+        << context;
   }
+  for (std::size_t b = 0; b < batch.blocks.size(); ++b) {
+    ASSERT_EQ(live.blocks()[b].size(), batch.blocks[b].size()) << context;
+    ASSERT_EQ(live.blocks()[b].region(), batch.blocks[b].region()) << context;
+  }
+  // Maintained planes the serving layer reads directly.
+  ASSERT_EQ(live.disabled(), disabled_cells(batch.activation)) << context;
+  const mesh::Mesh2D& m = faults.topology();
+  grid::NodeGrid<std::int32_t> expected_keys(m, -1);
+  for (const auto& region : batch.regions) {
+    std::size_t key = static_cast<std::size_t>(m.node_count());
+    for (const Coord c : region.component.cells()) {
+      key = std::min(key, m.index(c));
+    }
+    for (const Coord c : region.component.cells()) {
+      expected_keys[c] = static_cast<std::int32_t>(key);
+    }
+  }
+  ASSERT_EQ(live.region_keys(), expected_keys) << context;
 }
 
 TEST(MaintenanceRemovalTest, RemoveOfNonFaultyOrOutOfMeshIsNoOp) {
   const Mesh2D m(10, 10);
   MaintainedLabeling live(grid::CellSet{m, {{4, 4}}});
-  EXPECT_EQ(live.remove_fault({5, 5}), 0u);   // healthy node
-  EXPECT_EQ(live.remove_fault({-1, 3}), 0u);  // outside the machine
-  EXPECT_EQ(live.remove_fault({10, 3}), 0u);
+  EXPECT_TRUE(live.remove_fault({5, 5}).no_op());   // healthy node
+  EXPECT_TRUE(live.remove_fault({-1, 3}).no_op());  // outside the machine
+  EXPECT_TRUE(live.remove_fault({10, 3}).no_op());
   EXPECT_EQ(live.faults().size(), 1u);
 }
 
@@ -45,8 +67,9 @@ TEST(MaintenanceRemovalTest, AddThenRemoveRestoresPristineMachine) {
   MaintainedLabeling live{grid::CellSet(m)};
   (void)live.add_fault({5, 5});
   ASSERT_EQ(live.blocks().size(), 1u);
-  const std::size_t changed = live.remove_fault({5, 5});
-  EXPECT_EQ(changed, 1u);  // the node itself went unsafe -> safe
+  const EventDelta delta = live.remove_fault({5, 5});
+  EXPECT_EQ(delta.safety_changed, 1u);  // the node itself went unsafe -> safe
+  EXPECT_EQ(delta.dirty_cells.size(), 1u);  // the old block was just the node
   EXPECT_TRUE(live.faults().empty());
   EXPECT_TRUE(live.blocks().empty());
   EXPECT_TRUE(live.regions().empty());
@@ -61,9 +84,11 @@ TEST(MaintenanceRemovalTest, RepairSplitsAMergedBlock) {
   ASSERT_EQ(live.blocks().size(), 1u);
   ASSERT_EQ(live.blocks()[0].size(), 4u);
 
-  const std::size_t changed = live.remove_fault({6, 6});
+  const EventDelta delta = live.remove_fault({6, 6});
   // The repaired node and the two bridging nodes return to safe.
-  EXPECT_EQ(changed, 3u);
+  EXPECT_EQ(delta.safety_changed, 3u);
+  // The dirty extent is the old 2x2 block footprint.
+  EXPECT_EQ(delta.dirty_cells.size(), 4u);
   ASSERT_EQ(live.blocks().size(), 1u);
   EXPECT_EQ(live.blocks()[0].size(), 1u);
   expect_equivalent(live, grid::CellSet{m, {{5, 5}}}, SafeUnsafeDef::Def2b,

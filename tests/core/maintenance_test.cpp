@@ -56,15 +56,15 @@ TEST(MaintenanceTest, IncrementalEqualsRecomputeOnRandomSequences) {
 TEST(MaintenanceTest, DuplicateFaultIsNoOp) {
   const Mesh2D m(10, 10);
   MaintainedLabeling live(grid::CellSet{m, {{4, 4}}});
-  EXPECT_EQ(live.add_fault({4, 4}), 0u);
+  EXPECT_TRUE(live.add_fault({4, 4}).no_op());
   EXPECT_EQ(live.faults().size(), 1u);
 }
 
 TEST(MaintenanceTest, OutOfMeshFaultIsNoOp) {
   const Mesh2D m(10, 10);
   MaintainedLabeling live{grid::CellSet(m)};
-  EXPECT_EQ(live.add_fault({-1, 3}), 0u);
-  EXPECT_EQ(live.add_fault({10, 3}), 0u);
+  EXPECT_TRUE(live.add_fault({-1, 3}).no_op());
+  EXPECT_TRUE(live.add_fault({10, 3}).no_op());
   EXPECT_TRUE(live.faults().empty());
 }
 
@@ -72,12 +72,54 @@ TEST(MaintenanceTest, DiagonalSecondFaultMergesBlocks) {
   const Mesh2D m(12, 12);
   MaintainedLabeling live(grid::CellSet{m, {{5, 5}}});
   ASSERT_EQ(live.blocks().size(), 1u);
-  const std::size_t changed = live.add_fault({6, 6});
+  const EventDelta delta = live.add_fault({6, 6});
   // The new fault plus the two bridging nodes turn unsafe.
-  EXPECT_EQ(changed, 3u);
+  EXPECT_EQ(delta.safety_changed, 3u);
+  // The dirty extent is the merged 2x2 block.
+  EXPECT_EQ(delta.dirty_cells.size(), 4u);
+  EXPECT_FALSE(delta.no_op());
   ASSERT_EQ(live.blocks().size(), 1u);
   EXPECT_EQ(live.blocks()[0].size(), 4u);
   EXPECT_TRUE(live.blocks()[0].region().is_rectangle());
+}
+
+TEST(MaintenanceTest, DeltaCoversEveryFlippedCell) {
+  // The dirty extent must be a superset of the actual label flips — it is
+  // what the serving layer uses to decide which snapshot pages to copy.
+  const Mesh2D m(20, 20);
+  stats::Rng rng(17);
+  MaintainedLabeling live{grid::CellSet(m)};
+  for (int event = 0; event < 40; ++event) {
+    const auto before_safety = live.safety();
+    const auto before_activation = live.activation();
+    const Coord node = m.coord(
+        static_cast<std::size_t>(rng.uniform_int(0, m.node_count() - 1)));
+    const bool duplicate = live.faults().contains(node);
+    const EventDelta delta = live.add_fault(node);
+    if (duplicate) {
+      ASSERT_TRUE(delta.no_op());
+      continue;
+    }
+    grid::CellSet dirty(m);
+    for (const Coord c : delta.dirty_cells) dirty.insert(c);
+    ASSERT_TRUE(dirty.contains(node));
+    std::size_t safety_flips = 0;
+    std::size_t activation_flips = 0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m.node_count());
+         ++i) {
+      const bool s = live.safety().at_index(i) != before_safety.at_index(i);
+      const bool a =
+          live.activation().at_index(i) != before_activation.at_index(i);
+      safety_flips += s ? 1 : 0;
+      activation_flips += a ? 1 : 0;
+      if (s || a) {
+        ASSERT_TRUE(dirty.contains_index(i)) << "event " << event;
+      }
+    }
+    ASSERT_EQ(delta.safety_changed, safety_flips) << "event " << event;
+    ASSERT_EQ(delta.activation_changed, activation_flips)
+        << "event " << event;
+  }
 }
 
 TEST(MaintenanceTest, NewFaultCanRevokeEnabledStatus) {

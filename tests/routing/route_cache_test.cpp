@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace ocp::routing {
@@ -213,6 +215,145 @@ TEST(RouteCacheTest, ConcurrentClearAndSharedLookupsStaySafe) {
   // Counter identity holds across invalidations (skipped src==dst pairs
   // are not lookups).
   EXPECT_GE(cache.hits() + cache.misses(), 1u);
+}
+
+// Carry-over across an epoch boundary: entries whose footprint avoids the
+// dirty tiles move to the successor cache and serve as hits; entries that
+// touched the dirty tiles are dropped and recompute against the new router.
+TEST(RouteCacheTest, AdoptCarriesCleanEntriesAndDropsDirtyOnes) {
+  const Mesh2D m(32, 32);
+  const grid::CellSet old_blocked{m, {{16, 16}, {17, 16}}};
+  const FaultRingRouter old_router(m, old_blocked);
+  RouteCache old_cache(old_router, m);
+
+  const Coord far_src{1, 1}, far_dst{6, 2};       // top-left corner traffic
+  const Coord near_src{12, 16}, near_dst{22, 16};  // crosses the fault
+  (void)old_cache.lookup(far_src, far_dst);
+  const Route near_before = old_cache.lookup(near_src, near_dst);
+  ASSERT_EQ(old_cache.size(), 2u);
+
+  // New epoch: a fault lands in the middle of the near route's old path, so
+  // that route must change. Dirty tiles = the changed cell's padded
+  // footprint, exactly what the ingest layer hands over.
+  const Coord extra = near_before.path[near_before.path.size() / 2];
+  ASSERT_NE(extra, near_src);
+  ASSERT_NE(extra, near_dst);
+  grid::CellSet new_blocked = old_blocked;
+  new_blocked.insert(extra);
+  const FaultRingRouter new_router(m, new_blocked);
+  RouteCache new_cache(new_router, m);
+  const grid::TileGrid tiles(m);
+  const auto stats = new_cache.adopt(old_cache, tiles.padded_bits(extra));
+
+  EXPECT_EQ(stats.carried, 1u);
+  EXPECT_EQ(stats.invalidated, 1u);
+  EXPECT_EQ(new_cache.size(), 1u);
+
+  // The carried entry answers as a hit and equals a fresh computation.
+  const std::uint64_t hits_before = new_cache.hits();
+  const Route& carried = new_cache.lookup(far_src, far_dst);
+  EXPECT_EQ(new_cache.hits(), hits_before + 1);
+  const Route fresh = new_router.route(far_src, far_dst);
+  EXPECT_EQ(carried.status, fresh.status);
+  EXPECT_EQ(carried.path, fresh.path);
+
+  // The dropped entry recomputes under the new blocked set — and differs
+  // from the old epoch's answer (the detour grew), proving invalidation was
+  // necessary.
+  const Route& recomputed = new_cache.lookup(near_src, near_dst);
+  EXPECT_EQ(recomputed.path, new_router.route(near_src, near_dst).path);
+  EXPECT_NE(recomputed.path, near_before.path);
+}
+
+// Exhaustive soundness sweep: carry over every pair of a dense probe set,
+// then check each surviving entry against a fresh computation under the
+// changed blocked set. Any footprint under-approximation would surface as a
+// stale path here.
+TEST(RouteCacheTest, AdoptedEntriesMatchFreshRoutesExhaustively) {
+  for (const auto topology : {mesh::Topology::Mesh, mesh::Topology::Torus}) {
+    const Mesh2D m(16, 16, topology);
+    const grid::CellSet old_blocked{m, {{4, 4}}};
+    const FaultRingRouter old_router(m, old_blocked);
+    RouteCache old_cache(old_router, m);
+
+    std::vector<std::pair<Coord, Coord>> pairs;
+    for (int sy = 0; sy < 16; sy += 3) {
+      for (int sx = 0; sx < 16; sx += 3) {
+        for (int dy = 1; dy < 16; dy += 5) {
+          for (int dx = 2; dx < 16; dx += 5) {
+            const Coord src{sx, sy}, dst{dx, dy};
+            if (src == dst || old_blocked.contains(src) ||
+                old_blocked.contains(dst)) {
+              continue;
+            }
+            pairs.emplace_back(src, dst);
+            (void)old_cache.lookup(src, dst);
+          }
+        }
+      }
+    }
+
+    const grid::CellSet new_blocked{m, {{4, 4}, {11, 12}}};
+    const FaultRingRouter new_router(m, new_blocked);
+    RouteCache new_cache(new_router, m);
+    const grid::TileGrid tiles(m);
+    const auto stats = new_cache.adopt(old_cache, tiles.padded_bits({11, 12}));
+    ASSERT_EQ(stats.carried + stats.invalidated, pairs.size());
+    ASSERT_GE(stats.carried, 1u);
+
+    const std::uint64_t size_after_adopt = new_cache.size();
+    for (const auto& [src, dst] : pairs) {
+      const Route& served = new_cache.lookup(src, dst);
+      const Route fresh = new_router.route(src, dst);
+      ASSERT_EQ(served.status, fresh.status)
+          << "topology " << static_cast<int>(topology) << " "
+          << mesh::to_string(src) << " -> " << mesh::to_string(dst);
+      ASSERT_EQ(served.path, fresh.path)
+          << "topology " << static_cast<int>(topology) << " "
+          << mesh::to_string(src) << " -> " << mesh::to_string(dst);
+    }
+    // Carried entries were hits; invalidated ones missed and repopulated.
+    EXPECT_EQ(new_cache.hits(), stats.carried);
+    EXPECT_EQ(new_cache.misses(), stats.invalidated);
+    EXPECT_EQ(size_after_adopt, stats.carried);
+  }
+}
+
+// Adoption must tolerate the previous cache still serving (and inserting)
+// concurrently — the ingest thread publishes the next epoch while query
+// threads keep hitting the current one.
+TEST(RouteCacheTest, AdoptRacesLookupsOnThePreviousEpochSafely) {
+  const Mesh2D m(16, 16);
+  const grid::CellSet blocked{m, {{7, 7}}};
+  const FaultRingRouter router(m, blocked);
+  RouteCache prev(router, m);
+
+  constexpr int kReaders = 4;
+  constexpr int kAdopts = 50;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&prev, &stop, t] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const Coord src{t, (t + i) % 16};
+        const Coord dst{15 - i % 4, (i / 4) % 16};
+        if (src == dst) continue;
+        const auto route = prev.lookup_shared(src, dst);
+        ASSERT_NE(route, nullptr);
+      }
+    });
+  }
+  const grid::TileGrid tiles(m);
+  for (int i = 0; i < kAdopts; ++i) {
+    RouteCache next(router, m);
+    const auto stats = next.adopt(prev, tiles.padded_bits({7, 7}));
+    // Whatever was carried must be consistent: carried + invalidated is a
+    // snapshot of prev's size at some instant during the copy.
+    EXPECT_EQ(next.size(), stats.carried);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
 }
 
 }  // namespace
