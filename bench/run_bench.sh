@@ -27,6 +27,11 @@
 #                                       # .json under $BUILD/bench/trace and
 #                                       # prints the obs_report summary; no
 #                                       # baselines touched
+#   bench/run_bench.sh --chaos          # chaos soak: seed sweeps of the
+#                                       # fault-injection load harness and
+#                                       # the schedule explorer (ddmin repro
+#                                       # one-liners on failure); no
+#                                       # baselines touched
 #   BUILD_DIR=out bench/run_bench.sh    # non-default build tree
 #   BENCH_MIN_TIME=0.5 bench/run_bench.sh   # steadier timings (slower)
 #   BENCH_FILTER=Dense bench/run_bench.sh   # subset of benchmarks
@@ -44,6 +49,7 @@ NETSIM_ONLY=0
 SVC_ONLY=0
 SVC_SWEEP=0
 TRACE=0
+CHAOS=0
 
 for arg in "$@"; do
   case "$arg" in
@@ -52,9 +58,10 @@ for arg in "$@"; do
     --svc) SVC_ONLY=1 ;;
     --svc-sweep) SVC_SWEEP=1 ;;
     --trace) TRACE=1 ;;
+    --chaos) CHAOS=1 ;;
     *)
       echo "error: unknown argument '$arg'" >&2
-      echo "supported: --check --netsim --svc --svc-sweep --trace" >&2
+      echo "supported: --check --netsim --svc --svc-sweep --trace --chaos" >&2
       exit 2
       ;;
   esac
@@ -80,6 +87,18 @@ run_trace() {
 
 if [ "$TRACE" = 1 ]; then
   run_trace
+  exit 0
+fi
+
+# --chaos: the fault-injection soak (kill/restart digest convergence,
+# staleness drain, schedule exploration with ddmin repros).
+if [ "$CHAOS" = 1 ]; then
+  if [ ! -x "$BUILD/bench/chaos_soak" ]; then
+    echo "error: $BUILD/bench/chaos_soak not built." >&2
+    exit 1
+  fi
+  echo "== chaos_soak (seeded degraded-mode sweep)"
+  "$BUILD/bench/chaos_soak" --seeds 8 --schedules 8
   exit 0
 fi
 
@@ -132,6 +151,11 @@ if [ "$CHECK" = 1 ]; then
   echo "== check_fuzz (seeded invariant smoke)"
   "$BUILD/bench/check_fuzz" --seed 1 --instances 200 --max-size 16 \
     --trace-dir "$BUILD/bench" >&2
+  # Chaos suite: the degraded-mode guarantees (kill/restart digest
+  # convergence, bounded staleness, typed retries) must hold before timing
+  # the serving runtime around them.
+  echo "== ctest -L chaos (degraded-mode guarantees)"
+  (cd "$BUILD" && ctest -L chaos --output-on-failure -j4) >&2
   # Traced-run smoke: the observability layer must keep producing parseable
   # traces before perf numbers recorded around it are trusted.
   run_trace >&2

@@ -23,6 +23,7 @@ mkdir -p "$out"
 
 baseline_file="$src/cmake/coverage_baseline.txt"
 baseline="${OCP_COVERAGE_BASELINE:-$(cat "$baseline_file" 2>/dev/null || echo 0)}"
+dirs_baseline_file="$src/cmake/coverage_dirs_baseline.txt"
 
 # ratchet <total-pct>: exit 1 when the measured total is below the baseline.
 ratchet() {
@@ -36,6 +37,35 @@ ratchet() {
   }'
 }
 
+# dir_deltas: reads "<pct> <hit> <total> <dir>" rows on stdin (one per
+# src/<dir>), prints the per-directory table with deltas against the
+# committed cmake/coverage_dirs_baseline.txt ("<dir> <pct>" rows) so a
+# TOTAL-level regression is attributable to the subsystem that moved.
+# Report-only: the TOTAL ratchet above stays the gate.
+dir_deltas() {
+  awk -v basefile="$dirs_baseline_file" '
+    BEGIN {
+      have_base = 0
+      while ((getline line < basefile) > 0) {
+        n = split(line, f, " ")
+        if (n == 2 && f[1] !~ /^#/) { base[f[1]] = f[2] + 0; have_base = 1 }
+      }
+      close(basefile)
+      printf "%-18s %8s %12s %10s\n", "directory", "lines%", "hit/total",
+             "delta"
+    }
+    {
+      pct = $1 + 0; hit = $2; total = $3; dir = $4
+      if (have_base && (dir in base)) {
+        delta = sprintf("%+.1f", pct - base[dir])
+      } else {
+        delta = have_base ? "new" : "-"
+      }
+      printf "%-18s %7.1f%% %12s %10s\n", dir, pct, hit "/" total, delta
+    }
+  '
+}
+
 if [ "$mode" = clang ]; then
   llvm-profdata merge -sparse "$out"/*.profraw -o "$out/merged.profdata"
   objects=""
@@ -47,7 +77,36 @@ if [ "$mode" = clang ]; then
   llvm-cov report --instr-profile "$out/merged.profdata" $objects \
     "$src/src" | tee "$out/summary.txt"
   # llvm-cov's TOTAL row reports region, function, line (and, when branch
-  # counting is on, branch) coverage; line coverage is the third percentage.
+  # counting is on, branch) coverage; line coverage is the third percentage,
+  # preceded by the "Lines" and "Missed Lines" counts.
+  awk '
+    /^(TOTAL|Filename|-)/ || NF == 0 { next }
+    {
+      n = 0
+      for (i = 1; i <= NF; ++i) {
+        if ($i ~ /%$/) {
+          ++n
+          if (n == 3) {
+            lines = $(i - 2) + 0; missed = $(i - 1) + 0
+            split($1, parts, "/")
+            dir = "src/" parts[1]
+            dh[dir] += lines - missed; dt[dir] += lines
+          }
+        }
+      }
+    }
+    END {
+      for (d in dt) {
+        if (dt[d] > 0) {
+          printf "%.1f %d %d %s\n", 100 * dh[d] / dt[d], dh[d], dt[d], d
+        }
+      }
+    }
+  ' "$out/summary.txt" | sort -k4 > "$out/dirs_raw.txt"
+  if [ -s "$out/dirs_raw.txt" ]; then
+    echo "== per-directory line coverage"
+    dir_deltas < "$out/dirs_raw.txt" | tee "$out/dirs.txt"
+  fi
   total=$(awk '/^TOTAL/ {
     n = 0
     for (i = 1; i <= NF; ++i) {
@@ -82,8 +141,20 @@ find "$build" -name '*.gcda' -print0 |
         printf "%6.1f%%  %5d/%-5d  %s\n",
                100 * hit[f] / total[f], hit[f], total[f], f | cmd
         th += hit[f]; tt += total[f]
+        split(f, parts, "/")
+        d = (parts[1] == "src" && parts[3] != "") ? parts[1] "/" parts[2] \
+                                                  : parts[1]
+        dh[d] += hit[f]; dt[d] += total[f]
       }
       close(cmd)
+      dirsout = out
+      sub(/summary\.txt$/, "dirs_raw.txt", dirsout)
+      for (d in dt) {
+        if (dt[d] > 0) {
+          printf "%.1f %d %d %s\n",
+                 100 * dh[d] / dt[d], dh[d], dt[d], d > dirsout
+        }
+      }
       if (tt > 0) {
         printf "TOTAL %.1f%% (%d of %d lines)\n", 100 * th / tt, th, tt
       } else {
@@ -91,6 +162,14 @@ find "$build" -name '*.gcda' -print0 |
       }
     }
   ' | tee "$out/report.txt"
+
+# Attribute the total to subsystems before gating on it: a TOTAL move shows
+# up here as the directory that caused it.
+if [ -s "$out/dirs_raw.txt" ]; then
+  echo "== per-directory line coverage"
+  sort -k4 -o "$out/dirs_raw.txt" "$out/dirs_raw.txt"
+  dir_deltas < "$out/dirs_raw.txt" | tee "$out/dirs.txt"
+fi
 
 total=$(awk '/^TOTAL / { gsub(/%/, "", $2); print $2 }' "$out/report.txt")
 if [ -z "$total" ]; then

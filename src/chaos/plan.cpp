@@ -1,0 +1,113 @@
+#include "chaos/plan.hpp"
+
+#include <algorithm>
+
+namespace ocp::chaos {
+
+namespace {
+
+/// splitmix64: the standard 64-bit finalizer — decisions must be a pure
+/// function of (seed, point, index) with no shared RNG state, so threads
+/// racing a plan cannot perturb each other's verdict streams.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t decision_hash(std::uint64_t seed, Point point,
+                            std::uint64_t index) {
+  return mix(mix(seed ^ (static_cast<std::uint64_t>(point) + 1) *
+                            0xd6e8feb86659fd93ULL) ^
+             index);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(PlanSpec spec) : spec_(std::move(spec)) {
+  pending_kills_ = spec_.kill_at_stamps;
+  std::sort(pending_kills_.begin(), pending_kills_.end());
+}
+
+bool FaultPlan::roll(Point point, double prob, std::uint64_t cap,
+                     std::atomic<std::uint64_t>& index,
+                     std::atomic<std::uint64_t>& taken) {
+  if (prob <= 0.0 || !armed()) return false;
+  const std::uint64_t i = index.fetch_add(1, std::memory_order_relaxed);
+  if (to_unit(decision_hash(spec_.seed, point, i)) >= prob) return false;
+  // Reserve a take under the cap; back out on overshoot so concurrent
+  // callers never exceed it.
+  const std::uint64_t t = taken.fetch_add(1, std::memory_order_relaxed);
+  if (cap != 0 && t >= cap) {
+    taken.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool FaultPlan::deny_submit() {
+  return roll(Point::SubmitDeny, spec_.deny_submit, spec_.max_denies,
+              deny_index_, denies_);
+}
+
+BatchDecision FaultPlan::on_batch() {
+  // One batch index feeds all three per-batch decision streams, each hashed
+  // through its own point so they stay independent.
+  if (!armed()) return {};
+  const std::uint64_t i = batch_index_.fetch_add(1, std::memory_order_relaxed);
+  BatchDecision decision;
+  const auto take = [&](Point point, double prob, std::uint64_t cap,
+                        std::atomic<std::uint64_t>& taken) {
+    if (prob <= 0.0) return false;
+    if (to_unit(decision_hash(spec_.seed, point, i)) >= prob) return false;
+    const std::uint64_t t = taken.fetch_add(1, std::memory_order_relaxed);
+    if (cap != 0 && t >= cap) {
+      taken.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  };
+  decision.duplicate = take(Point::BatchDuplicate, spec_.duplicate_batch,
+                            spec_.max_duplicates, duplicates_);
+  decision.defer =
+      take(Point::BatchDefer, spec_.defer_batch, spec_.max_defers, defers_);
+  if (take(Point::BatchStall, spec_.stall_batch, spec_.max_stalls, stalls_)) {
+    const std::uint64_t h = decision_hash(spec_.seed, Point::BatchStall, ~i);
+    const std::uint32_t cap_us = std::max<std::uint32_t>(1, spec_.stall_max_us);
+    decision.stall_us = 1 + static_cast<std::uint32_t>(h % cap_us);
+  }
+  return decision;
+}
+
+bool FaultPlan::poison_publish() {
+  return roll(Point::PoisonPublish, spec_.poison_publish, spec_.max_poisons,
+              poison_index_, poisons_);
+}
+
+bool FaultPlan::kill_now(std::uint64_t publish_stamp) {
+  if (!armed()) return false;
+  std::lock_guard lock(kill_mu_);
+  const auto it = std::find(pending_kills_.begin(), pending_kills_.end(),
+                            publish_stamp);
+  if (it == pending_kills_.end()) return false;
+  pending_kills_.erase(it);  // each stamp kills exactly once
+  kills_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+PlanStats FaultPlan::stats() const {
+  return {.denies = denies_.load(std::memory_order_relaxed),
+          .duplicates = duplicates_.load(std::memory_order_relaxed),
+          .defers = defers_.load(std::memory_order_relaxed),
+          .stalls = stalls_.load(std::memory_order_relaxed),
+          .poisons = poisons_.load(std::memory_order_relaxed),
+          .kills = kills_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace ocp::chaos

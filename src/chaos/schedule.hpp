@@ -1,0 +1,135 @@
+// Seeded schedule exploration for the serving runtime, with ddmin repros.
+//
+// A schedule is a short program of driver ops — submit bursts, pause /
+// resume, flush barriers, query bursts, publish-retry nudges, ingest
+// restarts — executed against a live `svc::Service` while a chaos plan
+// injects faults underneath (denied admissions, duplicated / deferred /
+// stalled batches, poisoned oracle verdicts, mid-batch kills). The explorer
+// generates schedules from a seed, runs them, and checks the degraded-mode
+// guarantees as invariants:
+//
+//   * epochs observed by queries never decrease;
+//   * queries always answer from the last good epoch (typed verdicts only,
+//     never a hang — and never a violation while publications are
+//     withheld);
+//   * a flush barrier of an un-crashed service leaves the queue empty;
+//   * after quiescing (plan disarmed, thread restarted, retries drained)
+//     the published labeling is bit-identical — same `label_digest` — to a
+//     clean labeling of the net fault set, and the staleness watermark
+//     reads zero.
+//
+// When a schedule fails, `shrink_schedule` reduces it with the same
+// ddmin-style discipline as check::shrink_faults (drop op chunks while the
+// violation reproduces), and `to_string`/`parse_schedule` round-trip the
+// survivor as a one-line repro (e.g. "S8 P Q16 R F K"), replayable with
+// `bench/chaos_soak --replay`.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/plan.hpp"
+#include "svc/loadgen.hpp"
+
+namespace ocp::chaos {
+
+/// One driver op of a schedule.
+enum class OpKind : std::uint8_t {
+  /// Submit the next `count` events of the seeded stream (retrying typed
+  /// rejections with backoff, so no event is ever lost to the schedule).
+  Submit = 0,
+  Pause = 1,
+  Resume = 2,
+  /// Barrier: every accepted event applied (or the writer crashed).
+  Flush = 3,
+  /// `count` queries (status/region/route mix) checked for monotone epochs.
+  Query = 4,
+  /// Nudge the empty-batch publication retry path.
+  RetryPublish = 5,
+  /// Restart the ingest thread if a chaos kill took it down (no-op else).
+  Restart = 6,
+};
+
+struct Op {
+  OpKind kind = OpKind::Query;
+  /// Event count (Submit) or query count (Query); ignored otherwise.
+  std::uint16_t count = 0;
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+/// Workload + chaos parameters for one schedule run. The schedule itself
+/// (the op list) is passed separately so ddmin can vary it while the
+/// config stays fixed.
+struct ScheduleConfig {
+  std::int32_t mesh_side = 16;
+  std::size_t initial_faults = 6;
+  /// Length of the seeded event stream the Submit ops consume. Ops past
+  /// the end submit nothing; leftover events are submitted at quiesce so
+  /// the expected final fault set never depends on the schedule shape.
+  std::size_t events = 96;
+  double repair_fraction = 0.45;
+  std::uint64_t seed = 1;
+  /// Chaos injected while the schedule runs (armed only during the ops;
+  /// the quiesce phase disarms it).
+  PlanSpec plan;
+  /// Service shape; queue_capacity is clamped up to hold the whole stream
+  /// so only chaos denials — never genuine overload — reject a Submit op.
+  svc::ServiceConfig service;
+};
+
+struct ScheduleResult {
+  /// Human-readable invariant violations; empty means the run passed.
+  std::vector<std::string> violations;
+  std::uint64_t final_digest = 0;
+  std::uint64_t expected_digest = 0;
+  std::size_t final_faults = 0;
+  std::uint64_t final_epoch = 0;
+  std::uint64_t stale_epochs_pending = 0;
+  std::uint64_t queries_ok = 0;
+  std::uint64_t queries_rejected = 0;
+  std::uint64_t submit_retries = 0;
+  std::uint64_t restarts = 0;
+  PlanStats injected;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Seeded schedule generation: `ops` driver ops with a weighted kind mix
+/// (submit/query heavy, occasional pause/resume/flush/nudge/restart).
+[[nodiscard]] std::vector<Op> generate_schedule(std::uint64_t seed,
+                                                std::size_t ops,
+                                                std::size_t max_burst = 16);
+
+/// Executes one schedule against a fresh Service and checks every
+/// invariant, quiescing (disarm, restart, drain, retry) before the final
+/// digest comparison.
+[[nodiscard]] ScheduleResult run_schedule(const ScheduleConfig& config,
+                                          const std::vector<Op>& schedule);
+
+/// Failure predicate ddmin minimizes against: true = still failing. The
+/// default (empty) oracle is `!run_schedule(config, ops).ok()`; tests
+/// inject synthetic oracles to pin the minimization itself.
+using ScheduleOracle =
+    std::function<bool(const ScheduleConfig&, const std::vector<Op>&)>;
+
+/// ddmin over the op list: returns the smallest subsequence of `schedule`
+/// whose run still violates an invariant (or `schedule` itself if the
+/// failure vanished). `runs` counts the executions spent shrinking.
+[[nodiscard]] std::vector<Op> shrink_schedule(const ScheduleConfig& config,
+                                              std::vector<Op> schedule,
+                                              std::size_t* runs = nullptr,
+                                              ScheduleOracle oracle = {});
+
+/// One-line schedule rendering: "S8 P R F Q16 Y K" (S=submit, Q=query with
+/// counts; P/R/F/Y/K = pause/resume/flush/retry-publish/restart).
+[[nodiscard]] std::string to_string(const std::vector<Op>& schedule);
+
+/// Inverse of `to_string`; nullopt on malformed input.
+[[nodiscard]] std::optional<std::vector<Op>> parse_schedule(
+    std::string_view text);
+
+}  // namespace ocp::chaos

@@ -611,6 +611,7 @@ const char* check_name(std::uint32_t check) noexcept {
     case kMetamorphic: return "metamorphic";
     case kScheduleIndependence: return "schedule-independence";
     case kEngineEquivalence: return "engine-equivalence";
+    case kChaosPoisoned: return "chaos-poisoned";
     default: return "unknown-check";
   }
 }

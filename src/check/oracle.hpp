@@ -85,6 +85,11 @@ inline constexpr std::uint32_t kAllChecks = (1u << 16) - 1;
 inline constexpr std::uint32_t kMetamorphic = 1u << 16;
 inline constexpr std::uint32_t kScheduleIndependence = 1u << 17;
 inline constexpr std::uint32_t kEngineEquivalence = 1u << 18;
+/// A publication withheld by a chaos-poisoned oracle verdict (src/chaos):
+/// the gate was forced to reject a healthy snapshot to exercise the serving
+/// runtime's degraded modes. Appears only in reports fabricated by the
+/// ingest engine's poisoning hook, never in a genuine oracle pass.
+inline constexpr std::uint32_t kChaosPoisoned = 1u << 19;
 
 /// Human-readable name of a single check bit.
 [[nodiscard]] const char* check_name(std::uint32_t check) noexcept;

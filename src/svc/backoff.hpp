@@ -1,0 +1,77 @@
+// Seeded capped exponential backoff for typed `Overloaded` retries.
+//
+// The serving runtime's admission edges reject with typed verdicts instead
+// of blocking; what the submitter does next is policy. A bare retry spin
+// (resubmit + yield) is correct under closed-loop load but degenerates into
+// a busy-wait storm the moment the consumer stalls — every producer burns a
+// core re-asking a full queue. This policy is the standard fix, made
+// deterministic: the delay before retry `attempt` is a pure function of
+// (policy, attempt) — exponential growth from `base_us` to `cap_us`, with a
+// jitter fraction drawn from a seeded hash of the attempt index rather than
+// a global RNG. Two runs with the same policy sleep the same schedule, so
+// retry behavior is replayable and pinnable in tests (chaos denial tests
+// assert exact per-attempt delays).
+//
+// `retry_budget` bounds how many retries a submitter spends per event
+// before shedding it. The default 0 means unbounded — the closed-loop
+// choice, where never dropping keeps the final fault set (and the published
+// label digest) a pure function of the event stream.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ocp::svc {
+
+struct BackoffPolicy {
+  /// Delay before the first retry; 0 disables sleeping entirely (pure
+  /// yield-spin, the pre-policy behavior).
+  std::uint32_t base_us = 2;
+  /// Ceiling the exponential ramp saturates at.
+  std::uint32_t cap_us = 256;
+  /// Fraction of each step randomized away: delay is drawn uniformly from
+  /// [step * (1 - jitter), step]. 0 = fully deterministic ladder.
+  double jitter = 0.5;
+  /// Seeds the jitter stream (and nothing else).
+  std::uint64_t seed = 1;
+  /// Retries allowed per event before the submitter sheds it; 0 = retry
+  /// forever (closed-loop replay identity).
+  std::uint64_t retry_budget = 0;
+};
+
+namespace detail {
+/// splitmix64 finalizer — one hash per (seed, attempt) pair is the whole
+/// jitter stream; no state, no cross-thread ordering sensitivity.
+[[nodiscard]] constexpr std::uint64_t backoff_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace detail
+
+/// Microseconds to sleep before retry number `attempt` (0-based). Pure in
+/// (policy, attempt): exponential from base to cap, seeded jitter.
+[[nodiscard]] constexpr std::uint32_t backoff_delay_us(
+    const BackoffPolicy& policy, std::uint64_t attempt) noexcept {
+  if (policy.base_us == 0) return 0;
+  // Saturating shift: past 32 doublings the cap has long since won.
+  const unsigned shift =
+      static_cast<unsigned>(std::min<std::uint64_t>(attempt, 31));
+  const std::uint64_t raw = static_cast<std::uint64_t>(policy.base_us) << shift;
+  const auto step = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(raw, std::max(policy.cap_us, policy.base_us)));
+  if (policy.jitter <= 0.0) return step;
+  // Unit draw from the top 53 bits of the hash, as chaos::FaultPlan does.
+  const std::uint64_t h =
+      detail::backoff_mix(policy.seed ^ detail::backoff_mix(attempt));
+  const double unit =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  const double jitter = std::min(policy.jitter, 1.0);
+  const double scaled = static_cast<double>(step) * (1.0 - jitter * unit);
+  // Never jitter below one microsecond: a zero delay would degrade the
+  // policy back into the spin it exists to prevent.
+  return scaled < 1.0 ? 1u : static_cast<std::uint32_t>(scaled);
+}
+
+}  // namespace ocp::svc

@@ -6,6 +6,15 @@ SubmitStatus EventQueue::push(FaultEvent event) {
   {
     std::lock_guard lock(mu_);
     if (closed_) return SubmitStatus::Closed;
+    // Chaos admission fault: a forced Overloaded is indistinguishable from
+    // a genuinely full queue to the submitter — exactly the storm the
+    // typed-retry/backoff contract is tested against. Decided under the
+    // lock so the per-plan decision index is FIFO with real admissions.
+    if (chaos_.enabled() && chaos_.deny_submit()) {
+      ++rejected_;
+      ++chaos_denied_;
+      return SubmitStatus::Overloaded;
+    }
     if (queue_.size() >= capacity_) {
       ++rejected_;
       return SubmitStatus::Overloaded;
@@ -15,6 +24,15 @@ SubmitStatus EventQueue::push(FaultEvent event) {
   }
   ready_.notify_one();
   return SubmitStatus::Accepted;
+}
+
+void EventQueue::requeue_front(std::vector<FaultEvent> events) {
+  if (events.empty()) return;
+  {
+    std::lock_guard lock(mu_);
+    queue_.insert(queue_.begin(), events.begin(), events.end());
+  }
+  ready_.notify_one();
 }
 
 std::vector<FaultEvent> EventQueue::wait_drain(std::size_t max_batch) {
@@ -62,6 +80,11 @@ std::uint64_t EventQueue::accepted() const {
 std::uint64_t EventQueue::rejected() const {
   std::lock_guard lock(mu_);
   return rejected_;
+}
+
+std::uint64_t EventQueue::chaos_denied() const {
+  std::lock_guard lock(mu_);
+  return chaos_denied_;
 }
 
 }  // namespace ocp::svc

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <vector>
 
+#include "chaos/plan.hpp"
 #include "mesh/coord.hpp"
 
 namespace ocp::svc {
@@ -60,11 +61,21 @@ enum class SubmitStatus : std::uint8_t {
 
 class EventQueue {
  public:
-  explicit EventQueue(std::size_t capacity) : capacity_(capacity) {}
+  /// `chaos` (disabled by default) can force `Overloaded` verdicts at
+  /// admission — the injection point overload-storm tests drive.
+  explicit EventQueue(std::size_t capacity, chaos::ChaosConfig chaos = {})
+      : capacity_(capacity), chaos_(chaos) {}
 
   /// Non-blocking admission: enqueues and wakes the consumer, or rejects
   /// with `Overloaded` (full) / `Closed` (shut down).
   SubmitStatus push(FaultEvent event);
+
+  /// Crash-recovery path: puts events BACK at the head of the queue in the
+  /// given order, preserving FIFO against everything submitted after them.
+  /// Bypasses capacity and admission counters — these events were already
+  /// accepted once; a restarted consumer re-drains them. Works on a closed
+  /// queue (shutdown still owes accepted events an application).
+  void requeue_front(std::vector<FaultEvent> events);
 
   /// Consumer side: blocks until at least one event is queued or the queue
   /// is closed, then drains up to `max_batch` events in FIFO order. An
@@ -86,17 +97,22 @@ class EventQueue {
   /// Total admissions / `Overloaded` rejections since construction.
   [[nodiscard]] std::uint64_t accepted() const;
   [[nodiscard]] std::uint64_t rejected() const;
+  /// `Overloaded` verdicts forced by the chaos plan (a subset of
+  /// `rejected()`); always 0 without an armed plan.
+  [[nodiscard]] std::uint64_t chaos_denied() const;
 
  private:
   std::vector<FaultEvent> drain_locked(std::size_t max_batch);
 
   const std::size_t capacity_;
+  const chaos::ChaosConfig chaos_;
   mutable std::mutex mu_;
   std::condition_variable ready_;
   std::deque<FaultEvent> queue_;
   bool closed_ = false;
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t chaos_denied_ = 0;
 };
 
 }  // namespace ocp::svc

@@ -92,13 +92,37 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
     // else: already in the desired state and untouched this batch — drop.
   }
 
+  // A chaos kill scheduled for the epoch this apply would publish: fires
+  // true and performs the crash (recover to the last published snapshot,
+  // hand back the unpublished backlog) exactly once per armed stamp.
+  const auto chaos_kill = [&]() -> bool {
+    if (!config_.chaos.enabled() || !config_.chaos.kill_now(epoch_ + 1)) {
+      return false;
+    }
+    outcome.crashed = true;
+    outcome.requeue = crash_and_recover();
+    outcome.applied = 0;
+    outcome.coalesced = 0;
+    outcome.epoch = epoch_;
+    config_.trace.counter("svc.ingest_crashes", 1);
+    std::lock_guard lock(stats_mu_);
+    ++stats_.batches;
+    ++stats_.crashes;
+    stats_.events += batch.size();
+    return true;
+  };
+
   // Apply the net delta in first-touched order (deterministic; the final
   // labeling depends only on the final fault set), folding each event's
-  // dirty extent into the pending publication masks.
+  // dirty extent into the pending publication masks. A chaos kill scheduled
+  // for the epoch this batch would publish fires here — mid-batch, before
+  // the rest of the delta mutates the labeling — so crash recovery is
+  // exercised against genuinely partial in-memory state.
   for (const auto& [node, want_faulty] : desired) {
     if (labeling_.faults().contains(node) == want_faulty) {
       continue;  // an intra-batch fault+repair pair cancelled out
     }
+    if (chaos_kill()) return outcome;
     const labeling::EventDelta delta = want_faulty
                                            ? labeling_.add_fault(node)
                                            : labeling_.remove_fault(node);
@@ -107,6 +131,8 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
       pending_padded_tiles_ |= tiles_.padded_bits(c);
     }
     pending_dirty_cells_ += delta.dirty_cells.size();
+    unpublished_.push_back(
+        {want_faulty ? EventKind::Fault : EventKind::Repair, node});
     ++outcome.applied;
   }
   outcome.coalesced = batch.size() - outcome.applied;
@@ -117,14 +143,33 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
 
   bool rejected = false;
   std::optional<check::ViolationReport> violation;
-  if (outcome.applied > 0) {
+  // `applied > 0` is the normal publish; `pending_dirty_cells_ > 0` with an
+  // empty net delta is the retry path — earlier epochs were withheld and a
+  // (possibly empty) later batch re-attempts publication of the labeling
+  // the serving snapshot is still behind on.
+  if (outcome.applied > 0 || pending_dirty_cells_ > 0) {
+    // The retry path (applied == 0) never ran the per-event kill check, yet
+    // it is about to publish epoch_ + 1 — consult the stamp here too, or a
+    // kill armed for this epoch would be skipped forever once the epoch
+    // counter moves past it.
+    if (outcome.applied == 0 && chaos_kill()) return outcome;
     obs::Span publish_span(config_.trace, "svc.publish");
     // Copy-on-write against the epoch actually serving: the pending masks
     // cover every change since `latest_`, including changes from batches
     // the oracle withheld.
     auto next = Snapshot::next(*latest_, epoch_ + 1, labeling_,
                                pending_dirty_tiles_, pending_padded_tiles_);
-    if (config_.validate) {
+    if (config_.chaos.enabled() && config_.chaos.poison_publish()) {
+      // Chaos: the oracle "finds" a violation in a perfectly good snapshot.
+      // Exercises the withholding path — bounded staleness, armed pending
+      // masks, eventual retry — without a real engine bug to provoke it.
+      rejected = true;
+      violation = check::ViolationReport{};
+      violation->violations.push_back(
+          {check::kChaosPoisoned, "chaos plan poisoned the oracle verdict"});
+      config_.trace.counter("svc.oracle_rejects", 1);
+    }
+    if (!rejected && config_.validate) {
       obs::Span gate_span(config_.trace, "svc.oracle_gate");
       auto report = next->validate(config_.definition, config_.oracle_checks);
       if (!report.ok()) {
@@ -135,7 +180,10 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
         config_.trace.counter("svc.oracle_rejects", 1);
       }
     }
-    if (!rejected) {
+    if (rejected) {
+      withheld_since_publish_.fetch_add(1, std::memory_order_relaxed);
+      config_.trace.counter("svc.epochs_withheld", 1);
+    } else {
       ++epoch_;
       config_.trace.counter(
           "svc.pages_copied",
@@ -154,6 +202,8 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
       pending_dirty_tiles_ = 0;
       pending_padded_tiles_ = 0;
       pending_dirty_cells_ = 0;
+      unpublished_.clear();
+      withheld_since_publish_.store(0, std::memory_order_relaxed);
       latest_ = next;
       publish(std::move(next));
       config_.trace.counter("svc.epochs_published", 1);
@@ -176,6 +226,24 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
     }
   }
   return outcome;
+}
+
+std::vector<FaultEvent> IngestEngine::crash_and_recover() {
+  // The crash loses everything not published: rebuild the labeling from the
+  // last published snapshot's fault set (full rebuild and incremental
+  // maintenance are bit-identical — the engine-equivalence invariant the
+  // fuzzer pins), and disarm the pending masks that described the now
+  // discarded progress. The unpublished backlog is the WAL the crash did
+  // NOT lose: its events are state-setting (fault = make-faulty, repair =
+  // make-healthy), so the caller replaying them — possibly on top of a
+  // prefix already re-applied here — converges to the pre-crash fault set.
+  labeling_ =
+      labeling::MaintainedLabeling(latest_->faults(), config_.definition);
+  pending_dirty_tiles_ = 0;
+  pending_padded_tiles_ = 0;
+  pending_dirty_cells_ = 0;
+  withheld_since_publish_.store(0, std::memory_order_relaxed);
+  return std::exchange(unpublished_, {});
 }
 
 IngestStats IngestEngine::stats() const {

@@ -45,6 +45,7 @@
 #include <shared_mutex>
 #include <span>
 
+#include "chaos/plan.hpp"
 #include "grid/tiles.hpp"
 #include "obs/trace.hpp"
 #include "svc/event_queue.hpp"
@@ -65,6 +66,11 @@ struct IngestConfig {
   std::uint32_t oracle_checks = check::kAllChecks;
   /// Observability: publish spans, event/epoch counters.
   obs::TraceConfig trace;
+  /// Deterministic fault injection (disabled by default): oracle poisoning,
+  /// mid-batch kills, and — read by the owning `Service` — admission
+  /// denial and drained-batch scheduling faults. One plan serves the whole
+  /// runtime so its decision streams compose into one chaos schedule.
+  chaos::ChaosConfig chaos;
 };
 
 /// What one `apply` call did.
@@ -81,6 +87,14 @@ struct BatchOutcome {
   bool published = false;
   /// Epoch of the serving snapshot after the call.
   std::uint64_t epoch = 0;
+  /// True when a chaos kill fired mid-batch: the engine crashed and
+  /// recovered itself from the last published snapshot, discarding every
+  /// applied-but-unpublished change. `requeue` then holds the events that
+  /// must be replayed (the WAL the crash did not lose): the unpublished
+  /// backlog in application order. The caller owns requeuing them — and the
+  /// interrupted batch after them — before restarting the ingest thread.
+  bool crashed = false;
+  std::vector<FaultEvent> requeue;
 };
 
 /// Monotone counters over the engine's lifetime.
@@ -91,8 +105,11 @@ struct IngestStats {
   std::uint64_t coalesced = 0;
   std::uint64_t invalid = 0;
   std::uint64_t epochs_published = 0;
-  /// Publications withheld by the oracle gate.
+  /// Publications withheld by the oracle gate (genuine violations and
+  /// chaos-poisoned verdicts alike).
   std::uint64_t oracle_rejects = 0;
+  /// Mid-batch chaos kills the engine crash-recovered from.
+  std::uint64_t crashes = 0;
 };
 
 class IngestEngine {
@@ -104,7 +121,25 @@ class IngestEngine {
   IngestEngine& operator=(const IngestEngine&) = delete;
 
   /// Applies one drained batch; single-writer (never call concurrently).
+  /// An empty batch is the publish-retry path: when earlier epochs were
+  /// withheld (pending dirty extents are armed), it re-attempts publication
+  /// of the current labeling without consuming any events.
   BatchOutcome apply(std::span<const FaultEvent> batch);
+
+  /// Chaos/test hook: crash the engine as a mid-batch kill would — rebuild
+  /// the labeling from the last PUBLISHED snapshot (all in-memory progress
+  /// beyond it is lost), disarm the pending dirty extents, and return the
+  /// unpublished event backlog the caller must replay to converge back to
+  /// the pre-crash fault set. Single-writer, like `apply`.
+  [[nodiscard]] std::vector<FaultEvent> crash_and_recover();
+
+  /// Bounded-staleness watermark: publish attempts withheld by the oracle
+  /// gate since the last successful publication — how many epochs behind
+  /// the net fault set the serving snapshot currently is. 0 in the healthy
+  /// steady state; readable from any thread.
+  [[nodiscard]] std::uint64_t stale_epochs_pending() const {
+    return withheld_since_publish_.load(std::memory_order_relaxed);
+  }
 
   /// The currently serving snapshot (safe from any thread; the shared lock
   /// is held only for the handle copy). Prefer `acquire()` on query hot
@@ -133,6 +168,14 @@ class IngestEngine {
   void publish(std::shared_ptr<const Snapshot> next);
 
   IngestConfig config_;
+  /// Events applied to `labeling_` but not yet covered by a successful
+  /// publication, in application order (net events of withheld epochs plus
+  /// the in-flight batch's applied prefix). Cleared on publish; returned by
+  /// `crash_and_recover` so a crash never silently drops accepted events.
+  std::vector<FaultEvent> unpublished_;
+  /// Withheld publish attempts since the last successful publication
+  /// (the staleness watermark queries and dashboards read).
+  std::atomic<std::uint64_t> withheld_since_publish_{0};
   labeling::MaintainedLabeling labeling_;
   /// Tile decomposition used to accumulate dirty masks for publication.
   grid::TileGrid tiles_;

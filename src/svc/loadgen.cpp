@@ -122,14 +122,38 @@ SvcLoadResult run_svc_load(const SvcLoadConfig& config) {
   Service service(initial, config.service);
 
   // Writer: replays the stream in order with closed-loop backpressure.
-  // Because rejected submissions retry (never drop) and the queue is FIFO,
-  // the final fault set is a pure function of the stream.
+  // An `Overloaded` verdict retries under the seeded backoff policy instead
+  // of spinning; with the default unbounded budget nothing is ever dropped,
+  // so (queue FIFO + retry-until-accepted) keeps the final fault set a pure
+  // function of the stream. A finite budget sheds instead — accounted, and
+  // forfeiting that purity by design.
+  const BackoffPolicy& backoff = config.submit_backoff;
   std::uint64_t submit_retries = 0;
-  std::thread writer([&service, &stream, &submit_retries] {
+  std::uint64_t submit_backoff_us = 0;
+  std::uint64_t submits_shed = 0;
+  std::thread writer([&] {
     for (const FaultEvent& event : stream) {
-      while (service.submit(event) != SubmitStatus::Accepted) {
+      std::uint64_t attempt = 0;
+      for (;;) {
+        const SubmitStatus status = service.submit(event);
+        if (status == SubmitStatus::Accepted) break;
+        if (status == SubmitStatus::Closed) {
+          // Shutdown raced the writer; nothing further can be delivered.
+          ++submits_shed;
+          break;
+        }
+        if (backoff.retry_budget != 0 && attempt >= backoff.retry_budget) {
+          ++submits_shed;
+          break;
+        }
         ++submit_retries;
-        std::this_thread::yield();
+        const std::uint32_t delay_us = backoff_delay_us(backoff, attempt++);
+        submit_backoff_us += delay_us;
+        if (delay_us == 0) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        }
       }
     }
   });
@@ -226,6 +250,8 @@ SvcLoadResult run_svc_load(const SvcLoadConfig& config) {
     latency.merge(rec.latency_us);
   }
   result.submit_retries = submit_retries;
+  result.submit_backoff_us = submit_backoff_us;
+  result.submits_shed = submits_shed;
   result.wall_seconds = us_between(start, end) / 1e6;
   // Each batch counts once in queries_ok but delivers batch_size answers;
   // throughput counts delivered answers.

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "svc/backoff.hpp"
 #include "svc/service.hpp"
 
 namespace ocp::svc {
@@ -40,6 +41,12 @@ struct SvcLoadConfig {
   std::size_t batch_every = 16;
   std::size_t batch_size = 8;
   std::uint64_t seed = 1;
+  /// Writer-side reaction to `Overloaded` verdicts: seeded capped
+  /// exponential backoff instead of a yield spin. The default unbounded
+  /// retry budget preserves replay identity (no event is ever shed); a
+  /// finite budget turns sustained overload into typed shedding, counted in
+  /// `SvcLoadResult::submits_shed`.
+  BackoffPolicy submit_backoff;
   ServiceConfig service;
 };
 
@@ -53,6 +60,12 @@ struct SvcLoadResult {
   /// Final epoch number == epochs published; depends on how events batched.
   std::uint64_t final_epoch = 0;
   std::uint64_t submit_retries = 0;
+  /// Total backoff the writer slept across all retries (microseconds), and
+  /// events abandoned after exhausting a finite retry budget (always 0 with
+  /// the default unbounded budget — the replay-identity invariant depends
+  /// on it).
+  std::uint64_t submit_backoff_us = 0;
+  std::uint64_t submits_shed = 0;
   double wall_seconds = 0.0;
   /// Individual answers (single queries + batch items) per second.
   double qps = 0.0;

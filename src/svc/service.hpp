@@ -17,6 +17,16 @@
 // `pause`/`resume` hold the ingest loop (planned maintenance, deterministic
 // overload tests); `flush` barriers until every accepted event is applied
 // and published; `wait_for_epoch` gives submitters read-your-writes.
+//
+// Chaos (src/chaos, disabled by default): an armed `FaultPlan` in the
+// ingest config injects failures at every seam of this runtime — admission
+// denials in the queue, duplicate/deferred/stalled drain batches in the
+// ingest loop, poisoned oracle verdicts that withhold publications, and
+// mid-batch kills that terminate the ingest thread after the engine
+// crash-recovers to its last published snapshot. A killed service keeps
+// answering queries from the last good epoch (bounded staleness is exposed
+// via `stale_epochs_pending`); `restart_ingest` brings the writer back and
+// replays the crash's requeued backlog to digest-identical convergence.
 #pragma once
 
 #include <chrono>
@@ -122,6 +132,16 @@ struct ServiceStats {
   std::uint64_t events_accepted = 0;
   std::uint64_t events_rejected = 0;
   std::uint64_t query_overloads = 0;
+  /// `Overloaded` verdicts forced by the chaos plan (subset of rejected).
+  std::uint64_t chaos_denied = 0;
+  /// Bounded-staleness watermark: oracle-withheld publish attempts the
+  /// serving epoch is currently behind by (0 = fully fresh).
+  std::uint64_t stale_epochs_pending = 0;
+  /// Queries answered from a stale (withheld-behind) epoch — the degraded
+  /// mode in action: stale answers, never unavailability.
+  std::uint64_t stale_queries_served = 0;
+  /// True while the ingest thread is down after a chaos kill.
+  bool ingest_crashed = false;
   IngestStats ingest;
 };
 
@@ -143,7 +163,10 @@ class Service {
   /// Blocks until every accepted event has been drained and applied (and
   /// the resulting epoch published). Returns immediately when paused with
   /// an empty queue would deadlock — i.e. flush of a paused service with
-  /// pending events resumes it first.
+  /// pending events resumes it first. Likewise returns (rather than hangs)
+  /// when the ingest thread is down after a chaos kill; check
+  /// `ingest_crashed()` and `restart_ingest()` to recover, then flush
+  /// again.
   void flush();
 
   /// Holds the ingest loop after the in-flight batch (if any) completes.
@@ -152,8 +175,32 @@ class Service {
   void resume();
 
   /// Blocks until the serving epoch is >= `epoch` or the timeout expires.
+  /// Returns `Timeout` (never hangs) when the epoch is withheld by the
+  /// oracle gate or the ingest thread is down after a chaos kill.
   [[nodiscard]] QueryStatus wait_for_epoch(std::uint64_t epoch,
                                            std::chrono::milliseconds timeout);
+
+  /// Nudges the ingest loop to re-attempt a withheld publication without
+  /// consuming events (the empty-batch retry path of `IngestEngine::apply`).
+  /// No-op when nothing is pending; `flush()` afterwards barriers on the
+  /// attempt having run.
+  void retry_publish();
+
+  /// True while the ingest thread is down after a chaos kill: submissions
+  /// still enqueue (up to the bound) and queries keep answering from the
+  /// last published epoch, but nothing drains until `restart_ingest`.
+  [[nodiscard]] bool ingest_crashed() const;
+
+  /// Restarts the ingest thread after a chaos kill; the crash's requeued
+  /// backlog (already at the queue head) drains first, so the service
+  /// converges to the same snapshots an uninterrupted run would publish.
+  /// Returns false (and does nothing) when the thread is not crashed.
+  bool restart_ingest();
+
+  /// Bounded-staleness watermark (see ServiceStats::stale_epochs_pending).
+  [[nodiscard]] std::uint64_t stale_epochs_pending() const {
+    return engine_.stale_epochs_pending();
+  }
 
   // -- query front ---------------------------------------------------------
 
@@ -180,6 +227,8 @@ class Service {
 
   void ingest_loop();
   [[nodiscard]] bool admit_query() const;
+  /// Counts a query answered while the serving epoch is withheld-behind.
+  void note_staleness() const;
 
   ServiceConfig config_;
   EventQueue queue_;
@@ -191,9 +240,18 @@ class Service {
   bool paused_ = false;
   bool stopping_ = false;
   bool draining_ = false;  // a batch is between drain and publish
+  /// Ingest thread terminated by a chaos kill; restart_ingest clears it.
+  bool crashed_ = false;
+  /// One-shot publish-retry nudge consumed by the next loop iteration.
+  bool retry_publish_ = false;
+  /// A chaos-deferred drain batch, re-drained (ahead of new events) on the
+  /// next loop iteration. Part of the flush barrier's "accepted but not yet
+  /// applied" accounting.
+  std::vector<FaultEvent> deferred_;
 
   mutable std::atomic<std::int64_t> inflight_queries_{0};
   mutable std::atomic<std::uint64_t> query_overloads_{0};
+  mutable std::atomic<std::uint64_t> stale_queries_served_{0};
 
   std::thread ingest_thread_;
 };

@@ -1,0 +1,147 @@
+// FaultPlan decision streams: counter-hashed determinism, caps, disarm,
+// one-shot kills — plus the seeded backoff policy the submitters pair with
+// chaos denials (pure in (policy, attempt), so tests can pin exact delays).
+#include "chaos/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "svc/backoff.hpp"
+
+namespace ocp::chaos {
+namespace {
+
+TEST(ChaosPlanTest, DecisionStreamsAreDeterministicInSeed) {
+  const PlanSpec spec{.seed = 7, .deny_submit = 0.5, .poison_publish = 0.3};
+  FaultPlan a(spec);
+  FaultPlan b(spec);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.deny_submit(), b.deny_submit()) << "deny diverged at " << i;
+    EXPECT_EQ(a.poison_publish(), b.poison_publish())
+        << "poison diverged at " << i;
+  }
+  // A different seed yields a different stream (overwhelmingly likely over
+  // 200 draws at p=0.5).
+  FaultPlan c({.seed = 8, .deny_submit = 0.5});
+  int diverged = 0;
+  FaultPlan a2(spec);
+  for (int i = 0; i < 200; ++i) {
+    if (a2.deny_submit() != c.deny_submit()) ++diverged;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(ChaosPlanTest, CapsBoundTotalInjectionsEvenAtProbabilityOne) {
+  FaultPlan plan({.deny_submit = 1.0, .max_denies = 3});
+  int denied = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (plan.deny_submit()) ++denied;
+  }
+  EXPECT_EQ(denied, 3);
+  EXPECT_EQ(plan.stats().denies, 3u);
+}
+
+TEST(ChaosPlanTest, CapsHoldUnderConcurrentCallers) {
+  FaultPlan plan({.deny_submit = 1.0, .max_denies = 16});
+  std::atomic<int> denied{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&plan, &denied] {
+      for (int i = 0; i < 100; ++i) {
+        if (plan.deny_submit()) denied.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(denied.load(), 16);
+  EXPECT_EQ(plan.stats().denies, 16u);
+}
+
+TEST(ChaosPlanTest, DisarmSilencesEveryPointAndRearmRestores) {
+  FaultPlan plan({.deny_submit = 1.0,
+                  .duplicate_batch = 1.0,
+                  .poison_publish = 1.0,
+                  .kill_at_stamps = {1}});
+  plan.disarm();
+  EXPECT_FALSE(plan.armed());
+  EXPECT_FALSE(plan.deny_submit());
+  EXPECT_FALSE(plan.on_batch().duplicate);
+  EXPECT_FALSE(plan.poison_publish());
+  EXPECT_FALSE(plan.kill_now(1));  // the stamp survives disarm...
+  plan.rearm();
+  EXPECT_TRUE(plan.deny_submit());
+  EXPECT_TRUE(plan.kill_now(1));  // ...and fires once rearmed.
+}
+
+TEST(ChaosPlanTest, KillStampsFireExactlyOnceEach) {
+  FaultPlan plan({.kill_at_stamps = {3, 5}});
+  EXPECT_FALSE(plan.kill_now(1));
+  EXPECT_FALSE(plan.kill_now(2));
+  EXPECT_TRUE(plan.kill_now(3));
+  EXPECT_FALSE(plan.kill_now(3));  // consumed: the replayed batch publishes
+  EXPECT_TRUE(plan.kill_now(5));
+  EXPECT_FALSE(plan.kill_now(5));
+  EXPECT_EQ(plan.stats().kills, 2u);
+}
+
+TEST(ChaosPlanTest, StallDurationsStayWithinSpecBounds) {
+  FaultPlan plan({.stall_batch = 1.0, .stall_max_us = 50});
+  for (int i = 0; i < 100; ++i) {
+    const BatchDecision decision = plan.on_batch();
+    ASSERT_GE(decision.stall_us, 1u);
+    ASSERT_LE(decision.stall_us, 50u);
+  }
+}
+
+TEST(ChaosPlanTest, NullConfigIsDisabledAndInert) {
+  const ChaosConfig config;
+  EXPECT_FALSE(config.enabled());
+  EXPECT_FALSE(config.deny_submit());
+  EXPECT_FALSE(config.on_batch().duplicate);
+  EXPECT_FALSE(config.poison_publish());
+  EXPECT_FALSE(config.kill_now(1));
+}
+
+TEST(BackoffTest, DelaysAreAPureFunctionOfPolicyAndAttempt) {
+  const svc::BackoffPolicy policy{.base_us = 2, .cap_us = 64, .seed = 9};
+  for (std::uint64_t attempt = 0; attempt < 20; ++attempt) {
+    EXPECT_EQ(svc::backoff_delay_us(policy, attempt),
+              svc::backoff_delay_us(policy, attempt));
+  }
+}
+
+TEST(BackoffTest, RampIsExponentialToTheCapWithoutJitter) {
+  const svc::BackoffPolicy policy{.base_us = 2, .cap_us = 64, .jitter = 0.0};
+  EXPECT_EQ(svc::backoff_delay_us(policy, 0), 2u);
+  EXPECT_EQ(svc::backoff_delay_us(policy, 1), 4u);
+  EXPECT_EQ(svc::backoff_delay_us(policy, 2), 8u);
+  EXPECT_EQ(svc::backoff_delay_us(policy, 4), 32u);
+  EXPECT_EQ(svc::backoff_delay_us(policy, 5), 64u);
+  EXPECT_EQ(svc::backoff_delay_us(policy, 6), 64u);   // saturated
+  EXPECT_EQ(svc::backoff_delay_us(policy, 63), 64u);  // shift-safe far out
+}
+
+TEST(BackoffTest, JitterStaysWithinTheStepAndNeverHitsZero) {
+  const svc::BackoffPolicy policy{
+      .base_us = 2, .cap_us = 256, .jitter = 0.5, .seed = 11};
+  for (std::uint64_t attempt = 0; attempt < 32; ++attempt) {
+    const std::uint32_t step = svc::backoff_delay_us(
+        {.base_us = 2, .cap_us = 256, .jitter = 0.0}, attempt);
+    const std::uint32_t delay = svc::backoff_delay_us(policy, attempt);
+    ASSERT_GE(delay, 1u);
+    ASSERT_LE(delay, step);
+    ASSERT_GE(delay, step / 2);  // jitter 0.5 removes at most half the step
+  }
+}
+
+TEST(BackoffTest, ZeroBaseDisablesSleepingEntirely) {
+  const svc::BackoffPolicy policy{.base_us = 0};
+  EXPECT_EQ(svc::backoff_delay_us(policy, 0), 0u);
+  EXPECT_EQ(svc::backoff_delay_us(policy, 10), 0u);
+}
+
+}  // namespace
+}  // namespace ocp::chaos

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
+
+#include "chaos/plan.hpp"
 
 namespace ocp::svc {
 namespace {
@@ -60,6 +64,105 @@ TEST(EventQueueTest, CloseStopsAdmissionButKeepsQueuedEventsDrainable) {
   EXPECT_EQ(batch[0].node, (mesh::Coord{4, 4}));
   // Closed and fully drained: the consumer's shutdown signal.
   EXPECT_TRUE(q.wait_drain(8).empty());
+}
+
+TEST(EventQueueTest, CloseWhileFullKeepsEveryQueuedEventDrainable) {
+  // Closing at capacity must not lose events, and post-close verdicts are
+  // Closed (not Overloaded) — the submitter learns shutdown, not pressure.
+  EventQueue q(2);
+  ASSERT_EQ(q.push({EventKind::Fault, {0, 0}}), SubmitStatus::Accepted);
+  ASSERT_EQ(q.push({EventKind::Fault, {1, 0}}), SubmitStatus::Accepted);
+  ASSERT_EQ(q.push({EventKind::Fault, {2, 0}}), SubmitStatus::Overloaded);
+  q.close();
+  EXPECT_EQ(q.push({EventKind::Fault, {3, 0}}), SubmitStatus::Closed);
+  EXPECT_EQ(q.depth(), 2u);
+
+  auto batch = q.wait_drain(8);  // must not block: closed with events queued
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].node, (mesh::Coord{0, 0}));
+  EXPECT_EQ(batch[1].node, (mesh::Coord{1, 0}));
+  EXPECT_TRUE(q.wait_drain(8).empty());  // the shutdown signal
+}
+
+TEST(EventQueueTest, ConcurrentSubmitVersusCloseNeverLosesAcceptedEvents) {
+  // Race many producers against a mid-stream close (tsan-able): every push
+  // gets a typed verdict, and exactly the accepted events — no more, no
+  // fewer — come out of the drain.
+  EventQueue q(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::atomic<int> accepted{0};
+  std::atomic<int> closed{0};
+  std::atomic<int> overloaded{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  std::thread consumer([&q] {
+    // Keep the queue from saturating while racing the close.
+    for (;;) {
+      const auto batch = q.wait_drain(16);
+      if (batch.empty()) return;  // closed and fully drained
+    }
+  });
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&q, &accepted, &closed, &overloaded, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        switch (q.push({EventKind::Fault, {t, i % 16}})) {
+          case SubmitStatus::Accepted: accepted.fetch_add(1); break;
+          case SubmitStatus::Closed: closed.fetch_add(1); break;
+          case SubmitStatus::Overloaded: overloaded.fetch_add(1); break;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  q.close();
+  for (auto& producer : producers) producer.join();
+  consumer.join();
+
+  EXPECT_EQ(accepted.load() + closed.load() + overloaded.load(),
+            kProducers * kPerProducer);
+  // The consumer drained to empty before exiting, so the queue's own
+  // accounting must balance: accepted == accepted() and nothing remains.
+  EXPECT_EQ(q.accepted(), static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(q.depth(), 0u);
+  // Post-close pushes all reported Closed (some producers likely raced the
+  // close; either way the sum above already proves no verdict was lost).
+  EXPECT_EQ(q.push({EventKind::Fault, {9, 9}}), SubmitStatus::Closed);
+}
+
+TEST(EventQueueTest, RequeueFrontPreservesFifoAndBypassesCapacityAndClose) {
+  EventQueue q(2);
+  ASSERT_EQ(q.push({EventKind::Fault, {1, 1}}), SubmitStatus::Accepted);
+  ASSERT_EQ(q.push({EventKind::Fault, {2, 2}}), SubmitStatus::Accepted);
+  // Crash recovery puts replayed events at the head, even over capacity.
+  q.requeue_front({{EventKind::Repair, {8, 8}}, {EventKind::Fault, {9, 9}}});
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_EQ(q.accepted(), 2u);  // requeues are not new admissions
+
+  auto batch = q.try_drain(8);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0], (FaultEvent{EventKind::Repair, {8, 8}}));
+  EXPECT_EQ(batch[1], (FaultEvent{EventKind::Fault, {9, 9}}));
+  EXPECT_EQ(batch[2], (FaultEvent{EventKind::Fault, {1, 1}}));
+  EXPECT_EQ(batch[3], (FaultEvent{EventKind::Fault, {2, 2}}));
+
+  // A closed queue still owes accepted (here: requeued) events a drain.
+  q.close();
+  q.requeue_front({{EventKind::Fault, {5, 5}}});
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.wait_drain(8).size(), 1u);
+}
+
+TEST(EventQueueTest, ChaosPlanForcesTypedDenialsWithSeparateAccounting) {
+  chaos::FaultPlan plan({.deny_submit = 1.0, .max_denies = 2});
+  EventQueue q(8, chaos::ChaosConfig{&plan});
+  EXPECT_EQ(q.push({EventKind::Fault, {0, 0}}), SubmitStatus::Overloaded);
+  EXPECT_EQ(q.push({EventKind::Fault, {0, 0}}), SubmitStatus::Overloaded);
+  EXPECT_EQ(q.push({EventKind::Fault, {0, 0}}), SubmitStatus::Accepted);
+  EXPECT_EQ(q.chaos_denied(), 2u);
+  EXPECT_EQ(q.rejected(), 2u);  // chaos denials count as rejections too
+  EXPECT_EQ(q.accepted(), 1u);
+  EXPECT_EQ(q.depth(), 1u);  // denied events were never enqueued
 }
 
 TEST(EventQueueTest, WaitDrainBlocksUntilProducerArrives) {
