@@ -16,11 +16,15 @@
 #   bench/run_bench.sh --svc            # serving-runtime suite only, compared
 #                                       # against the committed BENCH_svc.json
 #                                       # the same way
-#   bench/run_bench.sh --svc-sweep      # closed-loop thread sweep: runs
+#   bench/run_bench.sh --svc-sweep      # closed-loop sweep: runs
 #                                       # BM_SvcClosedLoop at 1/2/4/8 query
-#                                       # threads and prints a qps table —
-#                                       # the scaling evidence for the
-#                                       # epoch-handle acquisition path; no
+#                                       # threads plus the sharded fleet
+#                                       # (BM_SvcShardedClosedLoop, 1/2/4
+#                                       # shards x 1/2/4/8 query threads) and
+#                                       # prints a qps table — the scaling
+#                                       # evidence for the epoch-handle
+#                                       # acquisition path and the
+#                                       # tile-partitioned ingest; no
 #                                       # baselines touched
 #   bench/run_bench.sh --trace          # traced pipeline + netsim demo run:
 #                                       # writes trace.jsonl / trace_chrome
@@ -168,27 +172,29 @@ if [ "$NETSIM_ONLY" = 1 ]; then
   exit 0
 fi
 
-# --svc-sweep: the closed-loop generator at 1/2/4/8 query threads, printed
-# as a qps table. Pulls items_per_second straight out of the full benchmark
-# JSON (one field per line) — the number BENCH_svc.json commits for the
-# same benchmarks.
+# --svc-sweep: the closed-loop generator at 1/2/4/8 query threads — single
+# writer AND the sharded fleet at 1/2/4 shards (BM_SvcShardedClosedLoop's
+# first arg) — printed as a qps table. Pulls items_per_second straight out
+# of the full benchmark JSON (one field per line) — the number
+# BENCH_svc.json commits for the same benchmarks.
 if [ "$SVC_SWEEP" = 1 ]; then
   full="$BUILD/bench/svc_load.sweep.json"
   "$BUILD/bench/svc_load" \
     --benchmark_out="$full" \
     --benchmark_out_format=json \
     --benchmark_min_time="$MIN_TIME" \
-    --benchmark_filter='BM_SvcClosedLoop/' \
+    --benchmark_filter='BM_SvcClosedLoop/|BM_SvcShardedClosedLoop/' \
     >&2
-  echo "== closed-loop thread sweep (answers/s, real time)"
-  printf '%-24s %14s %10s %10s\n' "benchmark" "qps" "p50_us" "p99_us"
+  echo "== closed-loop sweep (answers/s, real time; sharded rows are"
+  echo "   BM_SvcShardedClosedLoop/<shards>/<query_threads>)"
+  printf '%-38s %14s %10s %10s\n' "benchmark" "qps" "p50_us" "p99_us"
   awk '
     /"name":/            { gsub(/[",]/, ""); name = $2 }
     /"items_per_second":/ { gsub(/,/, ""); qps = $2 }
     /"p50_us":/          { gsub(/,/, ""); p50 = $2 }
     /"p99_us":/          { gsub(/,/, ""); p99 = $2 }
     /^    }/ && name != "" {
-      printf "%-24s %14.0f %10.2f %10.2f\n", name, qps, p50, p99
+      printf "%-38s %14.0f %10.2f %10.2f\n", name, qps, p50, p99
       name = ""
     }
   ' "$full"

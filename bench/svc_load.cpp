@@ -199,6 +199,82 @@ void BM_SvcClosedLoopMixedRate(benchmark::State& state) {
 BENCHMARK(BM_SvcClosedLoopMixedRate)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Tile-partitioned multi-writer ingest through the deterministic round
+// driver: the same seeded 256-event stream as BM_SvcIngestChurn, applied by
+// S shards gossiping halo deltas to fixpoint. Items are applied external
+// events (halo-derived re-applications are overhead, not work), so the
+// items/s column is directly comparable with the single-writer churn
+// number; the halo counters quantify what the sharding costs in gossip.
+void BM_SvcShardedIngest(benchmark::State& state) {
+  const auto shard_count = state.range(0);
+  const std::int32_t rows = shard_count >= 4 ? 2 : 1;
+  const std::int32_t cols = static_cast<std::int32_t>(shard_count) / rows;
+  const mesh::Mesh2D m = mesh::Mesh2D::square(32);
+  stats::Rng rng(11);
+  const auto initial = fault::uniform_random(m, 10, rng);
+  const auto stream = svc::generate_event_stream(m, initial, 256, 0.45, 13);
+  const svc::ShardGrid grid(m, rows, cols);
+
+  std::int64_t applied = 0;
+  double halo_deltas = 0.0;
+  double halo_events = 0.0;
+  for (auto _ : state) {
+    const svc::ShardedRoundsResult result =
+        svc::run_sharded_rounds(grid, initial, stream, 16);
+    applied += static_cast<std::int64_t>(result.applied);
+    halo_deltas = static_cast<double>(result.halo_deltas);
+    halo_events = static_cast<double>(result.halo_events);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(applied);
+  state.counters["halo_deltas"] = halo_deltas;
+  state.counters["halo_events"] = halo_events;
+  state.SetLabel("items = applied external events");
+}
+BENCHMARK(BM_SvcShardedIngest)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// The sharded runtime end to end under closed-loop load: S ingest workers
+// (one per shard) racing N query threads, queries scatter-gathered against
+// the composite epoch vector. Args are (shards, query_threads); the
+// 1-shard rows are the degenerate fleet whose gap to BM_SvcClosedLoop is
+// the sharding layer's fixed overhead.
+void BM_SvcShardedClosedLoop(benchmark::State& state) {
+  const auto shard_count = state.range(0);
+  svc::ShardedServiceConfig fleet;
+  fleet.shard_rows = shard_count >= 4 ? 2 : 1;
+  fleet.shard_cols = static_cast<std::int32_t>(shard_count) /
+                     fleet.shard_rows;
+  const svc::SvcLoadConfig config =
+      svc::query_heavy_profile(static_cast<std::size_t>(state.range(1)));
+
+  std::int64_t answers = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double halo_deltas = 0.0;
+  for (auto _ : state) {
+    const svc::ShardedLoadResult result =
+        svc::run_sharded_load(config, fleet);
+    answers += static_cast<std::int64_t>(
+        result.queries_ok - result.batch_items / config.batch_size +
+        result.batch_items);
+    p50 = result.p50_us;
+    p99 = result.p99_us;
+    halo_deltas = static_cast<double>(result.halo_deltas);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(answers);
+  state.counters["p50_us"] = p50;
+  state.counters["p99_us"] = p99;
+  state.counters["halo_deltas"] = halo_deltas;
+  state.SetLabel("items = answers");
+}
+BENCHMARK(BM_SvcShardedClosedLoop)
+    ->Args({1, 1})->Args({1, 2})->Args({1, 4})->Args({1, 8})
+    ->Args({2, 1})->Args({2, 2})->Args({2, 4})->Args({2, 8})
+    ->Args({4, 1})->Args({4, 2})->Args({4, 4})->Args({4, 8})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -101,6 +101,11 @@ bool FaultPlan::kill_now(std::uint64_t publish_stamp) {
   return true;
 }
 
+void FaultPlan::arm_kill(std::uint64_t publish_stamp) {
+  std::lock_guard lock(kill_mu_);
+  pending_kills_.push_back(publish_stamp);
+}
+
 PlanStats FaultPlan::stats() const {
   return {.denies = denies_.load(std::memory_order_relaxed),
           .duplicates = duplicates_.load(std::memory_order_relaxed),

@@ -111,6 +111,11 @@ class FaultPlan {
   /// True exactly once per spec'd stamp: the caller must crash.
   [[nodiscard]] bool kill_now(std::uint64_t publish_stamp);
 
+  /// Harness hook: arms one additional kill at `publish_stamp` after
+  /// construction. The sharded schedule explorer uses this to target a live
+  /// shard's *next* epoch — a stamp it cannot know when the plan is built.
+  void arm_kill(std::uint64_t publish_stamp);
+
   /// Disarm turns every future decision into a no-op (injection counters
   /// keep their values); rearm restores the spec. Harnesses disarm a plan
   /// to drain a chaotic run to its final, publishable state.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -246,6 +247,244 @@ ScheduleResult run_schedule(const ScheduleConfig& config,
     violate("staleness: watermark non-zero after quiesce");
   }
   result.injected = plan.stats();
+  return result;
+}
+
+std::vector<ShardedOp> generate_sharded_schedule(std::uint64_t seed,
+                                                 std::size_t ops,
+                                                 std::uint32_t shards,
+                                                 std::size_t max_burst) {
+  stats::Rng rng(seed);
+  const auto burst = [&rng, max_burst] {
+    return static_cast<std::uint16_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(std::max<std::size_t>(1, max_burst))));
+  };
+  const auto shard = [&rng, shards] {
+    return static_cast<std::uint8_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(std::max<std::uint32_t>(1, shards)) - 1));
+  };
+  std::vector<ShardedOp> schedule;
+  schedule.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const double pick = rng.uniform();
+    // Kill/restart ops are frequent by single-writer standards: the whole
+    // point of the sharded explorer is shards dying mid-gossip.
+    if (pick < 0.34) {
+      schedule.push_back({ShardedOpKind::Submit, burst(), 0});
+    } else if (pick < 0.62) {
+      schedule.push_back({ShardedOpKind::Query, burst(), 0});
+    } else if (pick < 0.74) {
+      schedule.push_back({ShardedOpKind::Flush, 0, 0});
+    } else if (pick < 0.87) {
+      schedule.push_back({ShardedOpKind::KillShard, burst(), shard()});
+    } else {
+      schedule.push_back({ShardedOpKind::RestartShard, 0, shard()});
+    }
+  }
+  return schedule;
+}
+
+ShardedScheduleResult run_sharded_schedule(
+    const ShardedScheduleConfig& config,
+    const std::vector<ShardedOp>& schedule) {
+  const mesh::Mesh2D machine(config.mesh_side, config.mesh_side,
+                             config.topology);
+  stats::Rng master(config.seed);
+  stats::Rng fault_rng(master.fork_seed());
+  const std::uint64_t stream_seed = master.fork_seed();
+  stats::Rng query_rng(master.fork_seed());
+
+  const grid::CellSet initial =
+      fault::uniform_random(machine, config.initial_faults, fault_rng);
+  const std::vector<svc::FaultEvent> stream = svc::generate_event_stream(
+      machine, initial, config.events, config.repair_fraction, stream_seed);
+
+  // Schedule-independent expected end state: leftovers are submitted at
+  // quiesce and events are state-setting, so the net fault set is this
+  // shadow replay regardless of op order, kills or gossip interleaving.
+  grid::CellSet shadow = initial;
+  for (const svc::FaultEvent& e : stream) {
+    if (e.kind == svc::EventKind::Fault) {
+      shadow.insert(e.node);
+    } else {
+      shadow.erase(e.node);
+    }
+  }
+
+  svc::ShardedServiceConfig svc_config = config.service;
+  svc_config.queue_capacity =
+      std::max(svc_config.queue_capacity, 2 * config.events + 64);
+  const svc::ShardGrid grid(machine, svc_config.shard_rows,
+                            svc_config.shard_cols);
+  const std::uint32_t shard_count = grid.count();
+
+  // One plan per shard, no probabilistic injections: kills are armed
+  // dynamically (arm_kill) against the victim's live epoch, so the schedule
+  // — not the spec — decides who dies and when.
+  std::vector<std::unique_ptr<FaultPlan>> plans;
+  plans.reserve(shard_count);
+  svc_config.shard_chaos.clear();
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    plans.push_back(std::make_unique<FaultPlan>(
+        PlanSpec{.seed = config.seed + s}));
+    svc_config.shard_chaos.push_back(ChaosConfig{plans.back().get()});
+  }
+  svc::ShardedService service(initial, svc_config);
+
+  ShardedScheduleResult result;
+  std::size_t next_event = 0;
+  std::vector<std::uint64_t> last_epochs(shard_count, 0);
+
+  const auto violate = [&result](std::string what) {
+    result.violations.push_back(std::move(what));
+  };
+  const auto note_epoch = [&](std::uint32_t shard, std::uint64_t epoch,
+                              const char* where) {
+    if (epoch < last_epochs[shard]) {
+      std::ostringstream msg;
+      msg << where << ": shard " << shard << " epoch went backwards ("
+          << last_epochs[shard] << " -> " << epoch << ")";
+      violate(msg.str());
+    }
+    last_epochs[shard] = std::max(last_epochs[shard], epoch);
+  };
+
+  const auto submit_n = [&](std::size_t n) {
+    const svc::BackoffPolicy backoff{.seed = config.seed};
+    for (; n > 0 && next_event < stream.size(); --n, ++next_event) {
+      std::uint64_t attempt = 0;
+      for (;;) {
+        const svc::SubmitStatus status = service.submit(stream[next_event]);
+        if (status == svc::SubmitStatus::Accepted) break;
+        if (status == svc::SubmitStatus::Closed) {
+          violate("submit: queue reported Closed while the service runs");
+          return;
+        }
+        ++result.submit_retries;
+        if (attempt >= kSubmitRetryLimit) {
+          violate("submit: live-locked retrying an Overloaded verdict");
+          return;
+        }
+        const std::uint32_t delay_us = backoff_delay_us(backoff, attempt++);
+        if (delay_us == 0) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        }
+      }
+    }
+  };
+
+  const auto query_burst = [&](std::size_t n) {
+    for (std::size_t q = 0; q < n; ++q) {
+      const auto node = [&] {
+        return machine.coord(static_cast<std::size_t>(query_rng.uniform_int(
+            0, static_cast<std::int64_t>(machine.node_count()) - 1)));
+      };
+      const double pick = query_rng.uniform();
+      svc::QueryStatus status;
+      std::uint64_t epoch;
+      mesh::Coord owner_key;
+      if (pick < 0.5) {
+        const mesh::Coord n0 = node();
+        const svc::StatusAnswer answer = service.query_status(n0);
+        status = answer.status;
+        epoch = answer.epoch;
+        owner_key = n0;
+      } else if (pick < 0.8) {
+        const mesh::Coord n0 = node();
+        const svc::RegionAnswer answer = service.query_region(n0);
+        status = answer.status;
+        epoch = answer.epoch;
+        owner_key = n0;
+      } else {
+        const mesh::Coord src = node();
+        const svc::RouteAnswer answer = service.query_route(src, node());
+        status = answer.status;
+        epoch = answer.epoch;
+        owner_key = src;  // a route answer's epoch is the source owner's
+      }
+      if (status != svc::QueryStatus::Ok) {
+        // Degraded-mode guarantee: point queries answer from the owner's
+        // last good epoch even while a sibling shard is down.
+        std::ostringstream msg;
+        msg << "query: expected Ok, got " << svc::to_string(status);
+        violate(msg.str());
+      } else {
+        ++result.queries_ok;
+        note_epoch(service.shard_of(owner_key), epoch, "query");
+      }
+    }
+  };
+
+  for (const ShardedOp& op : schedule) {
+    const std::uint32_t target = op.shard % shard_count;
+    switch (op.kind) {
+      case ShardedOpKind::Submit:
+        submit_n(op.count);
+        break;
+      case ShardedOpKind::Flush: {
+        service.flush();
+        const svc::ShardedStats stats = service.stats();
+        if (stats.shards_crashed == 0 && stats.queue_depth != 0) {
+          violate("flush: returned with a non-empty queue and live writers");
+        }
+        break;
+      }
+      case ShardedOpKind::Query:
+        query_burst(op.count);
+        break;
+      case ShardedOpKind::KillShard: {
+        // Arm the kill at the victim's next publish, then push a burst: the
+        // burst is what makes the victim publish (and die) while neighbors
+        // keep draining the halo deltas its last good batches emitted.
+        const std::uint64_t next_epoch =
+            service.stats().shard_epochs[target] + 1;
+        plans[target]->arm_kill(next_epoch);
+        submit_n(op.count);
+        break;
+      }
+      case ShardedOpKind::RestartShard:
+        if (service.restart_shard(target)) ++result.restarts;
+        break;
+    }
+  }
+
+  // Quiesce: disarm every plan (un-fired armed kills become no-ops), submit
+  // leftovers, then restart + flush until the whole fleet is alive and at
+  // fixpoint. The loop bound is defensive — one pass suffices disarmed.
+  for (const auto& plan : plans) plan->disarm();
+  submit_n(stream.size() - next_event);
+  for (int i = 0; i < 8; ++i) {
+    for (std::uint32_t s = 0; s < shard_count; ++s) {
+      if (service.restart_shard(s)) ++result.restarts;
+    }
+    service.flush();
+    if (!service.any_shard_crashed()) break;
+  }
+  service.flush();
+
+  result.final_digest = service.composite_digest();
+  const svc::ShardedStats stats = service.stats();
+  result.halo_deltas = stats.halo_deltas;
+  result.halo_events = stats.halo_events;
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    note_epoch(s, stats.shard_epochs[s], "final");
+    result.kills += plans[s]->stats().kills;
+  }
+  const labeling::MaintainedLabeling expected(shadow,
+                                              svc_config.ingest.definition);
+  const std::shared_ptr<const svc::Snapshot> expected_snap =
+      svc::Snapshot::build(0, expected, svc_config.ingest.hand);
+  result.expected_digest = expected_snap->label_digest();
+  result.final_faults = expected_snap->faults().size();
+  if (result.final_digest != result.expected_digest) {
+    std::ostringstream msg;
+    msg << "digest: composite labeling diverged from the net fault set ("
+        << std::hex << result.final_digest << " != " << result.expected_digest
+        << std::dec << ")";
+    violate(msg.str());
+  }
   return result;
 }
 

@@ -33,6 +33,7 @@
 
 #include "chaos/plan.hpp"
 #include "svc/loadgen.hpp"
+#include "svc/sharded_service.hpp"
 
 namespace ocp::chaos {
 
@@ -131,5 +132,88 @@ using ScheduleOracle =
 /// Inverse of `to_string`; nullopt on malformed input.
 [[nodiscard]] std::optional<std::vector<Op>> parse_schedule(
     std::string_view text);
+
+// ---------------------------------------------------------------------------
+// Sharded schedule exploration (svc::ShardedService).
+//
+// The sharded explorer adds the one failure mode the single-writer explorer
+// cannot exercise: a shard dying *mid-gossip* — its worker killed at its next
+// publish while a neighbor is still draining the halo deltas the victim just
+// emitted. The invariants are the sharded runtime's degraded-mode
+// guarantees: per-shard query epochs never decrease, point queries keep
+// answering from the owner's last good epoch while a sibling is down, a
+// flush of an un-crashed fleet leaves every queue and inbox empty, and after
+// quiescing (kills disarmed, shards restarted, backlogs replayed to
+// fixpoint) the composite digest is bit-identical to a clean single-writer
+// labeling of the net fault set.
+
+/// One driver op of a sharded schedule.
+enum class ShardedOpKind : std::uint8_t {
+  /// Submit the next `count` stream events (coordinate-routed; retries
+  /// typed rejections with backoff, so no event is lost to the schedule).
+  Submit = 0,
+  /// Barrier: fleet quiescent or some shard crashed.
+  Flush = 1,
+  /// `count` mixed queries checked for per-shard monotone epochs.
+  Query = 2,
+  /// Arm a kill on shard `shard` at its *next* publish stamp, then submit
+  /// `count` events — the burst is what drives the victim to publish (and
+  /// die) while its neighbors drain the halo deltas it emitted.
+  KillShard = 3,
+  /// Restart shard `shard` if a kill took its worker down (no-op else).
+  RestartShard = 4,
+};
+
+struct ShardedOp {
+  ShardedOpKind kind = ShardedOpKind::Query;
+  /// Event count (Submit/KillShard) or query count (Query).
+  std::uint16_t count = 0;
+  /// Target shard (KillShard/RestartShard), taken modulo the fleet size.
+  std::uint8_t shard = 0;
+
+  friend bool operator==(const ShardedOp&, const ShardedOp&) = default;
+};
+
+/// Workload shape for one sharded schedule run. Chaos plans are created
+/// internally (one per shard, kills armed dynamically against live epochs);
+/// `service.shard_chaos` in the embedded config is overwritten.
+struct ShardedScheduleConfig {
+  std::int32_t mesh_side = 16;
+  mesh::Topology topology = mesh::Topology::Mesh;
+  std::size_t initial_faults = 6;
+  std::size_t events = 96;
+  double repair_fraction = 0.45;
+  std::uint64_t seed = 1;
+  svc::ShardedServiceConfig service;
+};
+
+struct ShardedScheduleResult {
+  /// Human-readable invariant violations; empty means the run passed.
+  std::vector<std::string> violations;
+  std::uint64_t final_digest = 0;
+  std::uint64_t expected_digest = 0;
+  std::size_t final_faults = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t halo_deltas = 0;
+  std::uint64_t halo_events = 0;
+  std::uint64_t queries_ok = 0;
+  std::uint64_t submit_retries = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Seeded sharded schedule generation: submit/query heavy with kill and
+/// restart ops sprinkled across a `shards`-sized fleet.
+[[nodiscard]] std::vector<ShardedOp> generate_sharded_schedule(
+    std::uint64_t seed, std::size_t ops, std::uint32_t shards,
+    std::size_t max_burst = 16);
+
+/// Executes one sharded schedule against a fresh ShardedService and checks
+/// every invariant, quiescing (disarm, restart, drain to fixpoint) before
+/// the composite-digest comparison.
+[[nodiscard]] ShardedScheduleResult run_sharded_schedule(
+    const ShardedScheduleConfig& config,
+    const std::vector<ShardedOp>& schedule);
 
 }  // namespace ocp::chaos

@@ -57,6 +57,16 @@ class MaintainedLabeling {
   /// the dirty extent (the merged unsafe component around the fault).
   EventDelta add_fault(mesh::Coord node);
 
+  /// Halo-bounded maintenance entry point for replicated/sharded serving:
+  /// drives the fault model to the asserted state at `node` and restores
+  /// both labelings, dispatching to `add_fault`/`remove_fault`. Idempotent —
+  /// a node already in the asserted state is a no-op with an empty dirty
+  /// extent — so a shard replaying remote (halo) state assertions converges
+  /// without tracking which assertions it has already absorbed.
+  EventDelta set_fault_state(mesh::Coord node, bool faulty) {
+    return faulty ? add_fault(node) : remove_fault(node);
+  }
+
   /// Marks `node` repaired (no longer faulty) and restores both labelings
   /// and the region lists. No-op when the node is not faulty. Removal can
   /// only shrink the unsafe set (the rule is monotone in the fault set),

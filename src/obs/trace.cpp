@@ -34,6 +34,18 @@ std::string escape(std::string_view s) {
   return out;
 }
 
+/// Dense round-robin stripe assignment, one id per thread for its lifetime
+/// (hashing std::thread::id clusters badly on some libstdc++ versions, and
+/// a dense sequence spreads any number of query threads evenly). The id is
+/// process-global, not per-sink: a thread keeps the same home stripe in
+/// every sink it touches.
+std::uint32_t this_thread_stripe_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
 }  // namespace
 
 LatencyRecorder::LatencyRecorder(double lo_ms, double hi_ms, std::size_t bins)
@@ -115,16 +127,19 @@ void TraceSink::instant(const char* name, std::int64_t value) {
 }
 
 void TraceSink::counter_add(const char* name, std::int64_t delta) {
+  CounterStripe& stripe =
+      counter_stripes_[this_thread_stripe_id() % kCounterStripes];
   {
-    const std::shared_lock lock(counters_mu_);
-    if (const auto it = counters_.find(name); it != counters_.end()) {
+    const std::shared_lock lock(stripe.mu);
+    if (const auto it = stripe.values.find(name); it != stripe.values.end()) {
       it->second.fetch_add(delta, std::memory_order_relaxed);
       return;
     }
   }
-  const std::unique_lock lock(counters_mu_);
-  // try_emplace: another thread may have created the entry between locks.
-  counters_.try_emplace(name).first->second.fetch_add(
+  const std::unique_lock lock(stripe.mu);
+  // try_emplace: another thread of this stripe may have created the entry
+  // between locks.
+  stripe.values.try_emplace(name).first->second.fetch_add(
       delta, std::memory_order_relaxed);
 }
 
@@ -135,24 +150,27 @@ std::vector<Event> TraceSink::events() const {
 
 std::vector<std::pair<std::string, std::int64_t>> TraceSink::counters()
     const {
-  std::vector<std::pair<std::string, std::int64_t>> out;
-  {
-    const std::shared_lock lock(counters_mu_);
-    out.reserve(counters_.size());
-    for (const auto& [name, value] : counters_) {
-      out.emplace_back(name, value.load(std::memory_order_relaxed));
+  // Aggregate-on-read: sum each name across the per-thread stripes.
+  std::map<std::string, std::int64_t, std::less<>> sums;
+  for (const CounterStripe& stripe : counter_stripes_) {
+    const std::shared_lock lock(stripe.mu);
+    for (const auto& [name, value] : stripe.values) {
+      sums[name] += value.load(std::memory_order_relaxed);
     }
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return {sums.begin(), sums.end()};
 }
 
 std::int64_t TraceSink::counter_value(std::string_view name) const {
-  const std::shared_lock lock(counters_mu_);
-  const auto it = counters_.find(std::string(name));
-  return it == counters_.end()
-             ? 0
-             : it->second.load(std::memory_order_relaxed);
+  std::int64_t sum = 0;
+  for (const CounterStripe& stripe : counter_stripes_) {
+    const std::shared_lock lock(stripe.mu);
+    if (const auto it = stripe.values.find(std::string(name));
+        it != stripe.values.end()) {
+      sum += it->second.load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
 }
 
 void TraceSink::write_jsonl(std::ostream& os) const {

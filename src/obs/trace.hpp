@@ -22,6 +22,7 @@
 // in the exporters.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -109,10 +110,13 @@ class TraceSink {
   void span_end(const char* name);
   void instant(const char* name, std::int64_t value);
   /// Atomic aggregate add; concurrent adds to one name never lose counts.
+  /// The add lands in the calling thread's stripe (see `CounterStripe`), so
+  /// query threads hammering the same counter name never contend on one
+  /// map, one lock, or one cache line; reads aggregate across stripes.
   void counter_add(const char* name, std::int64_t delta);
 
   [[nodiscard]] std::vector<Event> events() const;
-  /// Final counter values, sorted by name.
+  /// Final counter values, sorted by name, each summed across all stripes.
   [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> counters()
       const;
   [[nodiscard]] std::int64_t counter_value(std::string_view name) const;
@@ -144,8 +148,20 @@ class TraceSink {
   std::vector<Event> events_;
   std::unordered_map<std::thread::id, ThreadState> threads_;
 
-  mutable std::shared_mutex counters_mu_;
-  std::unordered_map<std::string, std::atomic<std::int64_t>> counters_;
+  /// One stripe of the counter aggregation: a name→atomic map under its own
+  /// shared_mutex, padded to a cache line so neighboring stripes' lock words
+  /// never false-share. Each thread picks a home stripe by thread-id hash
+  /// (cached thread-locally) and only ever writes there; the steady-state
+  /// add is a shared-lock + relaxed fetch_add against state no other stripe
+  /// touches. Readers take every stripe's shared lock and sum — counters
+  /// are read per run/report, written per event, so the aggregation cost
+  /// sits on the cold side.
+  struct alignas(64) CounterStripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, std::atomic<std::int64_t>> values;
+  };
+  static constexpr std::size_t kCounterStripes = 8;
+  mutable std::array<CounterStripe, kCounterStripes> counter_stripes_;
 
   LatencyRecorder durations_{0.0, 10000.0, 64};
 };

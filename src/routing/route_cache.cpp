@@ -20,6 +20,7 @@ std::uint64_t pair_key(const mesh::Mesh2D& m, mesh::Coord src,
 const Route& RouteCache::lookup(mesh::Coord src, mesh::Coord dst) const {
   const std::uint64_t key = pair_key(mesh_, src, dst);
   {
+    shared_locks_.fetch_add(1, std::memory_order_relaxed);
     std::shared_lock lock(mutex_);
     if (const auto it = table_->index.find(key); it != table_->index.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -36,6 +37,7 @@ std::shared_ptr<const Route> RouteCache::lookup_shared(mesh::Coord src,
                                                        mesh::Coord dst) const {
   const std::uint64_t key = pair_key(mesh_, src, dst);
   {
+    shared_locks_.fetch_add(1, std::memory_order_relaxed);
     std::shared_lock lock(mutex_);
     if (const auto it = table_->index.find(key); it != table_->index.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -58,6 +60,7 @@ std::shared_ptr<const Route> RouteCache::miss(std::uint64_t key,
   fresh.route = router_->route(src, dst);
   fresh.tiles = footprint(fresh.route, src, dst);
 
+  exclusive_locks_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock lock(mutex_);
   auto [it, inserted] = table_->index.try_emplace(key, nullptr);
   if (inserted) {

@@ -100,6 +100,18 @@ class RouteCache {
     return misses_.load(std::memory_order_relaxed);
   }
 
+  /// Mutex acquisitions on the lookup paths since construction: shared
+  /// (reader side — one per lookup) and exclusive (miss insertion). These
+  /// are the cache's per-query shared-state touches; the serving layer
+  /// exports them so contention on the reader lock is attributable when a
+  /// closed-loop curve goes flat.
+  [[nodiscard]] std::uint64_t shared_lock_acquisitions() const noexcept {
+    return shared_locks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t exclusive_lock_acquisitions() const noexcept {
+    return exclusive_locks_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Entry {
     Route route;
@@ -129,6 +141,8 @@ class RouteCache {
   std::atomic<std::uint64_t> generation_{0};
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> shared_locks_{0};
+  mutable std::atomic<std::uint64_t> exclusive_locks_{0};
 };
 
 }  // namespace ocp::routing

@@ -36,15 +36,25 @@ IngestEngine::IngestEngine(grid::CellSet initial_faults, IngestConfig config)
 }
 
 const Snapshot& IngestEngine::acquire() const {
-  thread_local std::array<AcquireSlot, 4> slots;
+  // 16 slots so every engine of one sharded runtime (consecutive ids,
+  // shard grids are clamped to 16 shards) maps to a distinct slot: a
+  // scatter-gather batch holds references into several shards' epochs at
+  // once, and a slot collision mid-batch would retire a reference the
+  // caller still dereferences.
+  thread_local std::array<AcquireSlot, 16> slots;
   AcquireSlot& slot = slots[engine_id_ % slots.size()];
   const std::uint64_t stamp = stamp_.load(std::memory_order_acquire);
   if (slot.engine == engine_id_ && slot.stamp == stamp) {
     // Fast path: this thread already holds the current epoch. One atomic
     // load, no refcount traffic, no lock — the case every query after the
     // first takes until the next publish.
+    config_.trace.counter("svc.acquire_fast", 1);
     return *slot.snap;
   }
+  // Slow path: a shared-state touch (lock + refcount) the closed-loop
+  // scaling diagnosis wants attributed — one per thread per publish in the
+  // healthy steady state, one per query if something defeats the cache.
+  config_.trace.counter("svc.acquire_slow", 1);
   std::shared_ptr<const Snapshot> snap;
   std::uint64_t observed;
   {
@@ -131,8 +141,15 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
       pending_padded_tiles_ |= tiles_.padded_bits(c);
     }
     pending_dirty_cells_ += delta.dirty_cells.size();
-    unpublished_.push_back(
-        {want_faulty ? EventKind::Fault : EventKind::Repair, node});
+    const FaultEvent applied{want_faulty ? EventKind::Fault : EventKind::Repair,
+                             node};
+    unpublished_.push_back(applied);
+    if (config_.collect_applied) {
+      outcome.applied_events.push_back(applied);
+      outcome.dirty_cells.insert(outcome.dirty_cells.end(),
+                                 delta.dirty_cells.begin(),
+                                 delta.dirty_cells.end());
+    }
     ++outcome.applied;
   }
   outcome.coalesced = batch.size() - outcome.applied;

@@ -71,6 +71,12 @@ struct IngestConfig {
   /// denial and drained-batch scheduling faults. One plan serves the whole
   /// runtime so its decision streams compose into one chaos schedule.
   chaos::ChaosConfig chaos;
+  /// Have `apply` report the applied net events and their combined dirty
+  /// extent in the `BatchOutcome` (off by default: the single-writer service
+  /// never reads them, and the extent vector is an extra allocation per
+  /// batch). The sharded runtime turns this on — the dirty extent is what a
+  /// shard inspects to decide which halo deltas to emit.
+  bool collect_applied = false;
 };
 
 /// What one `apply` call did.
@@ -95,6 +101,12 @@ struct BatchOutcome {
   /// interrupted batch after them — before restarting the ingest thread.
   bool crashed = false;
   std::vector<FaultEvent> requeue;
+  /// Only when `IngestConfig::collect_applied` is set: the net events this
+  /// call applied (in application order) and the union of their dirty
+  /// extents — every cell whose served label may have changed. May contain
+  /// duplicate cells across events; consumers dedupe.
+  std::vector<FaultEvent> applied_events;
+  std::vector<mesh::Coord> dirty_cells;
 };
 
 /// Monotone counters over the engine's lifetime.
@@ -157,6 +169,15 @@ class IngestEngine {
   /// current query against it, do not stash it; callers that need an
   /// owning handle use `snapshot()`.
   [[nodiscard]] const Snapshot& acquire() const;
+
+  /// The maintained labeling the engine applies events to. Single-writer
+  /// like `apply`: only the thread driving the engine may read it, and only
+  /// between `apply` calls — queries go through snapshots. The sharded
+  /// runtime reads it to version-stamp halo deltas against the live fault
+  /// set rather than the (possibly withheld) published one.
+  [[nodiscard]] const labeling::MaintainedLabeling& labeling() const noexcept {
+    return labeling_;
+  }
 
   /// Counter snapshot; safe to call from any thread while the writer runs.
   [[nodiscard]] IngestStats stats() const;

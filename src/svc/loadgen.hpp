@@ -22,6 +22,7 @@
 
 #include "svc/backoff.hpp"
 #include "svc/service.hpp"
+#include "svc/sharded_service.hpp"
 
 namespace ocp::svc {
 
@@ -103,6 +104,48 @@ struct SvcLoadResult {
 /// Mixed-rate: heavy churn AND a full query front racing it — the regime
 /// where route-cache carry-over and page sharing pay off together.
 [[nodiscard]] SvcLoadConfig mixed_rate_profile(std::size_t query_threads);
+
+/// Sharded twin of `SvcLoadResult`: same timing-derived and replay-identity
+/// split, with the final digest being the composite digest at quiesce and
+/// monotonicity checked per shard (a query's epoch is its owning shard's —
+/// different shards' epochs are incomparable by design).
+struct ShardedLoadResult {
+  // -- timing-derived ------------------------------------------------------
+  std::size_t queries_ok = 0;
+  std::size_t queries_rejected = 0;
+  std::size_t batch_items = 0;
+  std::uint64_t submit_retries = 0;
+  std::uint64_t submit_backoff_us = 0;
+  std::uint64_t submits_shed = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t latency_overflow = 0;
+  /// Halo exchange volume at quiesce (gossip overhead of the sharding).
+  std::uint64_t halo_deltas = 0;
+  std::uint64_t halo_events = 0;
+
+  // -- replay identity (bit-identical for any query-thread count) ---------
+  std::uint64_t stream_digest = 0;
+  /// `composite_label_digest` over the quiesced fleet — comparable 1:1 with
+  /// `SvcLoadResult::final_digest` for the same (config, seed).
+  std::uint64_t final_digest = 0;
+  std::size_t final_faults = 0;
+
+  // -- serving invariants --------------------------------------------------
+  /// Every query thread observed per-shard monotone epochs.
+  bool epochs_monotone = true;
+  std::vector<std::uint64_t> shard_epochs;
+};
+
+/// Runs the closed-loop workload against a `ShardedService`. The workload
+/// shape and every seed fork come from `config` exactly as in
+/// `run_svc_load` — identical (config, seed) produces the identical event
+/// stream, so `final_digest` here must equal the single-writer run's
+/// (`config.service` is ignored; the fleet shape comes from `service`).
+[[nodiscard]] ShardedLoadResult run_sharded_load(
+    const SvcLoadConfig& config, const ShardedServiceConfig& service);
 
 /// The seeded churn stream the generator replays, exposed for tests that
 /// drive `IngestEngine::apply` directly with deterministic batching.

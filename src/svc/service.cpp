@@ -290,9 +290,25 @@ RouteAnswer Service::query_route(mesh::Coord src, mesh::Coord dst) const {
   if (!snap.machine().contains(src) || !snap.machine().contains(dst)) {
     return {.status = QueryStatus::InvalidArgument, .epoch = snap.epoch()};
   }
-  return {.status = QueryStatus::Ok,
-          .epoch = snap.epoch(),
-          .route = snap.route(src, dst)};
+  const obs::TraceConfig& trace = config_.ingest.trace;
+  if (!trace.rounds()) {
+    return {.status = QueryStatus::Ok,
+            .epoch = snap.epoch(),
+            .route = snap.route(src, dst)};
+  }
+  // Contention attribution (round-level tracing only): how many reader-lock
+  // acquisitions this query's window saw on the epoch's route cache —
+  // concurrent route queries against the same epoch share that lock, so the
+  // instant stream exposes exactly the shared state a flat qps curve hides.
+  const std::uint64_t before = snap.route_cache().shared_lock_acquisitions();
+  RouteAnswer answer{.status = QueryStatus::Ok,
+                     .epoch = snap.epoch(),
+                     .route = snap.route(src, dst)};
+  trace.instant(
+      "svc.query.cache_lock_touches",
+      static_cast<std::int64_t>(snap.route_cache().shared_lock_acquisitions() -
+                                before));
+  return answer;
 }
 
 BatchAnswer Service::query_batch(
