@@ -11,7 +11,7 @@
 //   bench_to_json <google-benchmark-output.json>
 //       Compact JSON to stdout.
 //   bench_to_json <google-benchmark-output.json> --compare <BENCH_x.json>
-//                 [--tolerance <frac>] [--allow-new]
+//                 [--tolerance <frac>] [--allow-new] [--ref <str>]
 //       Also diff against a committed compact baseline: per-benchmark
 //       real-time ratios go to stderr, and the exit status is 1 when any
 //       benchmark present in both files got slower by more than the
@@ -22,6 +22,10 @@
 //       refreshed after adding a benchmark, and silently skipping it would
 //       let the new code ship ungated. Benchmarks missing from the run are
 //       only reported: BENCH_FILTER subsets legitimately produce them.
+//       The failure preamble names the baseline file and, when --ref is
+//       given (run_bench.sh passes the current git commit), the ref the
+//       fresh run was built from — a CI log line is then self-contained:
+//       which code regressed against which committed baseline.
 //
 // Parsing note: google-benchmark emits one "key": value pair per line inside
 // the "benchmarks" array, and the compact format keeps one entry per line,
@@ -213,6 +217,7 @@ std::vector<std::string> compare(const std::vector<BenchEntry>& fresh,
 int main(int argc, char** argv) {
   std::string input;
   std::string baseline_path;
+  std::string ref;
   double tolerance = 0.30;
   bool allow_new = false;
   for (int i = 1; i < argc; ++i) {
@@ -223,6 +228,8 @@ int main(int argc, char** argv) {
       tolerance = std::strtod(argv[++i], nullptr);
     } else if (arg == "--allow-new") {
       allow_new = true;
+    } else if (arg == "--ref" && i + 1 < argc) {
+      ref = argv[++i];
     } else if (input.empty()) {
       input = arg;
     } else {
@@ -232,7 +239,8 @@ int main(int argc, char** argv) {
   }
   if (input.empty()) {
     std::cerr << "usage: bench_to_json <google-benchmark-output.json> "
-                 "[--compare BENCH_x.json] [--tolerance frac] [--allow-new]\n";
+                 "[--compare BENCH_x.json] [--tolerance frac] [--allow-new] "
+                 "[--ref str]\n";
     return 2;
   }
   std::ifstream in(input);
@@ -274,7 +282,10 @@ int main(int argc, char** argv) {
     const std::vector<std::string> failures =
         compare(entries, baseline, tolerance, allow_new);
     if (!failures.empty()) {
-      std::cerr << failures.size() << " benchmark(s) failed the gate:\n";
+      // Self-contained failure preamble: which baseline, and which code.
+      std::cerr << failures.size() << " benchmark(s) failed the gate\n"
+                << "  baseline: " << baseline_path << "\n";
+      if (!ref.empty()) std::cerr << "  run ref:  " << ref << "\n";
       for (const std::string& f : failures) std::cerr << "  - " << f << "\n";
       return 1;
     }

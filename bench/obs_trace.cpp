@@ -4,7 +4,7 @@
 // the capture in both export formats and prints the summarized tables.
 //
 // This is the harness behind `bench/run_bench.sh --trace` and the worked
-// example in docs/experiments.md; tests/obs/report_test.cpp asserts the same
+// example in EXPERIMENTS.md; tests/obs/report_test.cpp asserts the same
 // runs produce non-zero per-round span counts.
 //
 // Usage:

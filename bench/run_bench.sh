@@ -16,6 +16,9 @@
 #   bench/run_bench.sh --svc            # serving-runtime suite only, compared
 #                                       # against the committed BENCH_svc.json
 #                                       # the same way
+#   bench/run_bench.sh --alloc          # allocation suite only, compared
+#                                       # against the committed
+#                                       # BENCH_alloc.json the same way
 #   bench/run_bench.sh --svc-sweep      # closed-loop sweep: runs
 #                                       # BM_SvcClosedLoop at 1/2/4/8 query
 #                                       # threads plus the sharded fleet
@@ -51,6 +54,7 @@ TOLERANCE="${BENCH_TOLERANCE:-0.50}"
 CHECK=0
 NETSIM_ONLY=0
 SVC_ONLY=0
+ALLOC_ONLY=0
 SVC_SWEEP=0
 TRACE=0
 CHAOS=0
@@ -60,16 +64,22 @@ for arg in "$@"; do
     --check) CHECK=1 ;;
     --netsim) NETSIM_ONLY=1 ;;
     --svc) SVC_ONLY=1 ;;
+    --alloc) ALLOC_ONLY=1 ;;
     --svc-sweep) SVC_SWEEP=1 ;;
     --trace) TRACE=1 ;;
     --chaos) CHAOS=1 ;;
     *)
       echo "error: unknown argument '$arg'" >&2
-      echo "supported: --check --netsim --svc --svc-sweep --trace --chaos" >&2
+      echo "supported: --check --netsim --svc --alloc --svc-sweep --trace" \
+           "--chaos" >&2
       exit 2
       ;;
   esac
 done
+
+# Stamped into compare-gate failure messages so a CI log names both sides:
+# which code regressed against which committed baseline.
+RUN_REF="$(git -C "$ROOT" rev-parse --short HEAD 2> /dev/null || echo unknown)"
 
 # Runs the traced demo (pipeline + netsim at TraceLevel::Round) and
 # summarizes the capture — the smoke that keeps the instrumentation, the
@@ -108,13 +118,14 @@ fi
 
 # Comparison runs default to longer timings: a regression verdict from a
 # 0.1-second sample is mostly noise.
-if [ "$NETSIM_ONLY" = 1 ] || [ "$SVC_ONLY" = 1 ] || [ "$SVC_SWEEP" = 1 ]; then
+if [ "$NETSIM_ONLY" = 1 ] || [ "$SVC_ONLY" = 1 ] || [ "$ALLOC_ONLY" = 1 ] ||
+   [ "$SVC_SWEEP" = 1 ]; then
   MIN_TIME="${BENCH_MIN_TIME:-0.3}"
 else
   MIN_TIME="${BENCH_MIN_TIME:-0.1}"
 fi
 
-for bin in perf_labeling perf_netsim svc_load bench_to_json; do
+for bin in perf_labeling perf_netsim svc_load alloc_load bench_to_json; do
   if [ ! -x "$BUILD/bench/$bin" ]; then
     echo "error: $BUILD/bench/$bin not built." >&2
     echo "build first: cmake -B build -S . && cmake --build build -j" >&2
@@ -139,7 +150,8 @@ run_suite() {
   else
     echo "== $bin vs $target (tolerance +$TOLERANCE)"
     "$BUILD/bench/bench_to_json" "$full" \
-      --compare "$target" --tolerance "$TOLERANCE" > "$full.compact"
+      --compare "$target" --tolerance "$TOLERANCE" \
+      --ref "$RUN_REF" > "$full.compact"
   fi
 }
 
@@ -160,6 +172,10 @@ if [ "$CHECK" = 1 ]; then
   # the serving runtime around them.
   echo "== ctest -L chaos (degraded-mode guarantees)"
   (cd "$BUILD" && ctest -L chaos --output-on-failure -j4) >&2
+  # Allocation suite: overlap-freedom, index equivalence and eviction
+  # completeness must hold before the placement numbers mean anything.
+  echo "== ctest -L alloc (allocation invariants)"
+  (cd "$BUILD" && ctest -L alloc --output-on-failure -j4) >&2
   # Traced-run smoke: the observability layer must keep producing parseable
   # traces before perf numbers recorded around it are trusted.
   run_trace >&2
@@ -209,8 +225,17 @@ if [ "$SVC_ONLY" = 1 ]; then
   exit 0
 fi
 
+if [ "$ALLOC_ONLY" = 1 ]; then
+  run_suite alloc_load compare "$ROOT/BENCH_alloc.json"
+  echo "alloc within tolerance of the committed baseline"
+  echo "(fresh compact numbers: $BUILD/bench/alloc_load.full.json.compact)"
+  exit 0
+fi
+
 run_suite perf_labeling write "$ROOT/BENCH_labeling.json"
 run_suite perf_netsim write "$ROOT/BENCH_netsim.json"
 run_suite svc_load write "$ROOT/BENCH_svc.json"
+run_suite alloc_load write "$ROOT/BENCH_alloc.json"
 
-echo "wrote $ROOT/BENCH_labeling.json, $ROOT/BENCH_netsim.json and $ROOT/BENCH_svc.json"
+echo "wrote $ROOT/BENCH_labeling.json, $ROOT/BENCH_netsim.json," \
+     "$ROOT/BENCH_svc.json and $ROOT/BENCH_alloc.json"

@@ -3,7 +3,7 @@
 // Throughput is items_per_second where an item is one applied event
 // (ingest) or one delivered answer (queries); the closed-loop benchmarks
 // also export the generator's p50/p99 latency as counters, which is where
-// the committed qps/p99 table in docs/experiments.md comes from.
+// the committed qps/p99 table in EXPERIMENTS.md comes from.
 #include <benchmark/benchmark.h>
 
 #include <memory>

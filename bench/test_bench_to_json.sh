@@ -7,6 +7,9 @@
 #      committed baseline predates it)
 #   4. same, with --allow-new             -> exit 0
 #   5. baseline-only benchmark (filtered run) -> exit 0, reported only
+#   6. failure preamble names the baseline file, and --ref stamps the run's
+#      git ref into it (a CI log line is then self-contained)
+#   7. a passing run never prints the failure preamble
 #
 # Usage: test_bench_to_json.sh <path-to-bench_to_json>
 set -u
@@ -106,6 +109,38 @@ grep -v "BM_Two" "$TMP/full2.json" > "$TMP/filtered_raw.json"
 # grep leaves a trailing comma on the BM_One entry; the parser tolerates it.
 expect "baseline-only benchmark" 0 \
   "$BIN" "$TMP/filtered_raw.json" --compare "$TMP/baseline.json"
+
+# 6. The failure preamble names the baseline path, and --ref stamps the
+# run's git ref next to it.
+expect "failure preamble with --ref" 1 \
+  "$BIN" "$TMP/slow.json" --compare "$TMP/baseline.json" --ref cafe1234
+if ! grep -q "baseline: $TMP/baseline.json" "$TMP/stderr.log"; then
+  echo "FAIL failure preamble: baseline path not named" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+if ! grep -q "run ref:  cafe1234" "$TMP/stderr.log"; then
+  echo "FAIL failure preamble: --ref value not stamped" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+# Without --ref the preamble still names the baseline but carries no ref.
+expect "failure preamble without --ref" 1 \
+  "$BIN" "$TMP/slow.json" --compare "$TMP/baseline.json"
+if ! grep -q "baseline: $TMP/baseline.json" "$TMP/stderr.log"; then
+  echo "FAIL failure preamble (no ref): baseline path not named" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+if grep -q "run ref:" "$TMP/stderr.log"; then
+  echo "FAIL failure preamble (no ref): spurious run ref line" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+# 7. A passing run never prints the failure preamble.
+expect "passing run stays quiet" 0 \
+  "$BIN" "$TMP/run.json" --compare "$TMP/baseline.json" --ref cafe1234
+if grep -q "baseline:" "$TMP/stderr.log"; then
+  echo "FAIL passing run: failure preamble printed on success" >&2
+  FAILURES=$((FAILURES + 1))
+fi
 
 if [ "$FAILURES" != 0 ]; then
   echo "$FAILURES case(s) failed" >&2

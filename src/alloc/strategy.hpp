@@ -1,0 +1,77 @@
+// Placement strategies: one interface, three policies, one deterministic
+// tie-break.
+//
+// Every strategy consumes the same `FreeRegionIndex` anchor enumeration and
+// returns the top-left corner of a w x h submesh, or nullopt when nothing
+// fits. Candidates are scored and the minimum score wins; scores tie-break
+// by (y, then x) — the row-major order the index emits anchors in — so a
+// strategy's choice is a pure function of the index contents and replays
+// bit-identically.
+//
+//  * FirstFit    — the first anchor in row-major order. Score is the
+//                  emission order itself; cheapest, fragments most.
+//  * BestFit     — tightest hole: minimize the slack area of the free slabs
+//                  extending the placement rightward and downward
+//                  ((row_extent - w) * h + (col_extent - h) * w, extents
+//                  measured at the anchor). Leftward/upward slack needs no
+//                  term: a placement shifted left or up is a different
+//                  anchor with its own score.
+//  * BoundaryFit — hug disabled regions and existing jobs to keep the big
+//                  free rectangles intact: maximize anchored corners (rect
+//                  corners whose two orthogonal outside neighbors are both
+//                  busy or off-machine), then total busy contact along the
+//                  outside ring.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "alloc/free_index.hpp"
+
+namespace ocp::alloc {
+
+enum class StrategyKind : std::uint8_t {
+  FirstFit = 0,
+  BestFit = 1,
+  BoundaryFit = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(StrategyKind k) noexcept {
+  switch (k) {
+    case StrategyKind::FirstFit: return "first-fit";
+    case StrategyKind::BestFit: return "best-fit";
+    case StrategyKind::BoundaryFit: return "boundary-fit";
+  }
+  return "?";
+}
+
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+  [[nodiscard]] virtual StrategyKind kind() const noexcept = 0;
+  [[nodiscard]] const char* name() const noexcept { return to_string(kind()); }
+  /// Top-left anchor for a w x h job, or nullopt when nothing fits.
+  [[nodiscard]] virtual std::optional<mesh::Coord> choose(
+      const FreeRegionIndex& index, std::int32_t w, std::int32_t h) const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<PlacementStrategy> make_strategy(
+    StrategyKind kind);
+
+/// Scoring helpers, exposed so tests can pin the tie-break order.
+/// BestFit slack area at `anchor` (lower is tighter).
+[[nodiscard]] std::int64_t best_fit_score(const FreeRegionIndex& index,
+                                          mesh::Coord anchor, std::int32_t w,
+                                          std::int32_t h);
+/// BoundaryFit contact: anchored corners (0-4) and busy/off-machine cells
+/// along the outside ring of the rect at `anchor`.
+struct BoundaryContact {
+  std::int32_t corners = 0;
+  std::int32_t ring = 0;
+};
+[[nodiscard]] BoundaryContact boundary_contact(const FreeRegionIndex& index,
+                                               mesh::Coord anchor,
+                                               std::int32_t w, std::int32_t h);
+
+}  // namespace ocp::alloc

@@ -612,6 +612,10 @@ const char* check_name(std::uint32_t check) noexcept {
     case kScheduleIndependence: return "schedule-independence";
     case kEngineEquivalence: return "engine-equivalence";
     case kChaosPoisoned: return "chaos-poisoned";
+    case kAllocOverlap: return "alloc-overlap";
+    case kAllocIndex: return "alloc-index-equivalence";
+    case kAllocEviction: return "alloc-eviction-completeness";
+    case kAllocConservation: return "alloc-conservation";
     default: return "unknown-check";
   }
 }

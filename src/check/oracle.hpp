@@ -90,6 +90,21 @@ inline constexpr std::uint32_t kEngineEquivalence = 1u << 18;
 /// runtime's degraded modes. Appears only in reports fabricated by the
 /// ingest engine's poisoning hook, never in a genuine oracle pass.
 inline constexpr std::uint32_t kChaosPoisoned = 1u << 19;
+/// Allocation-layer checks (src/alloc): the placement oracle reports with
+/// these codes and `alloc::check_engine` masks on them. Like the other
+/// pseudo-checks they are outside `kAllChecks` — `check_pipeline` never
+/// evaluates them.
+/// No live job overlaps a faulty block, a disabled region, or another job.
+inline constexpr std::uint32_t kAllocOverlap = 1u << 20;
+/// The incremental free-region index equals a from-scratch recompute from
+/// the serving snapshot and the live placements.
+inline constexpr std::uint32_t kAllocIndex = 1u << 21;
+/// Eviction completeness: after an epoch turnover no live job intersects a
+/// newly blocked cell.
+inline constexpr std::uint32_t kAllocEviction = 1u << 22;
+/// Conservation: every submitted job is live, pending, completed, rejected
+/// at admission, or shed after bounded retries — none lost, none doubled.
+inline constexpr std::uint32_t kAllocConservation = 1u << 23;
 
 /// Human-readable name of a single check bit.
 [[nodiscard]] const char* check_name(std::uint32_t check) noexcept;

@@ -144,6 +144,11 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
     const FaultEvent applied{want_faulty ? EventKind::Fault : EventKind::Repair,
                              node};
     unpublished_.push_back(applied);
+    if (config_.on_publish) {
+      unpublished_dirty_cells_.insert(unpublished_dirty_cells_.end(),
+                                      delta.dirty_cells.begin(),
+                                      delta.dirty_cells.end());
+    }
     if (config_.collect_applied) {
       outcome.applied_events.push_back(applied);
       outcome.dirty_cells.insert(outcome.dirty_cells.end(),
@@ -226,6 +231,13 @@ BatchOutcome IngestEngine::apply(std::span<const FaultEvent> batch) {
       config_.trace.counter("svc.epochs_published", 1);
       outcome.published = true;
       outcome.epoch = epoch_;
+      if (config_.on_publish) {
+        // Writer-thread epoch hook: the new serving snapshot plus every
+        // dirty cell since the previously published epoch (withheld
+        // attempts included).
+        config_.on_publish(*latest_, unpublished_dirty_cells_);
+        unpublished_dirty_cells_.clear();
+      }
     }
   }
 
@@ -259,6 +271,7 @@ std::vector<FaultEvent> IngestEngine::crash_and_recover() {
   pending_dirty_tiles_ = 0;
   pending_padded_tiles_ = 0;
   pending_dirty_cells_ = 0;
+  unpublished_dirty_cells_.clear();
   withheld_since_publish_.store(0, std::memory_order_relaxed);
   return std::exchange(unpublished_, {});
 }

@@ -39,6 +39,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -77,6 +78,16 @@ struct IngestConfig {
   /// batch). The sharded runtime turns this on — the dirty extent is what a
   /// shard inspects to decide which halo deltas to emit.
   bool collect_applied = false;
+  /// Epoch hook: called on the writer thread immediately after every
+  /// successful publication (never for the constructor's epoch-0 build)
+  /// with the new serving snapshot and the dirty cells accumulated since
+  /// the previously published epoch — including cells from oracle-withheld
+  /// attempts in between, so a consumer deriving incremental state (the
+  /// allocation layer) always diffs against what it last saw. Cells may
+  /// repeat; consumers dedupe. The hook runs inside `apply`, so it must not
+  /// re-enter the engine.
+  std::function<void(const Snapshot&, std::span<const mesh::Coord>)>
+      on_publish;
 };
 
 /// What one `apply` call did.
@@ -194,6 +205,10 @@ class IngestEngine {
   /// the in-flight batch's applied prefix). Cleared on publish; returned by
   /// `crash_and_recover` so a crash never silently drops accepted events.
   std::vector<FaultEvent> unpublished_;
+  /// Dirty cells of `unpublished_` in application order, kept only when the
+  /// `on_publish` hook is set (its delta argument); cleared on publish and
+  /// on crash recovery.
+  std::vector<mesh::Coord> unpublished_dirty_cells_;
   /// Withheld publish attempts since the last successful publication
   /// (the staleness watermark queries and dashboards read).
   std::atomic<std::uint64_t> withheld_since_publish_{0};

@@ -42,6 +42,7 @@ Snapshot::Snapshot(std::uint64_t epoch,
   };
   const grid::NodeGrid<std::int32_t>& keys = labeling.region_keys();
   const auto key_value = [&keys](mesh::Coord c) { return keys[c]; };
+  dirty_tiles_ = dirty_tiles;
   if (prev == nullptr) {
     status_pages_ =
         PagedPlane<NodeStatus>::build(tiles_, status_value, page_stats_);

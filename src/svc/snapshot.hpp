@@ -159,6 +159,13 @@ class Snapshot {
   [[nodiscard]] const grid::TileGrid& tiles() const noexcept {
     return tiles_;
   }
+  /// Tile mask this snapshot was built against: the dirty tiles of the
+  /// delta for a `next()` successor, every tile for a fresh `build`.
+  /// Consumers deriving incremental structures from epoch turnover (the
+  /// allocation layer's free-region index) scan only these tiles.
+  [[nodiscard]] std::uint64_t dirty_tiles() const noexcept {
+    return dirty_tiles_;
+  }
   /// Epoch at which each tile's serving pages were last rebuilt; carried
   /// across `next()` so a page's provenance is inspectable.
   [[nodiscard]] const std::vector<std::uint64_t>& tile_generations()
@@ -220,6 +227,7 @@ class Snapshot {
   /// region key (min node index) -> index into regions_, -1 elsewhere;
   /// rebuilt per epoch (O(node_count) ints, the only dense per-epoch work).
   std::vector<std::int32_t> key_to_region_;
+  std::uint64_t dirty_tiles_ = ~std::uint64_t{0};
   std::vector<std::uint64_t> tile_generations_;
   PageStats page_stats_;
   routing::RouteCache::AdoptStats cache_carry_stats_;

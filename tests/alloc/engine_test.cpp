@@ -1,0 +1,256 @@
+// Job lifecycle engine: admission, queue backfill, lifetime expiry,
+// fault-driven eviction with bounded-retry recovery, and the replay-identity
+// placement digest. Epoch turnover is driven the way production drives it:
+// a private IngestEngine whose on_publish hook feeds (snapshot, dirty
+// cells) into observe_epoch.
+#include "alloc/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc/oracle.hpp"
+#include "svc/ingest.hpp"
+
+namespace ocp::alloc {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+/// An AllocEngine wired to its own ingest loop, the production topology.
+struct Rig {
+  std::unique_ptr<AllocEngine> engine;
+  std::unique_ptr<svc::IngestEngine> ingest;
+
+  explicit Rig(const Mesh2D& m, AllocConfig config = {}) {
+    svc::IngestConfig ingest_config;
+    ingest_config.on_publish = [this](const svc::Snapshot& snap,
+                                      std::span<const mesh::Coord> dirty) {
+      if (engine) engine->observe_epoch(snap, dirty);
+    };
+    ingest = std::make_unique<svc::IngestEngine>(grid::CellSet(m),
+                                                 ingest_config);
+    engine = std::make_unique<AllocEngine>(*ingest->snapshot(),
+                                           std::move(config));
+  }
+
+  void fault(Coord c) {
+    const svc::FaultEvent e[] = {{svc::EventKind::Fault, c}};
+    static_cast<void>(ingest->apply(e));
+  }
+  void repair(Coord c) {
+    const svc::FaultEvent e[] = {{svc::EventKind::Repair, c}};
+    static_cast<void>(ingest->apply(e));
+  }
+  [[nodiscard]] bool oracle_ok() const {
+    return check_engine(*engine, *ingest->snapshot()).ok();
+  }
+};
+
+JobRequest job(std::uint64_t id, std::int32_t w, std::int32_t h,
+               std::uint32_t lifetime = 0) {
+  return {id, w, h, lifetime};
+}
+
+TEST(AllocEngineTest, PlacesFirstFitAtOrigin) {
+  Rig rig(Mesh2D(8, 8));
+  const SubmitResult r = rig.engine->submit(job(1, 3, 3));
+  EXPECT_EQ(r.outcome, SubmitOutcome::Placed);
+  EXPECT_EQ(r.rect, (geom::Rect{{0, 0}, {2, 2}}));
+  EXPECT_EQ(rig.engine->occupant_at({1, 1}), 1u);
+  EXPECT_FALSE(rig.engine->occupant_at({3, 3}).has_value());
+  EXPECT_DOUBLE_EQ(rig.engine->utilization(), 9.0 / 64.0);
+  EXPECT_TRUE(rig.oracle_ok());
+}
+
+TEST(AllocEngineTest, RejectsBadDimensionsAndDuplicateIds) {
+  Rig rig(Mesh2D(8, 8));
+  EXPECT_EQ(rig.engine->submit(job(1, 0, 3)).outcome, SubmitOutcome::Rejected);
+  EXPECT_EQ(rig.engine->submit(job(2, 9, 1)).outcome, SubmitOutcome::Rejected);
+  EXPECT_EQ(rig.engine->submit(job(3, 2, 2)).outcome, SubmitOutcome::Placed);
+  EXPECT_EQ(rig.engine->submit(job(3, 1, 1)).outcome, SubmitOutcome::Rejected);
+  EXPECT_EQ(rig.engine->stats().rejected, 3u);
+  EXPECT_TRUE(rig.oracle_ok());
+}
+
+TEST(AllocEngineTest, FullQueueRejects) {
+  AllocConfig config;
+  config.queue_capacity = 1;
+  Rig rig(Mesh2D(4, 4), config);
+  EXPECT_EQ(rig.engine->submit(job(1, 4, 4)).outcome, SubmitOutcome::Placed);
+  EXPECT_EQ(rig.engine->submit(job(2, 4, 4)).outcome, SubmitOutcome::Queued);
+  EXPECT_EQ(rig.engine->submit(job(3, 1, 1)).outcome, SubmitOutcome::Rejected);
+  EXPECT_EQ(rig.engine->stats().queued, 1u);
+  EXPECT_EQ(rig.engine->stats().rejected, 1u);
+  EXPECT_TRUE(rig.oracle_ok());
+}
+
+TEST(AllocEngineTest, ReleaseDrainsTheQueue) {
+  Rig rig(Mesh2D(6, 6));
+  ASSERT_EQ(rig.engine->submit(job(1, 6, 6)).outcome, SubmitOutcome::Placed);
+  ASSERT_EQ(rig.engine->submit(job(2, 2, 2)).outcome, SubmitOutcome::Queued);
+  EXPECT_FALSE(rig.engine->release(99));
+  EXPECT_TRUE(rig.engine->release(1));
+  EXPECT_EQ(rig.engine->live().count(2), 1u);
+  EXPECT_TRUE(rig.engine->pending().empty());
+  EXPECT_EQ(rig.engine->stats().released, 1u);
+  EXPECT_TRUE(rig.oracle_ok());
+}
+
+TEST(AllocEngineTest, LifetimeExpiryCompletesJobs) {
+  Rig rig(Mesh2D(6, 6));
+  ASSERT_EQ(rig.engine->submit(job(1, 2, 2, 2)).outcome,
+            SubmitOutcome::Placed);
+  EXPECT_EQ(rig.engine->tick(), 0u);
+  EXPECT_EQ(rig.engine->tick(), 1u);
+  EXPECT_TRUE(rig.engine->live().empty());
+  EXPECT_EQ(rig.engine->stats().completed, 1u);
+  EXPECT_DOUBLE_EQ(rig.engine->utilization(), 0.0);
+  EXPECT_TRUE(rig.oracle_ok());
+}
+
+TEST(AllocEngineTest, EvictionReplacesWhenRoomExists) {
+  Rig rig(Mesh2D(8, 8));
+  ASSERT_EQ(rig.engine->submit(job(1, 2, 2)).outcome, SubmitOutcome::Placed);
+  rig.fault({0, 0});  // inside the footprint
+  EXPECT_EQ(rig.engine->stats().evicted, 1u);
+  EXPECT_EQ(rig.engine->stats().replaced, 1u);
+  ASSERT_EQ(rig.engine->live().count(1), 1u);
+  const LiveJob& j = rig.engine->live().at(1);
+  EXPECT_EQ(j.evictions, 1u);
+  // The new footprint avoids every blocked cell.
+  for (std::int32_t y = j.rect.lo.y; y <= j.rect.hi.y; ++y) {
+    for (std::int32_t x = j.rect.lo.x; x <= j.rect.hi.x; ++x) {
+      EXPECT_FALSE(rig.engine->blocked_at({x, y}));
+    }
+  }
+  EXPECT_EQ(rig.engine->epoch(), rig.ingest->snapshot()->epoch());
+  EXPECT_TRUE(rig.oracle_ok());
+}
+
+TEST(AllocEngineTest, EvictionRequeuesWithBackoffHoldThenRecovers) {
+  Rig rig(Mesh2D(4, 4));
+  ASSERT_EQ(rig.engine->submit(job(1, 4, 4)).outcome, SubmitOutcome::Placed);
+  rig.fault({2, 2});
+  // No 4x4 fits any more: evicted, re-queued at the head with a one-tick
+  // eviction hold and a backoff-accounted delay.
+  EXPECT_EQ(rig.engine->stats().evicted, 1u);
+  EXPECT_EQ(rig.engine->stats().requeued, 1u);
+  ASSERT_EQ(rig.engine->pending().size(), 1u);
+  EXPECT_EQ(rig.engine->pending().front().not_before_tick, 1u);
+  EXPECT_GT(rig.engine->stats().backoff_us, 0u);
+  EXPECT_TRUE(rig.oracle_ok());
+  // Repair the cell; the job is still held this tick, one tick later it
+  // lands.
+  rig.repair({2, 2});
+  EXPECT_TRUE(rig.engine->live().empty());
+  static_cast<void>(rig.engine->tick());
+  EXPECT_EQ(rig.engine->live().count(1), 1u);
+  EXPECT_TRUE(rig.engine->pending().empty());
+  EXPECT_TRUE(rig.oracle_ok());
+}
+
+TEST(AllocEngineTest, ShedsAfterBoundedRetries) {
+  AllocConfig config;
+  config.max_retries = 0;
+  Rig rig(Mesh2D(4, 4), config);
+  ASSERT_EQ(rig.engine->submit(job(1, 4, 4)).outcome, SubmitOutcome::Placed);
+  rig.fault({1, 1});
+  EXPECT_EQ(rig.engine->stats().evicted, 1u);
+  EXPECT_EQ(rig.engine->stats().shed, 1u);
+  EXPECT_TRUE(rig.engine->live().empty());
+  EXPECT_TRUE(rig.engine->pending().empty());
+  // Conservation after a shed: submitted == shed.
+  EXPECT_TRUE(rig.oracle_ok());
+}
+
+TEST(AllocEngineTest, QueueBackfillsPastABlockedHead) {
+  Rig rig(Mesh2D(8, 8));
+  ASSERT_EQ(rig.engine->submit(job(1, 8, 8)).outcome, SubmitOutcome::Placed);
+  ASSERT_EQ(rig.engine->submit(job(2, 8, 8)).outcome, SubmitOutcome::Queued);
+  ASSERT_EQ(rig.engine->submit(job(3, 1, 1)).outcome, SubmitOutcome::Queued);
+  rig.fault({4, 4});
+  // Job 1 is evicted and re-queued at the head (8x8 no longer fits); job 2
+  // cannot fit either; job 3 must still land — a blocked head does not
+  // starve it.
+  EXPECT_EQ(rig.engine->live().count(3), 1u);
+  EXPECT_EQ(rig.engine->pending().size(), 2u);
+  EXPECT_TRUE(rig.oracle_ok());
+}
+
+TEST(AllocEngineTest, RepairOpensSpaceForQueuedJobs) {
+  Rig rig(Mesh2D(4, 4));
+  rig.fault({0, 0});
+  ASSERT_EQ(rig.engine->submit(job(1, 4, 4)).outcome, SubmitOutcome::Queued);
+  rig.repair({0, 0});
+  // The repair epoch's drain places the queued job without any tick.
+  EXPECT_EQ(rig.engine->live().count(1), 1u);
+  EXPECT_TRUE(rig.oracle_ok());
+}
+
+TEST(AllocEngineTest, PlacementDigestReplaysIdentically) {
+  const auto drive = [](Rig& rig) {
+    static_cast<void>(rig.engine->submit(job(1, 3, 2)));
+    static_cast<void>(rig.engine->submit(job(2, 2, 2, 3)));
+    rig.fault({1, 0});
+    static_cast<void>(rig.engine->tick());
+    static_cast<void>(rig.engine->release(1));
+    static_cast<void>(rig.engine->tick());
+  };
+  Rig a(Mesh2D(8, 8));
+  Rig b(Mesh2D(8, 8));
+  drive(a);
+  drive(b);
+  EXPECT_EQ(a.engine->placement_digest(), b.engine->placement_digest());
+  // A different interleaving is a different history.
+  Rig c(Mesh2D(8, 8));
+  static_cast<void>(c.engine->submit(job(2, 2, 2, 3)));
+  static_cast<void>(c.engine->submit(job(1, 3, 2)));
+  c.fault({1, 0});
+  static_cast<void>(c.engine->tick());
+  static_cast<void>(c.engine->release(1));
+  static_cast<void>(c.engine->tick());
+  EXPECT_NE(a.engine->placement_digest(), c.engine->placement_digest());
+}
+
+TEST(AllocEngineTest, ViewTracksEngineState) {
+  Rig rig(Mesh2D(8, 8));
+  const auto v0 = rig.engine->view();
+  ASSERT_NE(v0, nullptr);
+  EXPECT_EQ(v0->live, 0u);
+  EXPECT_EQ(v0->free_cells, 64u);
+  static_cast<void>(rig.engine->submit(job(1, 4, 4)));
+  rig.fault({7, 7});
+  static_cast<void>(rig.engine->tick());
+  const auto v1 = rig.engine->view();
+  EXPECT_EQ(v1->live, 1u);
+  EXPECT_EQ(v1->tick, 1u);
+  EXPECT_GE(v1->epoch, 1u);
+  EXPECT_EQ(v1->submitted, 1u);
+  EXPECT_EQ(v1->placement_digest, rig.engine->placement_digest());
+  EXPECT_GT(v1->utilization, 0.0);
+  EXPECT_GT(v1->fragmentation, 0.0);
+  // The old handle is unchanged — RCU, not in-place mutation.
+  EXPECT_EQ(v0->live, 0u);
+}
+
+TEST(AllocEngineTest, StrategiesProduceDifferentButValidPackings) {
+  for (const auto kind : {StrategyKind::FirstFit, StrategyKind::BestFit,
+                          StrategyKind::BoundaryFit}) {
+    AllocConfig config;
+    config.strategy = kind;
+    Rig rig(Mesh2D(10, 10), config);
+    for (std::uint64_t id = 1; id <= 12; ++id) {
+      static_cast<void>(
+          rig.engine->submit(job(id, 1 + static_cast<std::int32_t>(id % 3),
+                                 1 + static_cast<std::int32_t>(id % 4))));
+    }
+    rig.fault({5, 5});
+    static_cast<void>(rig.engine->tick());
+    EXPECT_TRUE(rig.oracle_ok()) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ocp::alloc

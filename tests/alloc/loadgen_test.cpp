@@ -1,0 +1,143 @@
+// Closed-loop allocation load driver: replay identity across reader-thread
+// counts (the 1/2/8 acceptance criterion), oracle and monotonicity
+// invariants, and the seeded stream helpers.
+#include "alloc/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocp::alloc {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+AllocLoadConfig small_config() {
+  AllocLoadConfig config;
+  config.mesh_side = 16;
+  config.jobs = 80;
+  config.fault_events = 40;
+  config.max_job_side = 5;
+  config.storm_side = 4;
+  config.reads_per_thread = 200;
+  config.seed = 7;
+  return config;
+}
+
+TEST(AllocLoadgenTest, JobStreamIsSeededAndBounded) {
+  const Mesh2D m(16, 16);
+  const auto a = generate_job_stream(m, 50, 6, 2, 9, 42);
+  const auto b = generate_job_stream(m, 50, 6, 2, 9, 42);
+  const auto c = generate_job_stream(m, 50, 6, 2, 9, 43);
+  ASSERT_EQ(a.size(), 50u);
+  EXPECT_EQ(job_stream_digest(a), job_stream_digest(b));
+  EXPECT_NE(job_stream_digest(a), job_stream_digest(c));
+  std::uint64_t next_id = 1;
+  for (const JobRequest& j : a) {
+    EXPECT_EQ(j.id, next_id++);
+    EXPECT_GE(j.width, 1);
+    EXPECT_LE(j.width, 6);
+    EXPECT_GE(j.height, 1);
+    EXPECT_LE(j.height, 6);
+    EXPECT_GE(j.lifetime_ticks, 2u);
+    EXPECT_LE(j.lifetime_ticks, 9u);
+  }
+}
+
+TEST(AllocLoadgenTest, StormBlockIsClampedInsideTheMachine) {
+  const Mesh2D m(8, 8);
+  const auto corner = storm_events(m, {0, 0}, 4);
+  ASSERT_EQ(corner.size(), 16u);
+  for (const svc::FaultEvent& e : corner) {
+    EXPECT_TRUE(m.contains(e.node));
+    EXPECT_EQ(e.kind, svc::EventKind::Fault);
+  }
+  EXPECT_EQ(corner.front().node, (Coord{0, 0}));
+  // Oversized side clamps to the machine.
+  EXPECT_EQ(storm_events(m, {4, 4}, 100).size(), 64u);
+  EXPECT_TRUE(storm_events(m, {4, 4}, 0).empty());
+}
+
+TEST(AllocLoadgenTest, RunCompletesWithInvariantsHolding) {
+  const AllocLoadResult r = run_alloc_load(small_config());
+  EXPECT_TRUE(r.oracle_ok);
+  EXPECT_TRUE(r.views_monotone);
+  EXPECT_TRUE(r.storm_recovered);
+  EXPECT_GT(r.epochs_published, 0u);
+  EXPECT_GT(r.stats.placed, 0u);
+  EXPECT_GT(r.storm_evicted, 0u);
+  EXPECT_EQ(r.stats.submitted, 80u);
+  EXPECT_GE(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0);
+  // At quiesce everything has drained, but the run must have carried load.
+  EXPECT_GT(r.peak_utilization, 0.0);
+  EXPECT_LE(r.peak_utilization, 1.0);
+  EXPECT_GE(r.peak_utilization, r.utilization);
+  EXPECT_GE(r.fragmentation_at_peak, 0.0);
+  EXPECT_LE(r.fragmentation_at_peak, 1.0);
+  EXPECT_GE(r.fragmentation, 0.0);
+  EXPECT_LE(r.fragmentation, 1.0);
+  EXPECT_GT(r.reader_views, 0u);
+  // Conservation over the whole run.
+  EXPECT_EQ(r.stats.submitted,
+            r.live_final + r.pending_final + r.stats.completed +
+                r.stats.released + r.stats.rejected + r.stats.shed);
+}
+
+// The acceptance criterion: replay-identity outputs are bit-identical at
+// 1, 2 and 8 reader threads — readers observe, they never steer.
+TEST(AllocLoadgenTest, ReplayDigestsAreReaderCountIndependent) {
+  AllocLoadConfig config = small_config();
+  config.reader_threads = 1;
+  const AllocLoadResult one = run_alloc_load(config);
+  config.reader_threads = 2;
+  const AllocLoadResult two = run_alloc_load(config);
+  config.reader_threads = 8;
+  const AllocLoadResult eight = run_alloc_load(config);
+  for (const AllocLoadResult* r : {&two, &eight}) {
+    EXPECT_EQ(r->stream_digest, one.stream_digest);
+    EXPECT_EQ(r->job_digest, one.job_digest);
+    EXPECT_EQ(r->placement_digest, one.placement_digest);
+    EXPECT_EQ(r->final_label_digest, one.final_label_digest);
+    EXPECT_EQ(r->epochs_published, one.epochs_published);
+    EXPECT_EQ(r->live_final, one.live_final);
+    EXPECT_EQ(r->pending_final, one.pending_final);
+    EXPECT_EQ(r->storm_evicted, one.storm_evicted);
+    EXPECT_EQ(r->storm_recovery_ticks, one.storm_recovery_ticks);
+    EXPECT_DOUBLE_EQ(r->utilization, one.utilization);
+    EXPECT_DOUBLE_EQ(r->peak_utilization, one.peak_utilization);
+    EXPECT_DOUBLE_EQ(r->fragmentation, one.fragmentation);
+    EXPECT_DOUBLE_EQ(r->fragmentation_at_peak, one.fragmentation_at_peak);
+    EXPECT_EQ(r->stats.placed, one.stats.placed);
+    EXPECT_EQ(r->stats.evicted, one.stats.evicted);
+    EXPECT_EQ(r->stats.requeued, one.stats.requeued);
+    EXPECT_EQ(r->stats.shed, one.stats.shed);
+    EXPECT_EQ(r->stats.backoff_us, one.stats.backoff_us);
+  }
+}
+
+TEST(AllocLoadgenTest, DifferentSeedsDiverge) {
+  AllocLoadConfig config = small_config();
+  const AllocLoadResult a = run_alloc_load(config);
+  config.seed = 8;
+  const AllocLoadResult b = run_alloc_load(config);
+  EXPECT_NE(a.placement_digest, b.placement_digest);
+  EXPECT_NE(a.job_digest, b.job_digest);
+}
+
+TEST(AllocLoadgenTest, StrategiesShareStreamsButPlaceDifferently) {
+  AllocLoadConfig config = small_config();
+  config.strategy = StrategyKind::FirstFit;
+  const AllocLoadResult first = run_alloc_load(config);
+  config.strategy = StrategyKind::BestFit;
+  const AllocLoadResult best = run_alloc_load(config);
+  // Same seeded inputs...
+  EXPECT_EQ(first.stream_digest, best.stream_digest);
+  EXPECT_EQ(first.job_digest, best.job_digest);
+  EXPECT_EQ(first.final_label_digest, best.final_label_digest);
+  // ...different placement histories.
+  EXPECT_NE(first.placement_digest, best.placement_digest);
+  EXPECT_TRUE(best.oracle_ok);
+}
+
+}  // namespace
+}  // namespace ocp::alloc

@@ -1,0 +1,148 @@
+// Allocation oracle: seeded fuzz of the full engine+ingest loop on mesh and
+// torus at 0-30% fault density (the ISSUE 10 acceptance band), plus
+// negative tests proving each check actually fires on a violating pair.
+#include "alloc/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc/loadgen.hpp"
+#include "fault/generators.hpp"
+#include "stats/rng.hpp"
+#include "svc/ingest.hpp"
+#include "svc/loadgen.hpp"
+
+namespace ocp::alloc {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+using mesh::Topology;
+
+TEST(AllocOracleTest, CleanEngineHasEmptyReport) {
+  const Mesh2D m(8, 8);
+  svc::IngestEngine ingest{grid::CellSet(m)};
+  AllocEngine engine(*ingest.snapshot());
+  const check::ViolationReport report =
+      check_engine(engine, *ingest.snapshot());
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(AllocOracleTest, IndexCheckFiresOnAForeignSnapshot) {
+  const Mesh2D m(8, 8);
+  svc::IngestEngine clean{grid::CellSet(m)};
+  svc::IngestEngine faulty{grid::CellSet{m, {{3, 3}}}};
+  AllocEngine engine(*clean.snapshot());
+  // The engine never observed the faulty snapshot's blocked plane: the
+  // index-equivalence recompute must catch the drift.
+  EXPECT_FALSE(
+      check_engine(engine, *faulty.snapshot(), check::kAllocIndex).ok());
+  // Masking the check out silences it (conservation still holds).
+  EXPECT_TRUE(
+      check_engine(engine, *faulty.snapshot(), check::kAllocConservation)
+          .ok());
+}
+
+TEST(AllocOracleTest, OverlapAndEvictionChecksFireOnAJobOverAFault) {
+  const Mesh2D m(8, 8);
+  svc::IngestEngine clean{grid::CellSet(m)};
+  svc::IngestEngine faulty{grid::CellSet{m, {{0, 0}}}};
+  AllocEngine engine(*clean.snapshot());
+  ASSERT_EQ(engine.submit({1, 2, 2, 0}).outcome, SubmitOutcome::Placed);
+  // Against the snapshot where (0, 0) is faulty, the live job sits on a
+  // blocked cell: both the overlap scan and eviction completeness fail.
+  EXPECT_FALSE(
+      check_engine(engine, *faulty.snapshot(), check::kAllocOverlap).ok());
+  EXPECT_FALSE(
+      check_engine(engine, *faulty.snapshot(), check::kAllocEviction).ok());
+  // Against its own snapshot everything holds.
+  EXPECT_TRUE(check_engine(engine, *clean.snapshot()).ok());
+}
+
+TEST(AllocOracleTest, CheckNamesRender) {
+  EXPECT_STREQ(check::check_name(check::kAllocOverlap), "alloc-overlap");
+  EXPECT_STREQ(check::check_name(check::kAllocIndex),
+               "alloc-index-equivalence");
+  EXPECT_STREQ(check::check_name(check::kAllocEviction),
+               "alloc-eviction-completeness");
+  EXPECT_STREQ(check::check_name(check::kAllocConservation),
+               "alloc-conservation");
+}
+
+/// Seeded closed-loop fuzz: random submit/tick/release interleaved with
+/// fault/repair churn through a real ingest loop; the oracle must hold
+/// after every epoch and at quiesce.
+void fuzz_one(Topology topology, double fault_fraction, std::uint64_t seed,
+              StrategyKind strategy) {
+  const Mesh2D m(12, 12, topology);
+  stats::Rng master(seed);
+  stats::Rng fault_rng(master.fork_seed());
+  const std::uint64_t stream_seed = master.fork_seed();
+  const std::uint64_t job_seed = master.fork_seed();
+  stats::Rng op_rng(master.fork_seed());
+
+  const auto initial_count = static_cast<std::size_t>(
+      fault_fraction * static_cast<double>(m.node_count()));
+  const grid::CellSet initial =
+      fault::uniform_random(m, initial_count, fault_rng);
+  const auto stream =
+      svc::generate_event_stream(m, initial, 48, 0.5, stream_seed);
+  const auto jobs = generate_job_stream(m, 48, 5, 2, 10, job_seed);
+
+  std::unique_ptr<AllocEngine> engine;
+  svc::IngestConfig ingest_config;
+  ingest_config.on_publish = [&engine](const svc::Snapshot& snap,
+                                       std::span<const mesh::Coord> dirty) {
+    if (engine) engine->observe_epoch(snap, dirty);
+  };
+  svc::IngestEngine ingest(initial, ingest_config);
+  AllocConfig config;
+  config.strategy = strategy;
+  config.queue_capacity = 16;
+  engine = std::make_unique<AllocEngine>(*ingest.snapshot(), config);
+
+  std::size_t job_pos = 0;
+  std::size_t stream_pos = 0;
+  for (int step = 0; step < 120; ++step) {
+    const std::int64_t roll = op_rng.uniform_int(0, 99);
+    if (roll < 40 && job_pos < jobs.size()) {
+      static_cast<void>(engine->submit(jobs[job_pos++]));
+    } else if (roll < 70 && stream_pos < stream.size()) {
+      const svc::FaultEvent e = stream[stream_pos++];
+      static_cast<void>(
+          ingest.apply(std::span<const svc::FaultEvent>(&e, 1)));
+    } else if (roll < 90) {
+      static_cast<void>(engine->tick());
+    } else if (!engine->live().empty()) {
+      static_cast<void>(engine->release(engine->live().begin()->first));
+    }
+    if (step % 10 == 0) {
+      const auto report = check_engine(*engine, *ingest.snapshot());
+      ASSERT_TRUE(report.ok())
+          << "step " << step << " seed " << seed << ": "
+          << report.to_string();
+    }
+  }
+  const auto report = check_engine(*engine, *ingest.snapshot());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(AllocOracleFuzzTest, MeshAcrossFaultDensities) {
+  std::uint64_t seed = 100;
+  for (const double fraction : {0.0, 0.1, 0.3}) {
+    fuzz_one(Topology::Mesh, fraction, seed++, StrategyKind::FirstFit);
+    fuzz_one(Topology::Mesh, fraction, seed++, StrategyKind::BestFit);
+  }
+}
+
+TEST(AllocOracleFuzzTest, TorusAcrossFaultDensities) {
+  std::uint64_t seed = 200;
+  for (const double fraction : {0.0, 0.1, 0.3}) {
+    fuzz_one(Topology::Torus, fraction, seed++, StrategyKind::BoundaryFit);
+    fuzz_one(Topology::Torus, fraction, seed++, StrategyKind::FirstFit);
+  }
+}
+
+}  // namespace
+}  // namespace ocp::alloc

@@ -1,0 +1,127 @@
+// Placement strategies: policy behavior and the deterministic (y, x)
+// tie-break every strategy must honor for replay identity.
+#include "alloc/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mesh/mesh2d.hpp"
+
+namespace ocp::alloc {
+namespace {
+
+using mesh::Coord;
+using mesh::Mesh2D;
+
+TEST(StrategyTest, FactoryRoundTrips) {
+  for (const auto kind : {StrategyKind::FirstFit, StrategyKind::BestFit,
+                          StrategyKind::BoundaryFit}) {
+    const auto s = make_strategy(kind);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind(), kind);
+    EXPECT_STREQ(s->name(), to_string(kind));
+  }
+}
+
+TEST(StrategyTest, AllReturnNulloptWhenNothingFits) {
+  // Blocking the two middle rows leaves only isolated single rows: no 2x2
+  // anywhere.
+  FreeRegionIndex idx(Mesh2D(4, 4));
+  for (std::int32_t x = 0; x < 4; ++x) {
+    idx.set_busy({x, 1}, true);
+    idx.set_busy({x, 2}, true);
+  }
+  for (const auto kind : {StrategyKind::FirstFit, StrategyKind::BestFit,
+                          StrategyKind::BoundaryFit}) {
+    EXPECT_FALSE(make_strategy(kind)->choose(idx, 2, 2).has_value())
+        << to_string(kind);
+  }
+}
+
+TEST(StrategyTest, FirstFitTakesTheFirstRowMajorAnchor) {
+  FreeRegionIndex idx(Mesh2D(6, 6));
+  idx.set_busy({0, 0}, true);
+  idx.set_busy({1, 0}, true);
+  const auto s = make_strategy(StrategyKind::FirstFit);
+  // Row 0 still admits a 2x2 at x=2 (rows 0-1 free from x=2 on).
+  EXPECT_EQ(*s->choose(idx, 2, 2), (Coord{2, 0}));
+  EXPECT_EQ(*s->choose(idx, 1, 1), (Coord{2, 0}));
+  EXPECT_EQ(*s->choose(idx, 6, 5), (Coord{0, 1}));
+}
+
+TEST(StrategyTest, BestFitPrefersTheTightestHole) {
+  // Row of busy cells splits the 8-wide strip into a 3-wide hole and a
+  // 4-wide hole; a 3x2 job should take the exact-fit hole on the left.
+  FreeRegionIndex idx(Mesh2D(8, 2));
+  idx.set_busy({3, 0}, true);
+  idx.set_busy({3, 1}, true);
+  const auto s = make_strategy(StrategyKind::BestFit);
+  EXPECT_EQ(*s->choose(idx, 3, 2), (Coord{0, 0}));
+  // A 2x2 job scores 0 where the rightward extent exactly equals its width
+  // — the right edge of either hole; (1, 0) wins the row-major tie-break
+  // over (6, 0).
+  EXPECT_EQ(*s->choose(idx, 2, 2), (Coord{1, 0}));
+}
+
+TEST(StrategyTest, BestFitScoreIsTheDocumentedSlackArea) {
+  FreeRegionIndex idx(Mesh2D(8, 8));
+  // Free everywhere: at (0,0) a 2x3 job leaves (8-2)*3 + (8-3)*2 slack.
+  EXPECT_EQ(best_fit_score(idx, {0, 0}, 2, 3), 6 * 3 + 5 * 2);
+  idx.set_busy({4, 0}, true);
+  // Row extent at (0,0) is now 4: (4-2)*3 + (8-3)*2.
+  EXPECT_EQ(best_fit_score(idx, {0, 0}, 2, 3), 2 * 3 + 5 * 2);
+}
+
+TEST(StrategyTest, BestFitTieBreaksRowMajor) {
+  // Two identical 2-wide holes; the earlier anchor in (y, x) order wins.
+  FreeRegionIndex idx(Mesh2D(8, 1));
+  idx.set_busy({2, 0}, true);
+  idx.set_busy({5, 0}, true);
+  const auto s = make_strategy(StrategyKind::BestFit);
+  EXPECT_EQ(*s->choose(idx, 2, 1), (Coord{0, 0}));
+}
+
+TEST(StrategyTest, BoundaryContactCountsCornersAndRing) {
+  const FreeRegionIndex idx(Mesh2D(6, 6));
+  // Machine corner: both outside neighbors of the rect's top-left corner
+  // are off-machine, and two full sides of the ring are off-machine.
+  const BoundaryContact corner = boundary_contact(idx, {0, 0}, 2, 2);
+  EXPECT_EQ(corner.corners, 1);
+  EXPECT_GT(corner.ring, 0);
+  // Center: free on all sides.
+  const BoundaryContact center = boundary_contact(idx, {2, 2}, 2, 2);
+  EXPECT_EQ(center.corners, 0);
+  EXPECT_EQ(center.ring, 0);
+}
+
+TEST(StrategyTest, BoundaryFitHugsExistingBusyBlocks) {
+  FreeRegionIndex idx(Mesh2D(8, 8));
+  // A busy 2x2 block in the interior; a 2x2 job should nestle into the
+  // machine corner (max corner contact) rather than float in free space.
+  for (const Coord c : {Coord{4, 4}, {5, 4}, {4, 5}, {5, 5}}) {
+    idx.set_busy(c, true);
+  }
+  const auto s = make_strategy(StrategyKind::BoundaryFit);
+  const Coord a = *s->choose(idx, 2, 2);
+  const BoundaryContact got = boundary_contact(idx, a, 2, 2);
+  const BoundaryContact center = boundary_contact(idx, {1, 1}, 2, 2);
+  EXPECT_GT(got.corners, center.corners);
+  // Deterministic winner: first row-major anchor among max-contact ones —
+  // the machine's top-left corner.
+  EXPECT_EQ(a, (Coord{0, 0}));
+}
+
+TEST(StrategyTest, ChoicesAreDeterministicAcrossRepeats) {
+  FreeRegionIndex idx(Mesh2D(10, 10));
+  for (const Coord c : {Coord{3, 3}, {7, 2}, {2, 7}, {5, 5}, {8, 8}}) {
+    idx.set_busy(c, true);
+  }
+  for (const auto kind : {StrategyKind::FirstFit, StrategyKind::BestFit,
+                          StrategyKind::BoundaryFit}) {
+    const auto s = make_strategy(kind);
+    const auto first = s->choose(idx, 3, 2);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(s->choose(idx, 3, 2), first);
+  }
+}
+
+}  // namespace
+}  // namespace ocp::alloc

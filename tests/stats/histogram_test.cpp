@@ -111,6 +111,64 @@ TEST(HistogramTest, MergeRejectsIncompatible) {
   EXPECT_THROW(a.merge(c), std::invalid_argument);
 }
 
+TEST(HistogramTest, MergeRejectsDifferingLowerBound) {
+  // Same width and bin count but shifted ranges — the buckets do not line
+  // up, so merge must refuse rather than silently misfile counts.
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(1.0, 11.0, 10);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  // The failed merge must not have touched the target.
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(HistogramTest, MergeCarriesUnderflowCounts) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  b.add(-5.0);
+  b.add(-1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.underflow(), 2u);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(HistogramTest, AllOverflowPercentileIsCappedAtHi) {
+  // Every sample lands at or above hi: percentiles degrade to the clamped
+  // last bucket (a lower bound, per the class contract), and overflow()
+  // equals the sample count so callers can detect the distortion.
+  Histogram h(0.0, 10.0, 10);
+  h.add(10.0);
+  h.add(100.0);
+  h.add(1e12);
+  EXPECT_EQ(h.overflow(), h.count());
+  for (const double p : {0.0, 0.5, 0.99, 1.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, h.bin_lo(9));
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(HistogramTest, AllUnderflowPercentileStaysInFirstBucket) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(-1e9);
+  EXPECT_EQ(h.underflow(), h.count());
+  EXPECT_GE(h.percentile(0.99), 0.0);
+  EXPECT_LE(h.percentile(0.99), h.bin_lo(1));
+}
+
+TEST(HistogramTest, MergingAllOverflowInputsKeepsTheCap) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(50.0);
+  b.add(60.0);
+  b.add(70.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.overflow(), 3u);
+  EXPECT_LE(a.percentile(0.99), 10.0);
+}
+
 TEST(HistogramTest, SparklineShape) {
   Histogram h(0.0, 4.0, 4);
   const std::string flat = h.sparkline();
